@@ -1,0 +1,55 @@
+// Extension: leakage-aware energy efficiency.
+//
+// The paper's TOPS/W are dynamic-only. A powered 128 KB array leaks; at low
+// supply the dynamic energy shrinks quadratically but so does fmax, so
+// leakage is charged over longer cycles. This study reports static power
+// across supply/temperature and duty-cycle-aware effective TOPS/W.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "energy/leakage.hpp"
+#include "timing/freq_model.hpp"
+
+using namespace bpim;
+using namespace bpim::literals;
+
+int main() {
+  const energy::LeakageModel leak;
+  const energy::EnergyModel dyn;
+  const timing::FreqModel fm;
+  constexpr std::size_t kCells = 64 * 128 * 128;  // the 128 KB part
+
+  print_banner(std::cout, "Extension -- array leakage power (128 KB, 64 macros)");
+  TextTable t({"VDD [V]", "P_leak @25C [uW]", "P_leak @85C [uW]"});
+  for (double v = 0.6; v <= 1.1 + 1e-9; v += 0.1) {
+    t.add_row({TextTable::num(v, 1),
+               TextTable::num(in_mW(leak.array_power(kCells, Volt(v), 25.0)) * 1e3, 1),
+               TextTable::num(in_mW(leak.array_power(kCells, Volt(v), 85.0)) * 1e3, 1)});
+  }
+  t.print(std::cout);
+
+  print_banner(std::cout, "Effective 8-bit ADD TOPS/W vs duty cycle (25 C, 16 ops/cycle/macro)");
+  TextTable e({"VDD [V]", "dynamic-only", "duty 100%", "duty 10%", "duty 1%"});
+  for (const double v : {0.6, 0.9, 1.1}) {
+    const Volt vdd(v);
+    const Joule d = dyn.add(8, vdd);
+    const Hertz f = fm.fmax(vdd);
+    // Per-macro accounting: 16 word-ops per cycle, one macro's cells leak.
+    const auto eff = [&](double duty) {
+      return 1e-12 / leak.effective_energy_per_op(d, 128 * 128, vdd, 25.0, f, 16.0, duty).si();
+    };
+    e.add_row({TextTable::num(v, 1), TextTable::num(dyn.tops_per_watt(d), 2),
+               TextTable::num(eff(1.0), 2), TextTable::num(eff(0.1), 2),
+               TextTable::num(eff(0.01), 2)});
+  }
+  e.print(std::cout);
+
+  std::cout << "\nAt full utilisation the paper's dynamic TOPS/W stand (leakage is <1% of\n"
+               "an op's energy). At 1% duty each op carries ~100 idle cycles of leakage;\n"
+               "at 0.6 V, where cycles stretch to 2.7 ns, that claws back a visible\n"
+               "fraction of the low-voltage efficiency headline -- the usual utilisation\n"
+               "caveat for IMC TOPS/W numbers.\n";
+  return 0;
+}

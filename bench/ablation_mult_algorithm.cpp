@@ -1,0 +1,91 @@
+// Ablation: the left-shift multiplication algorithm (Fig 5).
+//
+// The conventional sequencing of an NxN multiply on this substrate needs
+// per-partial-product shifts of the multiplicand (1+2+...+(N-1) SHIFT ops)
+// plus (N-1) ADDs. The paper's reversed-multiplier add-and-shift loop folds
+// the shift into the write-back path, at 1 cycle per iteration -> N+2 total.
+// Both schedules are *executed on the macro* and verified bit-exact.
+
+#include <iostream>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "macro/imc_macro.hpp"
+
+using namespace bpim;
+using array::RowRef;
+using macro::ImcMacro;
+using macro::Op;
+
+namespace {
+
+/// Conventional schedule: for every set multiplier bit, shift a copy of the
+/// multiplicand into place (i single-cycle SHIFT ops for bit i) and ADD it
+/// into the accumulator. Rows: D0 = shifted multiplicand, D2 = accumulator.
+std::uint64_t conventional_mult(ImcMacro& m, std::uint64_t a, std::uint64_t b, unsigned bits) {
+  const unsigned wide = 2 * bits;
+  m.poke_mult_operand(10, 0, bits, a);          // multiplicand in a 2N-bit slot
+  m.poke_row(11, BitVector(m.cols()));          // accumulator source row = 0
+  // acc starts as zero in D2.
+  m.unary_row(Op::Copy, RowRef::main(11), RowRef::dummy(ImcMacro::kDummyAccum), wide);
+  // Working copy of A in D0.
+  m.unary_row(Op::Copy, RowRef::main(10), RowRef::dummy(ImcMacro::kDummyZero), wide);
+  for (unsigned i = 0; i < bits; ++i) {
+    if (i > 0)  // align the partial product: one SHIFT op per bit position
+      m.unary_row(Op::Shift, RowRef::dummy(ImcMacro::kDummyZero),
+                  RowRef::dummy(ImcMacro::kDummyZero), wide);
+    if ((b >> i) & 1u)
+      m.add_rows(RowRef::dummy(ImcMacro::kDummyZero), RowRef::dummy(ImcMacro::kDummyAccum),
+                 wide, RowRef::dummy(ImcMacro::kDummyAccum));
+  }
+  std::uint64_t v = 0;
+  const BitVector& acc = m.sram().row(RowRef::dummy(ImcMacro::kDummyAccum));
+  for (unsigned i = 0; i < wide; ++i) v |= static_cast<std::uint64_t>(acc.get(i)) << i;
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  print_banner(std::cout,
+               "Ablation -- left-shift add-and-shift MULT vs conventional shift+add");
+
+  TextTable t({"bits", "proposed cycles (N+2)", "incremental shift+add (measured)",
+               "naive shift+add (1+2+..+(N-1) shifts)", "speedup vs naive", "results agree"});
+  Rng rng(77);
+  for (const unsigned bits : {2u, 4u, 8u, 16u}) {
+    const std::uint64_t mask = (1ull << bits) - 1;
+    // Worst case for the conventional path: all multiplier bits set.
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = mask;
+
+    ImcMacro prop{macro::MacroConfig{}};
+    prop.poke_mult_operand(0, 0, bits, a);
+    prop.poke_mult_operand(1, 0, bits, b);
+    const BitVector p = prop.mult_rows(RowRef::main(0), RowRef::main(1), bits);
+    const std::uint64_t prop_result = prop.peek_mult_product(p, 0, bits);
+    const std::uint64_t prop_cycles = prop.total_cycles();
+
+    ImcMacro conv{macro::MacroConfig{}};
+    conv.reset_counters();
+    const std::uint64_t conv_result = conventional_mult(conv, a, b, bits);
+    const std::uint64_t conv_cycles = conv.total_cycles();
+
+    // Paper's Fig 5 top-left schedule: partial product i needs i fresh
+    // shifts of the multiplicand (no reuse) plus an add; plus 2 init copies.
+    const std::uint64_t naive_cycles = 2 + bits * (bits - 1) / 2 + (bits - 1);
+
+    t.add_row({std::to_string(bits), std::to_string(prop_cycles),
+               std::to_string(conv_cycles), std::to_string(naive_cycles),
+               TextTable::ratio(static_cast<double>(naive_cycles) /
+                                    static_cast<double>(prop_cycles), 2),
+               (prop_result == conv_result && prop_result == a * b) ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper's 4x4 example: the conventional flow needs 6 (=1+2+3) shifts plus 3\n"
+               "adds; even an improved incremental-shift schedule (measured column, executed\n"
+               "on this macro and verified bit-exact) stays well behind the N+2-cycle\n"
+               "add-and-shift loop.\n";
+  return 0;
+}

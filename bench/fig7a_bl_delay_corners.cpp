@@ -1,0 +1,42 @@
+// Fig 7(a) reproduction: BL computing delay (WL driver to single-ended SA)
+// across process corners, 0.55 V WLUD baseline vs the proposed short-WL +
+// BL-boost scheme. 0.9 V, 25 C.
+//
+// Paper claim: the proposed scheme improves the worst-case BL computing
+// delay to ~0.22x of the WLUD baseline.
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "timing/bl_compute.hpp"
+
+using namespace bpim;
+using namespace bpim::literals;
+
+int main() {
+  print_banner(std::cout, "Fig 7(a) -- BL computing delay vs process corner (0.9 V, 25 C)");
+
+  const timing::BlComputeConfig cfg;
+  TextTable t({"corner", "WLUD 0.55 V [ns]", "Short WL + Boost [ns]", "ratio"});
+  double worst_wlud = 0.0, worst_prop = 0.0;
+  for (const auto corner : circuit::kAllCorners) {
+    const circuit::OperatingPoint op{0.9_V, 25.0, corner};
+    const double wlud =
+        timing::BlComputeModel(timing::BlScheme::Wlud, cfg, op).nominal_delay().si() * 1e9;
+    const double prop =
+        timing::BlComputeModel(timing::BlScheme::ShortWlBoost, cfg, op).nominal_delay().si() *
+        1e9;
+    worst_wlud = std::max(worst_wlud, wlud);
+    worst_prop = std::max(worst_prop, prop);
+    t.add_row({circuit::to_string(corner), TextTable::num(wlud, 3), TextTable::num(prop, 3),
+               TextTable::ratio(prop / wlud, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nWorst-case: WLUD " << TextTable::num(worst_wlud, 3) << " ns vs proposed "
+            << TextTable::num(worst_prop, 3) << " ns  ->  "
+            << TextTable::ratio(worst_prop / worst_wlud, 2)
+            << "  (paper: 0.22x at worst case)\n";
+  return 0;
+}

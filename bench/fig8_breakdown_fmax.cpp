@@ -1,0 +1,62 @@
+// Fig 8 reproduction, both panels:
+//   left  -- cycle-time component breakdown at 0.9 V (one IMC cycle);
+//   right -- maximum operating frequency and ADD/MULT TOPS/W vs supply
+//            voltage (0.6-1.1 V), with and without the BL separator.
+//
+// Paper anchors: 603 ps cycle at 0.9 V (222 ps logic / 140 WL / 130 sense /
+// 60 precharge / 51 write-back), 2.25 GHz at 1.0 V, 372 MHz at 0.6 V,
+// ADD 8.09 and MULT 0.68 TOPS/W at 0.6 V.
+
+#include <iostream>
+
+#include "common/table.hpp"
+#include "energy/energy_model.hpp"
+#include "timing/freq_model.hpp"
+
+using namespace bpim;
+using namespace bpim::literals;
+
+int main() {
+  const timing::FreqModel fm;
+  const energy::EnergyModel em;
+
+  print_banner(std::cout, "Fig 8 (left) -- cycle-time breakdown @ 0.9 V");
+  const auto b = fm.breakdown(0.9_V);
+  const double total = in_ps(b.total());
+  TextTable bt({"component", "delay [ps]", "share"});
+  const auto row = [&](const char* name, Second d) {
+    bt.add_row({name, TextTable::num(in_ps(d), 0),
+                TextTable::num(100.0 * d.si() / b.total().si(), 1) + "%"});
+  };
+  row("logic (16b adder)", b.logic);
+  row("WL activation", b.wl_activation);
+  row("BL sensing", b.bl_sensing);
+  row("BL precharge", b.bl_precharge);
+  row("write-back (w/ separator)", b.write_back);
+  bt.add_row({"total (1 cycle)", TextTable::num(total, 0), "100%"});
+  bt.print(std::cout);
+  std::cout << "\nPaper: 222/140/130/60/51 ps (36.8/23.2/21.6/10.0/8.5 %), 603 ps total.\n";
+
+  print_banner(std::cout, "Fig 8 (right) -- fmax and TOPS/W vs supply (8-bit ops)");
+  TextTable ft({"VDD [V]", "fmax [GHz]", "fmax w/o sep [GHz]", "ADD [TOPS/W]",
+                "MULT w/ sep [TOPS/W]", "MULT w/o sep [TOPS/W]"});
+  for (double v = 0.6; v <= 1.1 + 1e-9; v += 0.1) {
+    const Volt vdd(v);
+    const double add_tops = em.tops_per_watt(em.add(8, vdd));
+    const double mult_w = em.tops_per_watt(em.mult(8, vdd, energy::SeparatorMode::Enabled));
+    const double mult_wo = em.tops_per_watt(em.mult(8, vdd, energy::SeparatorMode::Disabled));
+    ft.add_row({TextTable::num(v, 1), TextTable::num(in_GHz(fm.fmax(vdd)), 3),
+                TextTable::num(in_GHz(fm.fmax(vdd, false)), 3), TextTable::num(add_tops, 2),
+                TextTable::num(mult_w, 3), TextTable::num(mult_wo, 3)});
+  }
+  ft.print(std::cout);
+
+  std::cout << "\nAnchors: fmax(1.0 V) = " << TextTable::num(in_GHz(fm.fmax(1.0_V)), 3)
+            << " GHz (paper 2.25), fmax(0.6 V) = " << TextTable::num(in_MHz(fm.fmax(0.6_V)), 0)
+            << " MHz (paper 372); ADD @0.6 V = "
+            << TextTable::num(em.tops_per_watt(em.add(8, 0.6_V)), 2)
+            << " TOPS/W (paper 8.09), MULT @0.6 V = "
+            << TextTable::num(em.tops_per_watt(em.mult(8, 0.6_V, energy::SeparatorMode::Enabled)), 3)
+            << " TOPS/W (paper 0.68).\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// google-benchmark suite for the simulator itself: how fast the functional
+// macro, the bit-serial baseline and the circuit solvers run on the host.
+// (This measures the *simulator*, not the modelled silicon.)
+
+#include <benchmark/benchmark.h>
+
+#include "baseline/bitserial.hpp"
+#include "common/rng.hpp"
+#include "macro/imc_macro.hpp"
+#include "timing/bl_compute.hpp"
+
+using namespace bpim;
+using array::RowRef;
+
+namespace {
+
+void BM_MacroAddRow(benchmark::State& state) {
+  macro::ImcMacro m{macro::MacroConfig{}};
+  Rng rng(1);
+  BitVector a(128), b(128);
+  a.randomize(rng);
+  b.randomize(rng);
+  m.poke_row(0, a);
+  m.poke_row(1, b);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m.add_rows(RowRef::main(0), RowRef::main(1), 8));
+  state.SetItemsProcessed(state.iterations() * 16);  // 16 word-adds per row op
+}
+BENCHMARK(BM_MacroAddRow);
+
+void BM_MacroMultRow(benchmark::State& state) {
+  const auto bits = static_cast<unsigned>(state.range(0));
+  macro::ImcMacro m{macro::MacroConfig{}};
+  Rng rng(2);
+  BitVector a(128), b(128);
+  a.randomize(rng);
+  b.randomize(rng);
+  m.poke_row(0, a);
+  m.poke_row(1, b);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(m.mult_rows(RowRef::main(0), RowRef::main(1), bits));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(m.mult_units_per_row(bits)));
+}
+BENCHMARK(BM_MacroMultRow)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_BitSerialMultVector(benchmark::State& state) {
+  baseline::BitSerialMacro m;
+  Rng rng(3);
+  for (std::size_t e = 0; e < m.alus(); ++e) {
+    m.poke_element(e, 0, 8, rng.next_u64() & 0xFF);
+    m.poke_element(e, 8, 8, rng.next_u64() & 0xFF);
+  }
+  for (auto _ : state) m.mult(0, 8, 16, 8, m.alus());
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(m.alus()));
+}
+BENCHMARK(BM_BitSerialMultVector);
+
+void BM_BlTransientNominal(benchmark::State& state) {
+  using namespace bpim::literals;
+  const circuit::OperatingPoint op{0.9_V, 25.0, circuit::Corner::NN};
+  const timing::BlComputeModel model(timing::BlScheme::ShortWlBoost,
+                                     timing::BlComputeConfig{}, op);
+  for (auto _ : state) benchmark::DoNotOptimize(model.nominal_delay());
+}
+BENCHMARK(BM_BlTransientNominal);
+
+void BM_BlMonteCarloSample(benchmark::State& state) {
+  using namespace bpim::literals;
+  const circuit::OperatingPoint op{0.9_V, 25.0, circuit::Corner::NN};
+  const timing::BlComputeConfig cfg;
+  const timing::BlComputeModel model(timing::BlScheme::Wlud, cfg, op);
+  Rng rng(4);
+  for (auto _ : state) {
+    const auto mm = cell::CellMismatch::sample(rng, cfg.cell_geometry);
+    benchmark::DoNotOptimize(
+        model.compute_delay(mm, Volt(0.0), Volt(0.0), Volt(0.0), Second(0.0)));
+  }
+}
+BENCHMARK(BM_BlMonteCarloSample);
+
+}  // namespace

@@ -1,0 +1,84 @@
+// Sum of absolute differences (SAD) for block motion estimation -- a
+// classic video workload built from the macro's SUB primitive.
+//
+// |a-b| is computed from the two in-memory subtractions a-b and b-a: for
+// unsigned operands exactly one of them is the absolute difference (the
+// other wraps), selected by the borrow. The IMC memory supplies the
+// subtraction bandwidth; the host does the select+accumulate.
+//
+//   $ ./motion_estimation_sad
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "app/vector_engine.hpp"
+#include "common/rng.hpp"
+
+using namespace bpim;
+
+namespace {
+
+/// 16x16 block of 8-bit pixels, flattened.
+std::vector<std::uint64_t> make_block(Rng& rng, int dc) {
+  std::vector<std::uint64_t> b(256);
+  for (auto& p : b) {
+    const int v = dc + static_cast<int>(rng.uniform_u64(64));
+    p = static_cast<std::uint64_t>(std::min(std::max(v, 0), 255));
+  }
+  return b;
+}
+
+std::uint64_t sad_reference(const std::vector<std::uint64_t>& a,
+                            const std::vector<std::uint64_t>& b) {
+  std::uint64_t s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    s += a[i] > b[i] ? a[i] - b[i] : b[i] - a[i];
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(42);
+  const auto current = make_block(rng, 96);
+
+  macro::ImcMemory memory;
+  app::VectorEngine engine(memory, 8);
+
+  std::printf("16x16 SAD search: current block vs 8 candidate blocks (8-bit pixels)\n\n");
+  std::printf("%-10s %-12s %-12s %-12s %-10s\n", "candidate", "SAD (IMC)", "SAD (ref)",
+              "cycles", "energy[pJ]");
+
+  std::uint64_t best = ~0ull;
+  int best_idx = -1;
+  for (int cand = 0; cand < 8; ++cand) {
+    const auto candidate = make_block(rng, 64 + 8 * cand);
+
+    // Two in-memory subtractions; select the non-wrapped one per element.
+    const auto d_ab = engine.sub(current, candidate);
+    const auto stats_ab = engine.last_run();
+    const auto d_ba = engine.sub(candidate, current);
+    const auto stats_ba = engine.last_run();
+
+    std::uint64_t sad = 0;
+    for (std::size_t i = 0; i < current.size(); ++i)
+      sad += current[i] >= candidate[i] ? d_ab[i] : d_ba[i];
+
+    const std::uint64_t ref = sad_reference(current, candidate);
+    std::printf("%-10d %-12llu %-12llu %-12llu %-10.2f %s\n", cand,
+                (unsigned long long)sad, (unsigned long long)ref,
+                (unsigned long long)(stats_ab.elapsed_cycles + stats_ba.elapsed_cycles),
+                in_pJ(stats_ab.energy) + in_pJ(stats_ba.energy),
+                sad == ref ? "" : "<-- MISMATCH");
+    if (sad < best) {
+      best = sad;
+      best_idx = cand;
+    }
+  }
+
+  std::printf("\nbest match: candidate %d (SAD %llu)\n", best_idx, (unsigned long long)best);
+  std::printf("each 256-pixel SAD ran as %zu-wide SUB layers in-memory (2 cycles per\n"
+              "row-pair, Table 1), with only the |.| select and accumulate on the host.\n",
+              engine.words_per_row() * memory.macro_count());
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: one macro, every operation class, cycles and energy.
+//
+//   $ ./quickstart
+//
+// Walks the public API end to end: load words, run logic / ADD / SUB /
+// MULT at 8-bit precision, read results back, inspect per-op cost.
+
+#include <cstdio>
+
+#include "macro/imc_macro.hpp"
+
+using namespace bpim;
+using array::RowRef;
+using macro::ImcMacro;
+using macro::Op;
+
+int main() {
+  // A single 128x128 bit-parallel IMC macro at 0.9 V, BL separator on.
+  ImcMacro macro{macro::MacroConfig{}};
+
+  // Operands of a dual-WL op live in the same columns of two rows.
+  // Row 0, word 0 <- 25; row 1, word 0 <- 17 (8-bit words).
+  macro.poke_word(0, 0, 8, 25);
+  macro.poke_word(1, 0, 8, 17);
+
+  std::printf("bit-parallel 6T SRAM IMC macro: %zux%zu, fmax %.2f GHz @ %.1f V\n\n",
+              macro.rows(), macro.cols(), in_GHz(macro.fmax()),
+              macro.config().vdd.si());
+
+  // --- logic (1 cycle) ------------------------------------------------------
+  const BitVector x = macro.logic_rows(periph::LogicFn::Xor, RowRef::main(0), RowRef::main(1));
+  std::printf("XOR   : 25 ^ 17 = %2llu   (%u cycle, %5.1f fJ/row-op)\n",
+              (unsigned long long)(x.to_u64() & 0xFF), macro.last_op().cycles,
+              in_fJ(macro.last_op().op_energy));
+
+  // --- ADD (1 cycle, bit-parallel carry-select chain) -----------------------
+  const BitVector s = macro.add_rows(RowRef::main(0), RowRef::main(1), 8);
+  std::printf("ADD   : 25 + 17 = %2llu   (%u cycle, %5.1f fJ/row-op)\n",
+              (unsigned long long)(s.to_u64() & 0xFF), macro.last_op().cycles,
+              in_fJ(macro.last_op().op_energy));
+
+  // --- SUB (2 cycles: NOT -> dummy row, then ADD with carry-in) -------------
+  const BitVector d = macro.sub_rows(RowRef::main(0), RowRef::main(1), 8);
+  std::printf("SUB   : 25 - 17 = %2llu   (%u cycles, %5.1f fJ/row-op)\n",
+              (unsigned long long)(d.to_u64() & 0xFF), macro.last_op().cycles,
+              in_fJ(macro.last_op().op_energy));
+
+  // --- MULT (N+2 cycles, Fig 5's add-and-shift loop on 2N-bit units) --------
+  macro.poke_mult_operand(2, 0, 8, 25);
+  macro.poke_mult_operand(3, 0, 8, 17);
+  const BitVector p = macro.mult_rows(RowRef::main(2), RowRef::main(3), 8);
+  std::printf("MULT  : 25 * 17 = %3llu  (%u cycles, %5.1f fJ/row-op)\n",
+              (unsigned long long)macro.peek_mult_product(p, 0, 8), macro.last_op().cycles,
+              in_fJ(macro.last_op().op_energy));
+
+  // --- single-WL ops ---------------------------------------------------------
+  macro.unary_row(Op::Shift, RowRef::main(0), RowRef::dummy(0), 8);
+  std::printf("SHIFT : 25 << 1 = %2llu   (%u cycle)\n",
+              (unsigned long long)(macro.sram().row(RowRef::dummy(0)).to_u64() & 0xFF),
+              macro.last_op().cycles);
+
+  std::printf("\nwhole session: %llu cycles, %.2f pJ, %.2f ns at fmax\n",
+              (unsigned long long)macro.total_cycles(), in_pJ(macro.total_energy()),
+              in_ns(macro.cycle_time()) * static_cast<double>(macro.total_cycles()));
+  std::printf("(every op above also processed the other %zu words of its rows in parallel)\n",
+              macro.words_per_row(8) - 1);
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Read-disturb demonstration: why bit-line computing needs protection, and
+// what each scheme costs.
+//
+// Three macros run the same 500 dual-WL compute cycles on complementary
+// data (the worst case for the Fig-1 disturb mechanism):
+//   * full-swing long WL (no protection)  -> wholesale corruption, fast;
+//   * WLUD 0.55 V (conventional assist)   -> rare flips, slow cycles;
+//   * short WL + BL boost (the paper)     -> no flips, fast cycles.
+//
+//   $ ./read_disturb_demo
+
+#include <cstdio>
+
+#include "macro/imc_macro.hpp"
+
+using namespace bpim;
+using array::RowRef;
+using macro::WlScheme;
+
+namespace {
+
+struct Outcome {
+  std::uint64_t flips;
+  double fmax_ghz;
+  bool data_intact;
+};
+
+Outcome stress(WlScheme scheme) {
+  macro::MacroConfig cfg;
+  cfg.wl_scheme = scheme;
+  cfg.inject_disturb = true;
+  cfg.seed = 1234;
+  macro::ImcMacro m(cfg);
+
+  BitVector ones(m.cols());
+  ones.fill(true);
+  const BitVector zeros(m.cols());
+  m.poke_row(0, ones);   // every column holds complementary data: maximum
+  m.poke_row(1, zeros);  // number of disturb victims per compute
+
+  for (int i = 0; i < 500; ++i)
+    m.logic_rows(periph::LogicFn::And, RowRef::main(0), RowRef::main(1));
+
+  return Outcome{m.disturb_flips(), in_GHz(m.fmax()),
+                 m.peek_row(0) == ones && m.peek_row(1) == zeros};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("500 dual-WL compute cycles on fully complementary rows (worst case)\n\n");
+  std::printf("%-28s %-14s %-12s %-12s\n", "scheme", "cell flips", "data intact",
+              "fmax [GHz]");
+
+  const struct {
+    WlScheme scheme;
+    const char* name;
+  } cases[] = {
+      {WlScheme::FullSwingLong, "full-swing long WL"},
+      {WlScheme::Wlud, "WLUD 0.55 V (conventional)"},
+      {WlScheme::ShortPulseBoost, "short WL + BL boost (paper)"},
+  };
+  for (const auto& c : cases) {
+    const Outcome o = stress(c.scheme);
+    std::printf("%-28s %-14llu %-12s %-12.2f\n", c.name, (unsigned long long)o.flips,
+                o.data_intact ? "yes" : "NO", o.fmax_ghz);
+  }
+
+  std::printf(
+      "\nThe unprotected scheme is fast but destroys the operands it reads; WLUD\n"
+      "protects the cells by under-driving the access devices and pays ~4x in\n"
+      "cycle time; the paper's short full-swing pulse plus BL boosting keeps both\n"
+      "the data and the clock frequency.\n");
+  return 0;
+}

@@ -1,0 +1,43 @@
+#include "app/fir.hpp"
+
+#include "common/require.hpp"
+
+namespace bpim::app {
+
+FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits)
+    : taps_(std::move(taps)), bits_(bits) {
+  BPIM_REQUIRE(!taps_.empty(), "filter needs at least one tap");
+  for (const auto t : taps_)
+    BPIM_REQUIRE(fits_signed(t, bits), "tap out of signed range for the precision");
+}
+
+std::vector<std::int64_t> FirFilter::apply(macro::ImcMemory& mem,
+                                           const std::vector<std::int64_t>& x) {
+  SignedVectorOps ops(mem, bits_);
+  stats_ = FirStats{};
+  std::vector<std::int64_t> y(x.size(), 0);
+
+  for (std::size_t k = 0; k < taps_.size(); ++k) {
+    if (taps_[k] == 0) continue;
+    // Tap k multiplies the stream delayed by k against the broadcast tap.
+    std::vector<std::int64_t> delayed(x.size(), 0);
+    for (std::size_t n = k; n < x.size(); ++n) delayed[n] = x[n - k];
+    const std::vector<std::int64_t> tap(x.size(), taps_[k]);
+    const auto partial = ops.mult(delayed, tap);
+    const auto& run = ops.last_run();
+    stats_.macs += x.size();
+    stats_.cycles += run.elapsed_cycles;
+    stats_.energy += run.energy;
+    for (std::size_t n = 0; n < x.size(); ++n) y[n] += partial[n];
+  }
+  return y;
+}
+
+std::vector<std::int64_t> FirFilter::apply_reference(const std::vector<std::int64_t>& x) const {
+  std::vector<std::int64_t> y(x.size(), 0);
+  for (std::size_t n = 0; n < x.size(); ++n)
+    for (std::size_t k = 0; k <= n && k < taps_.size(); ++k) y[n] += taps_[k] * x[n - k];
+  return y;
+}
+
+}  // namespace bpim::app

@@ -1,0 +1,50 @@
+#pragma once
+// FIR filtering on the IMC memory -- the real-time streaming-DSP workload
+// class the paper's introduction cites alongside deep learning.
+//
+//   y[n] = sum_k h[k] * x[n-k]
+//
+// Each tap k is one vectorised in-memory multiply of the (shifted) input
+// stream against the broadcast tap coefficient; the host accumulates the
+// per-tap partial products. Taps and samples are signed (sign-magnitude
+// multiplies, see signed_ops).
+
+#include <cstdint>
+#include <vector>
+
+#include "app/signed_ops.hpp"
+
+namespace bpim::app {
+
+struct FirStats {
+  std::uint64_t macs = 0;
+  std::uint64_t cycles = 0;
+  Joule energy{0.0};
+};
+
+class FirFilter {
+ public:
+  /// `taps` are signed integer coefficients fitting `bits` (two's complement).
+  FirFilter(std::vector<std::int64_t> taps, unsigned bits);
+
+  [[nodiscard]] std::size_t order() const { return taps_.size(); }
+  [[nodiscard]] unsigned bits() const { return bits_; }
+
+  /// Filters `x` (values must fit `bits` signed); returns y of equal length
+  /// (zero-padded history). All multiplies run in-memory.
+  [[nodiscard]] std::vector<std::int64_t> apply(macro::ImcMemory& mem,
+                                                const std::vector<std::int64_t>& x);
+
+  /// Host-only reference implementation.
+  [[nodiscard]] std::vector<std::int64_t> apply_reference(
+      const std::vector<std::int64_t>& x) const;
+
+  [[nodiscard]] const FirStats& last_stats() const { return stats_; }
+
+ private:
+  std::vector<std::int64_t> taps_;
+  unsigned bits_;
+  FirStats stats_{};
+};
+
+}  // namespace bpim::app

@@ -1,0 +1,44 @@
+#include "app/mlp.hpp"
+
+#include "common/require.hpp"
+
+namespace bpim::app {
+
+Mlp::Mlp(std::vector<MlpLayerSpec> layers) {
+  BPIM_REQUIRE(!layers.empty(), "MLP needs at least one layer");
+  std::size_t expected_in = layers.front().weights.front().size();
+  for (auto& spec : layers) {
+    BPIM_REQUIRE(!spec.weights.empty(), "layer has no neurons");
+    BPIM_REQUIRE(spec.weights.front().size() == expected_in,
+                 "layer input size does not match previous layer output");
+    expected_in = spec.weights.size();
+    layers_.emplace_back(spec.weights, spec.bits);
+  }
+}
+
+std::size_t Mlp::in_features() const { return layers_.front().in_features(); }
+std::size_t Mlp::out_features() const { return layers_.back().out_features(); }
+
+std::vector<double> Mlp::forward(macro::ImcMemory& mem, const std::vector<double>& x) {
+  stats_ = LayerStats{};
+  per_layer_.clear();
+  std::vector<double> act = x;
+  for (auto& layer : layers_) {
+    act = layer.forward(mem, act);  // ReLU applied inside the layer
+    const LayerStats& s = layer.last_stats();
+    per_layer_.push_back(s);
+    stats_.macs += s.macs;
+    stats_.cycles += s.cycles;
+    stats_.energy += s.energy;
+    stats_.elapsed += s.elapsed;
+  }
+  return act;
+}
+
+std::vector<double> Mlp::forward_reference(const std::vector<double>& x) const {
+  std::vector<double> act = x;
+  for (const auto& layer : layers_) act = layer.forward_reference(act);
+  return act;
+}
+
+}  // namespace bpim::app

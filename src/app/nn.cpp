@@ -1,0 +1,85 @@
+#include "app/nn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace bpim::app {
+
+Quantized quantize(const std::vector<double>& x, unsigned bits) {
+  BPIM_REQUIRE(!x.empty(), "cannot quantise an empty vector");
+  BPIM_REQUIRE(bits >= 2 && bits <= 32, "quantisation width out of range");
+  double lo = 0.0, hi = 0.0;
+  for (const double v : x) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  // Unsigned codes; negative inputs are clamped (callers pre-shift if they
+  // need signed ranges -- keeps the in-memory arithmetic unsigned like the
+  // paper's datapath).
+  const double levels = static_cast<double>((1ull << bits) - 1);
+  const double scale = hi > 0.0 ? hi / levels : 1.0;
+  Quantized q;
+  q.scale = scale;
+  q.values.reserve(x.size());
+  for (const double v : x) {
+    const double code = std::clamp(std::round(v / scale), 0.0, levels);
+    q.values.push_back(static_cast<std::uint64_t>(code));
+  }
+  return q;
+}
+
+QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsigned bits)
+    : weights_raw_(std::move(weights)), bits_(bits) {
+  BPIM_REQUIRE(!weights_raw_.empty(), "layer needs at least one output neuron");
+  const std::size_t in = weights_raw_.front().size();
+  for (const auto& row : weights_raw_) {
+    BPIM_REQUIRE(row.size() == in, "ragged weight matrix");
+    weights_.push_back(quantize(row, bits));
+  }
+}
+
+std::size_t QuantizedLinear::in_features() const { return weights_raw_.front().size(); }
+
+std::vector<double> QuantizedLinear::forward(macro::ImcMemory& mem,
+                                             const std::vector<double>& x) {
+  BPIM_REQUIRE(x.size() == in_features(), "input size mismatch");
+  const Quantized qx = quantize(x, bits_);
+
+  VectorEngine engine(mem, bits_);
+  stats_ = LayerStats{};
+  std::vector<double> y;
+  y.reserve(out_features());
+
+  for (const auto& w : weights_) {
+    // In-memory products, host-side accumulate (see header).
+    const auto products = engine.mult(w.values, qx.values);
+    std::uint64_t acc = 0;
+    for (const auto p : products) acc += p;
+    const auto& run = engine.last_run();
+    stats_.macs += x.size();
+    stats_.cycles += run.elapsed_cycles;
+    stats_.energy += run.energy;
+    stats_.elapsed += run.elapsed_time;
+    const double real = static_cast<double>(acc) * w.scale * qx.scale;
+    y.push_back(std::max(0.0, real));  // ReLU
+  }
+  return y;
+}
+
+std::vector<double> QuantizedLinear::forward_reference(const std::vector<double>& x) const {
+  BPIM_REQUIRE(x.size() == in_features(), "input size mismatch");
+  const Quantized qx = quantize(x, bits_);
+  std::vector<double> y;
+  y.reserve(out_features());
+  for (const auto& w : weights_) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i)
+      acc += static_cast<double>(w.values[i]) * static_cast<double>(qx.values[i]);
+    y.push_back(std::max(0.0, acc * w.scale * qx.scale));
+  }
+  return y;
+}
+
+}  // namespace bpim::app

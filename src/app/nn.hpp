@@ -1,0 +1,62 @@
+#pragma once
+// Quantised fully-connected layer on the IMC memory -- the machine-learning
+// inference workload the paper's introduction motivates, and the showcase
+// for reconfigurable bit-precision: the same hardware runs 2/4/8-bit
+// weights, trading accuracy for energy (Fig 6's reconfiguration).
+//
+// y_j = act( sum_i W[j][i] * x[i] )
+//
+// Products are computed in-memory (bit-parallel MULT on 2N-bit units);
+// accumulation of the 2N-bit partial products into a wide sum is done by
+// the digital host (the standard macro/accelerator split: the memory
+// supplies multiply bandwidth, the accumulator sits outside the array).
+
+#include <cstdint>
+#include <vector>
+
+#include "app/vector_engine.hpp"
+
+namespace bpim::app {
+
+/// Uniform affine quantisation of a float vector to unsigned `bits` levels.
+struct Quantized {
+  std::vector<std::uint64_t> values;
+  double scale = 1.0;  ///< real = scale * code
+};
+
+[[nodiscard]] Quantized quantize(const std::vector<double>& x, unsigned bits);
+
+struct LayerStats {
+  std::uint64_t macs = 0;
+  std::uint64_t cycles = 0;
+  Joule energy{0.0};
+  Second elapsed{0.0};
+};
+
+/// Fully-connected layer with unsigned quantised weights and activations.
+class QuantizedLinear {
+ public:
+  /// `weights[j]` is the j-th output neuron's weight row.
+  QuantizedLinear(std::vector<std::vector<double>> weights, unsigned bits);
+
+  [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] std::size_t in_features() const;
+  [[nodiscard]] std::size_t out_features() const { return weights_.size(); }
+
+  /// Runs inference on the IMC memory; returns dequantised outputs (ReLU).
+  [[nodiscard]] std::vector<double> forward(macro::ImcMemory& mem,
+                                            const std::vector<double>& x);
+
+  /// Reference (double-precision, same quantised codes) for accuracy checks.
+  [[nodiscard]] std::vector<double> forward_reference(const std::vector<double>& x) const;
+
+  [[nodiscard]] const LayerStats& last_stats() const { return stats_; }
+
+ private:
+  std::vector<std::vector<double>> weights_raw_;
+  std::vector<Quantized> weights_;
+  unsigned bits_;
+  LayerStats stats_{};
+};
+
+}  // namespace bpim::app

@@ -1,0 +1,83 @@
+#include "app/signed_ops.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace bpim::app {
+
+std::uint64_t encode_signed(std::int64_t v, unsigned bits) {
+  BPIM_REQUIRE(bits >= 2 && bits <= 63, "signed width out of range");
+  BPIM_REQUIRE(fits_signed(v, bits), "value out of signed range");
+  const std::uint64_t mask = (1ull << bits) - 1;
+  return static_cast<std::uint64_t>(v) & mask;
+}
+
+std::int64_t decode_signed(std::uint64_t code, unsigned bits) {
+  BPIM_REQUIRE(bits >= 2 && bits <= 63, "signed width out of range");
+  BPIM_REQUIRE(code < (1ull << bits), "code wider than the word");
+  const std::uint64_t sign_bit = 1ull << (bits - 1);
+  if (code & sign_bit) return static_cast<std::int64_t>(code) - (1ll << bits);
+  return static_cast<std::int64_t>(code);
+}
+
+bool fits_signed(std::int64_t v, unsigned bits) {
+  const std::int64_t lo = -(1ll << (bits - 1));
+  const std::int64_t hi = (1ll << (bits - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+namespace {
+
+std::vector<std::uint64_t> encode_all(const std::vector<std::int64_t>& v, unsigned bits) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size());
+  for (const auto x : v) out.push_back(encode_signed(x, bits));
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> SignedVectorOps::add(const std::vector<std::int64_t>& a,
+                                               const std::vector<std::int64_t>& b) {
+  const auto codes = engine_.add(encode_all(a, bits_), encode_all(b, bits_));
+  std::vector<std::int64_t> out;
+  out.reserve(codes.size());
+  for (const auto c : codes) out.push_back(decode_signed(c, bits_));
+  return out;
+}
+
+std::vector<std::int64_t> SignedVectorOps::sub(const std::vector<std::int64_t>& a,
+                                               const std::vector<std::int64_t>& b) {
+  const auto codes = engine_.sub(encode_all(a, bits_), encode_all(b, bits_));
+  std::vector<std::int64_t> out;
+  out.reserve(codes.size());
+  for (const auto c : codes) out.push_back(decode_signed(c, bits_));
+  return out;
+}
+
+std::vector<std::int64_t> SignedVectorOps::mult(const std::vector<std::int64_t>& a,
+                                                const std::vector<std::int64_t>& b) {
+  BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
+  // In-memory magnitudes (the heavy work); host-side sign bookkeeping.
+  std::vector<std::uint64_t> ma, mb;
+  ma.reserve(a.size());
+  mb.reserve(b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    BPIM_REQUIRE(fits_signed(a[i], bits_) && fits_signed(b[i], bits_),
+                 "value out of signed range");
+    ma.push_back(static_cast<std::uint64_t>(std::llabs(a[i])));
+    mb.push_back(static_cast<std::uint64_t>(std::llabs(b[i])));
+  }
+  const auto mags = engine_.mult(ma, mb);
+  std::vector<std::int64_t> out;
+  out.reserve(mags.size());
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    const bool neg = (a[i] < 0) != (b[i] < 0);
+    out.push_back(neg ? -static_cast<std::int64_t>(mags[i])
+                      : static_cast<std::int64_t>(mags[i]));
+  }
+  return out;
+}
+
+}  // namespace bpim::app

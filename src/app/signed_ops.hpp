@@ -1,0 +1,46 @@
+#pragma once
+// Signed arithmetic on top of the unsigned in-memory datapath.
+//
+// The macro's ADD/SUB are two's-complement-exact at word width, so signed
+// add/sub only need encode/decode. MULT is unsigned hardware (Fig 5), so
+// signed multiplies run sign-magnitude: the memory multiplies |a|*|b| (the
+// bandwidth-heavy part) and the host applies the sign -- the same
+// memory/host split the paper's macro implies for ML inference with signed
+// weights.
+
+#include <cstdint>
+#include <vector>
+
+#include "app/vector_engine.hpp"
+
+namespace bpim::app {
+
+/// Two's-complement encode into an unsigned `bits`-wide code.
+[[nodiscard]] std::uint64_t encode_signed(std::int64_t v, unsigned bits);
+/// Two's-complement decode of a `bits`-wide code.
+[[nodiscard]] std::int64_t decode_signed(std::uint64_t code, unsigned bits);
+
+/// Valid signed range of a `bits`-wide word: [-2^(bits-1), 2^(bits-1)-1].
+[[nodiscard]] bool fits_signed(std::int64_t v, unsigned bits);
+
+/// Element-wise signed operations executed on the IMC memory.
+class SignedVectorOps {
+ public:
+  SignedVectorOps(macro::ImcMemory& mem, unsigned bits) : engine_(mem, bits), bits_(bits) {}
+
+  [[nodiscard]] std::vector<std::int64_t> add(const std::vector<std::int64_t>& a,
+                                              const std::vector<std::int64_t>& b);
+  [[nodiscard]] std::vector<std::int64_t> sub(const std::vector<std::int64_t>& a,
+                                              const std::vector<std::int64_t>& b);
+  /// Sign-magnitude multiply: in-memory unsigned |a|*|b|, host-applied sign.
+  [[nodiscard]] std::vector<std::int64_t> mult(const std::vector<std::int64_t>& a,
+                                               const std::vector<std::int64_t>& b);
+
+  [[nodiscard]] const RunStats& last_run() const { return engine_.last_run(); }
+
+ private:
+  VectorEngine engine_;
+  unsigned bits_;
+};
+
+}  // namespace bpim::app

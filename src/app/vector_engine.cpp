@@ -1,0 +1,124 @@
+#include "app/vector_engine.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace bpim::app {
+
+using array::RowRef;
+
+VectorEngine::VectorEngine(macro::ImcMemory& memory, unsigned bits)
+    : mem_(memory), bits_(bits) {
+  BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
+}
+
+std::size_t VectorEngine::words_per_row() const { return mem_.macro(0).words_per_row(bits_); }
+
+std::size_t VectorEngine::mult_units_per_row() const {
+  return mem_.macro(0).mult_units_per_row(bits_);
+}
+
+std::size_t VectorEngine::layer_capacity() const {
+  return words_per_row() * mem_.macro_count();
+}
+
+template <class PerMacroOp, class Extract>
+std::vector<std::uint64_t> VectorEngine::run(const std::vector<std::uint64_t>& a,
+                                             const std::vector<std::uint64_t>& b,
+                                             std::size_t per_op, bool mult_layout, PerMacroOp op,
+                                             Extract extract) {
+  BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
+  mem_.reset_counters();
+
+  std::vector<std::uint64_t> out;
+  out.reserve(a.size());
+  const std::size_t macros = mem_.macro_count();
+  const std::size_t chunk = per_op;  // elements per macro op (one row pair)
+
+  std::size_t pos = 0;
+  std::size_t row_pair = 0;
+  while (pos < a.size()) {
+    // One lock-step layer: every macro gets (up to) one row-pair of work.
+    for (std::size_t m = 0; m < macros && pos < a.size(); ++m) {
+      auto& mac = mem_.macro(m);
+      const std::size_t r_a = 2 * row_pair;
+      const std::size_t r_b = 2 * row_pair + 1;
+      BPIM_REQUIRE(r_b < mac.rows(), "vector exceeds memory capacity");
+      const std::size_t n = std::min(chunk, a.size() - pos);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mult_layout) {
+          mac.poke_mult_operand(r_a, i, bits_, a[pos + i]);
+          mac.poke_mult_operand(r_b, i, bits_, b[pos + i]);
+        } else {
+          mac.poke_word(r_a, i, bits_, a[pos + i]);
+          mac.poke_word(r_b, i, bits_, b[pos + i]);
+        }
+      }
+      const BitVector result = op(mac, RowRef::main(r_a), RowRef::main(r_b));
+      for (std::size_t i = 0; i < n; ++i) out.push_back(extract(mac, result, i));
+      pos += n;
+    }
+    ++row_pair;
+  }
+
+  last_ = RunStats{};
+  last_.elements = a.size();
+  last_.elapsed_cycles = mem_.elapsed_cycles();
+  last_.energy = mem_.total_energy();
+  last_.elapsed_time = Second(static_cast<double>(last_.elapsed_cycles) *
+                              mem_.macro(0).cycle_time().si());
+  return out;
+}
+
+std::vector<std::uint64_t> VectorEngine::add(const std::vector<std::uint64_t>& a,
+                                             const std::vector<std::uint64_t>& b) {
+  return run(
+      a, b, words_per_row(), false,
+      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.add_rows(ra, rb, bits_); },
+      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < bits_; ++i)
+          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
+        return v;
+      });
+}
+
+std::vector<std::uint64_t> VectorEngine::sub(const std::vector<std::uint64_t>& a,
+                                             const std::vector<std::uint64_t>& b) {
+  return run(
+      a, b, words_per_row(), false,
+      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.sub_rows(ra, rb, bits_); },
+      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < bits_; ++i)
+          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
+        return v;
+      });
+}
+
+std::vector<std::uint64_t> VectorEngine::mult(const std::vector<std::uint64_t>& a,
+                                              const std::vector<std::uint64_t>& b) {
+  return run(
+      a, b, mult_units_per_row(), true,
+      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.mult_rows(ra, rb, bits_); },
+      [&](const macro::ImcMacro& m, const BitVector& row, std::size_t u) {
+        return m.peek_mult_product(row, u, bits_);
+      });
+}
+
+std::vector<std::uint64_t> VectorEngine::logic(periph::LogicFn fn,
+                                               const std::vector<std::uint64_t>& a,
+                                               const std::vector<std::uint64_t>& b) {
+  return run(
+      a, b, words_per_row(), false,
+      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.logic_rows(fn, ra, rb); },
+      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
+        std::uint64_t v = 0;
+        for (unsigned i = 0; i < bits_; ++i)
+          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
+        return v;
+      });
+}
+
+}  // namespace bpim::app

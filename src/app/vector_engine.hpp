@@ -1,0 +1,72 @@
+#pragma once
+// Element-wise vector operations over the IMC memory.
+//
+// The engine tiles a vector across macros (data-parallel) and across row
+// pairs within each macro (time-multiplexed): each macro-level operation
+// processes all cols/N words of one row pair per Table-1 cycle count. This
+// is the word-parallelism the paper's Fig 9 sweeps against the bit-serial
+// baseline.
+//
+// Layout per chunk: operand A in row 2k, operand B in row 2k+1 of the same
+// macro (dual-WL operands must share columns). MULT uses the 2N-bit unit
+// layout (operands in unit low halves).
+
+#include <cstdint>
+#include <vector>
+
+#include "macro/memory.hpp"
+
+namespace bpim::app {
+
+struct RunStats {
+  std::uint64_t elements = 0;
+  std::uint64_t elapsed_cycles = 0;  ///< lock-step across macros (max)
+  Joule energy{0.0};
+  Second elapsed_time{0.0};
+
+  [[nodiscard]] double cycles_per_element() const {
+    return elements == 0 ? 0.0
+                         : static_cast<double>(elapsed_cycles) / static_cast<double>(elements);
+  }
+  [[nodiscard]] Joule energy_per_element() const {
+    return elements == 0 ? Joule(0.0) : Joule(energy.si() / static_cast<double>(elements));
+  }
+};
+
+class VectorEngine {
+ public:
+  VectorEngine(macro::ImcMemory& memory, unsigned bits);
+
+  [[nodiscard]] unsigned bits() const { return bits_; }
+  /// Elements processed by one macro op (one row pair).
+  [[nodiscard]] std::size_t words_per_row() const;
+  [[nodiscard]] std::size_t mult_units_per_row() const;
+  /// Max elements resident at once across all macros (one row-pair layer).
+  [[nodiscard]] std::size_t layer_capacity() const;
+
+  // Element-wise c = a (op) b. Values must fit `bits`; MULT returns 2N-bit
+  // products. Sizes of a and b must match.
+  [[nodiscard]] std::vector<std::uint64_t> add(const std::vector<std::uint64_t>& a,
+                                               const std::vector<std::uint64_t>& b);
+  [[nodiscard]] std::vector<std::uint64_t> sub(const std::vector<std::uint64_t>& a,
+                                               const std::vector<std::uint64_t>& b);
+  [[nodiscard]] std::vector<std::uint64_t> mult(const std::vector<std::uint64_t>& a,
+                                                const std::vector<std::uint64_t>& b);
+  [[nodiscard]] std::vector<std::uint64_t> logic(periph::LogicFn fn,
+                                                 const std::vector<std::uint64_t>& a,
+                                                 const std::vector<std::uint64_t>& b);
+
+  [[nodiscard]] const RunStats& last_run() const { return last_; }
+
+ private:
+  template <class PerMacroOp, class Extract>
+  std::vector<std::uint64_t> run(const std::vector<std::uint64_t>& a,
+                                 const std::vector<std::uint64_t>& b, std::size_t per_op,
+                                 bool mult_layout, PerMacroOp op, Extract extract);
+
+  macro::ImcMemory& mem_;
+  unsigned bits_;
+  RunStats last_{};
+};
+
+}  // namespace bpim::app

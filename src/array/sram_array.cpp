@@ -1,0 +1,66 @@
+#include "array/sram_array.hpp"
+
+namespace bpim::array {
+
+SramArray::SramArray(const ArrayGeometry& g) : geom_(g) {
+  BPIM_REQUIRE(g.rows > 0 && g.cols > 0, "array must be non-empty");
+  BPIM_REQUIRE(g.interleave > 0 && g.cols % g.interleave == 0,
+               "columns must be a multiple of the interleave factor");
+  main_.assign(g.rows, BitVector(g.cols));
+  dummy_.assign(g.dummy_rows, BitVector(g.cols));
+}
+
+const BitVector& SramArray::row(RowRef r) const {
+  if (r.kind == RowRef::Kind::Main) {
+    BPIM_REQUIRE(r.index < main_.size(), "main row out of range");
+    return main_[r.index];
+  }
+  BPIM_REQUIRE(r.index < dummy_.size(), "dummy row out of range");
+  return dummy_[r.index];
+}
+
+void SramArray::write_row(RowRef r, const BitVector& data) {
+  BPIM_REQUIRE(data.size() == geom_.cols, "row width mismatch");
+  if (r.kind == RowRef::Kind::Main) {
+    BPIM_REQUIRE(r.index < main_.size(), "main row out of range");
+    main_[r.index] = data;
+  } else {
+    BPIM_REQUIRE(r.index < dummy_.size(), "dummy row out of range");
+    dummy_[r.index] = data;
+  }
+}
+
+void SramArray::set(RowRef r, std::size_t col, bool v) {
+  BPIM_REQUIRE(col < geom_.cols, "column out of range");
+  auto& target = (r.kind == RowRef::Kind::Main) ? main_ : dummy_;
+  BPIM_REQUIRE(r.index < target.size(), "row out of range");
+  target[r.index].set(col, v);
+}
+
+void SramArray::check_access(RowRef r) const {
+  // While the separator is open, only same-segment WL pairs share a BL; a
+  // cross-segment dual access cannot produce a valid wired-AND result.
+  (void)r;
+}
+
+BlReadout SramArray::compute_dual(RowRef a, RowRef b) const {
+  BPIM_REQUIRE(!(a == b), "dual-WL compute needs two distinct rows");
+  if (separated_) {
+    BPIM_REQUIRE(a.is_dummy() == b.is_dummy(),
+                 "cross-segment dual-WL access while BL separator is open");
+  }
+  const BitVector& ra = row(a);
+  const BitVector& rb = row(b);
+  return BlReadout{ra & rb, ~(ra | rb)};
+}
+
+BlReadout SramArray::read_single(RowRef r) const {
+  const BitVector& data = row(r);
+  return BlReadout{data, ~data};
+}
+
+std::size_t SramArray::toggle_count(RowRef r, const BitVector& incoming) const {
+  return (row(r) ^ incoming).popcount();
+}
+
+}  // namespace bpim::array

@@ -1,0 +1,139 @@
+#include "baseline/bitserial.hpp"
+
+#include "common/require.hpp"
+
+namespace bpim::baseline {
+
+BitSerialMacro::BitSerialMacro(const BitSerialConfig& cfg) : cfg_(cfg) {
+  BPIM_REQUIRE(cfg.rows > 0 && cfg.cols > 0, "array must be non-empty");
+  BPIM_REQUIRE(cfg.interleave > 0 && cfg.cols % cfg.interleave == 0,
+               "columns must be a multiple of the interleave factor");
+  rows_.assign(cfg.rows, BitVector(cfg.cols));
+}
+
+std::size_t BitSerialMacro::column_of(std::size_t e) const {
+  BPIM_REQUIRE(e < alus(), "element index exceeds ALU count");
+  return e * cfg_.interleave;  // one active column per 4:1 group
+}
+
+bool BitSerialMacro::get_bit(std::size_t e, std::size_t row) const {
+  BPIM_REQUIRE(row < cfg_.rows, "row out of range");
+  return rows_[row].get(column_of(e));
+}
+
+void BitSerialMacro::set_bit(std::size_t e, std::size_t row, bool v) {
+  BPIM_REQUIRE(row < cfg_.rows, "row out of range");
+  rows_[row].set(column_of(e), v);
+}
+
+void BitSerialMacro::poke_element(std::size_t e, std::size_t base_row, unsigned bits,
+                                  std::uint64_t value) {
+  BPIM_REQUIRE(base_row + bits <= cfg_.rows, "element does not fit below base row");
+  for (unsigned i = 0; i < bits; ++i) set_bit(e, base_row + i, (value >> i) & 1u);
+}
+
+std::uint64_t BitSerialMacro::peek_element(std::size_t e, std::size_t base_row,
+                                           unsigned bits) const {
+  BPIM_REQUIRE(base_row + bits <= cfg_.rows, "element does not fit below base row");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits; ++i)
+    v |= static_cast<std::uint64_t>(get_bit(e, base_row + i)) << i;
+  return v;
+}
+
+void BitSerialMacro::charge(unsigned cycles, std::size_t elements) {
+  cycles_ += cycles;
+  const double scale = (cfg_.vdd.si() / 0.9) * (cfg_.vdd.si() / 0.9);
+  energy_ += Joule(cfg_.cycle_energy_fj * 1e-15 * scale * static_cast<double>(cycles) *
+                   static_cast<double>(elements));
+}
+
+Joule BitSerialMacro::op_energy(unsigned cycles, Volt vdd) const {
+  const double scale = (vdd.si() / 0.9) * (vdd.si() / 0.9);
+  return Joule(cfg_.cycle_energy_fj * 1e-15 * scale * static_cast<double>(cycles));
+}
+
+void BitSerialMacro::reset_counters() {
+  cycles_ = 0;
+  energy_ = Joule(0.0);
+}
+
+void BitSerialMacro::logic(SerialLogicFn fn, std::size_t base_a, std::size_t base_b,
+                           std::size_t base_d, unsigned bits, std::size_t elements) {
+  BPIM_REQUIRE(elements <= alus(), "more elements than column ALUs");
+  for (std::size_t e = 0; e < elements; ++e) {
+    for (unsigned i = 0; i < bits; ++i) {  // one bit slice per cycle
+      const bool a = get_bit(e, base_a + i);
+      const bool b = get_bit(e, base_b + i);
+      bool r = false;
+      switch (fn) {
+        case SerialLogicFn::And: r = a && b; break;
+        case SerialLogicFn::Or: r = a || b; break;
+        case SerialLogicFn::Xor: r = a != b; break;
+      }
+      set_bit(e, base_d + i, r);
+    }
+  }
+  charge(logic_cycles(bits), elements);
+}
+
+void BitSerialMacro::add(std::size_t base_a, std::size_t base_b, std::size_t base_d,
+                         unsigned bits, std::size_t elements) {
+  BPIM_REQUIRE(elements <= alus(), "more elements than column ALUs");
+  for (std::size_t e = 0; e < elements; ++e) {
+    bool c = false;  // carry latch, initialised in the extra cycle
+    for (unsigned i = 0; i < bits; ++i) {
+      const bool a = get_bit(e, base_a + i);
+      const bool b = get_bit(e, base_b + i);
+      set_bit(e, base_d + i, a ^ b ^ c);
+      c = (a && b) || (c && (a || b));
+    }
+  }
+  charge(add_cycles(bits), elements);
+}
+
+void BitSerialMacro::sub(std::size_t base_a, std::size_t base_b, std::size_t base_d,
+                         unsigned bits, std::size_t elements) {
+  BPIM_REQUIRE(elements <= alus(), "more elements than column ALUs");
+  for (std::size_t e = 0; e < elements; ++e) {
+    bool c = true;  // two's complement carry-in
+    for (unsigned i = 0; i < bits; ++i) {
+      const bool a = get_bit(e, base_a + i);
+      const bool b = !get_bit(e, base_b + i);  // invert on the fly
+      set_bit(e, base_d + i, a ^ b ^ c);
+      c = (a && b) || (c && (a || b));
+    }
+  }
+  charge(sub_cycles(bits), elements);
+}
+
+void BitSerialMacro::mult(std::size_t base_a, std::size_t base_b, std::size_t base_d,
+                          unsigned bits, std::size_t elements) {
+  BPIM_REQUIRE(elements <= alus(), "more elements than column ALUs");
+  BPIM_REQUIRE(base_d + 2 * bits <= cfg_.rows, "product does not fit below base row");
+  for (std::size_t e = 0; e < elements; ++e) {
+    // Zero the accumulator rows, then per multiplier bit: load the predicate
+    // mask (1 cycle) and run a predicated add of A into the accumulator at
+    // the shifted position ((N+1) cycles) -- the N*(N+2) bit-serial flow.
+    for (unsigned i = 0; i < 2 * bits; ++i) set_bit(e, base_d + i, false);
+    for (unsigned i = 0; i < bits; ++i) {
+      if (!get_bit(e, base_b + i)) continue;  // predicated off: cycles still spent
+      bool c = false;
+      for (unsigned j = 0; j < bits; ++j) {
+        const bool a = get_bit(e, base_a + j);
+        const bool acc = get_bit(e, base_d + i + j);
+        set_bit(e, base_d + i + j, a ^ acc ^ c);
+        c = (a && acc) || (c && (a || acc));
+      }
+      // Carry ripple-out into the remaining accumulator bits.
+      for (unsigned j = i + bits; c && j < 2 * bits; ++j) {
+        const bool acc = get_bit(e, base_d + j);
+        set_bit(e, base_d + j, acc != c);
+        c = acc && c;
+      }
+    }
+  }
+  charge(mult_cycles(bits), elements);
+}
+
+}  // namespace bpim::baseline

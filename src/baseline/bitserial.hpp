@@ -1,0 +1,99 @@
+#pragma once
+// Conventional bit-serial IMC baseline (the paper's main comparison point,
+// modelled on the 28 nm compute-SRAM of [2], JSSC'19).
+//
+// Data is stored *transposed*: an N-bit element occupies N consecutive rows
+// of one column, and one bit-serial ALU at the bottom of each (4:1
+// interleaved) column group processes one bit slice per cycle with a carry
+// latch. Cycle costs follow the bit-serial algebra:
+//
+//   logic            N cycles          (one slice per cycle)
+//   ADD              N + 1             (carry init + N slices)
+//   SUB              N + 2             (invert-on-the-fly + cin + slices)
+//   MULT             N * (N + 2)       (per multiplier bit: mask load +
+//                                       predicated (N+1)-cycle add into the
+//                                       shifted accumulator) ~ the N^2
+//                                       scaling the paper quotes for [2]
+//
+// Parallelism is fixed by the column-ALU organisation (cols / interleave;
+// 64 for the native 256-column, 4:1 configuration of [2]) -- the crucial
+// contrast with the proposed bit-parallel macro whose word parallelism
+// grows with the row width (Fig 9).
+//
+// Energy: one flat per-ALU-per-cycle price calibrated against the published
+// TOPS/W of [2] (ADD 5.27 / MULT 0.56 at 0.6 V), quadratic supply scaling.
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/units.hpp"
+
+namespace bpim::baseline {
+
+struct BitSerialConfig {
+  std::size_t rows = 128;
+  std::size_t cols = 256;
+  std::size_t interleave = 4;
+  Volt vdd{0.9};
+  /// Per-ALU per-cycle energy at 0.9 V (BL access + sense + serial ALU +
+  /// write-back of one slice). 47.4 fJ reproduces [2]'s ADD 5.27 TOPS/W.
+  double cycle_energy_fj = 47.4;
+};
+
+enum class SerialLogicFn { And, Or, Xor };
+
+class BitSerialMacro {
+ public:
+  explicit BitSerialMacro(const BitSerialConfig& cfg = {});
+
+  [[nodiscard]] const BitSerialConfig& config() const { return cfg_; }
+  /// Number of column ALUs = element-level parallelism.
+  [[nodiscard]] std::size_t alus() const { return cfg_.cols / cfg_.interleave; }
+
+  // ---- transposed storage access (uncharged setup) -----------------------
+  /// Element `e` (one per ALU), bits stored at rows [base, base+bits).
+  void poke_element(std::size_t e, std::size_t base_row, unsigned bits, std::uint64_t value);
+  [[nodiscard]] std::uint64_t peek_element(std::size_t e, std::size_t base_row,
+                                           unsigned bits) const;
+
+  // ---- vector operations over `elements` (<= alus()) ---------------------
+  void logic(SerialLogicFn fn, std::size_t base_a, std::size_t base_b, std::size_t base_d,
+             unsigned bits, std::size_t elements);
+  void add(std::size_t base_a, std::size_t base_b, std::size_t base_d, unsigned bits,
+           std::size_t elements);
+  /// d = a - b (two's complement, bit-serial invert + carry-in).
+  void sub(std::size_t base_a, std::size_t base_b, std::size_t base_d, unsigned bits,
+           std::size_t elements);
+  /// d = a * b; product occupies 2*bits rows at base_d.
+  void mult(std::size_t base_a, std::size_t base_b, std::size_t base_d, unsigned bits,
+            std::size_t elements);
+
+  // ---- published cycle formulas (used for costing and asserted against
+  //      the functional implementation in tests) ---------------------------
+  [[nodiscard]] static unsigned logic_cycles(unsigned bits) { return bits; }
+  [[nodiscard]] static unsigned add_cycles(unsigned bits) { return bits + 1; }
+  [[nodiscard]] static unsigned sub_cycles(unsigned bits) { return bits + 2; }
+  [[nodiscard]] static unsigned mult_cycles(unsigned bits) { return bits * (bits + 2); }
+
+  // ---- accounting ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t total_cycles() const { return cycles_; }
+  [[nodiscard]] Joule total_energy() const { return energy_; }
+  void reset_counters();
+
+  /// Energy of one element-op from the calibrated per-cycle price.
+  [[nodiscard]] Joule op_energy(unsigned cycles, Volt vdd) const;
+
+ private:
+  [[nodiscard]] std::size_t column_of(std::size_t e) const;
+  void charge(unsigned cycles, std::size_t elements);
+  bool get_bit(std::size_t e, std::size_t row) const;
+  void set_bit(std::size_t e, std::size_t row, bool v);
+
+  BitSerialConfig cfg_;
+  std::vector<BitVector> rows_;
+  std::uint64_t cycles_ = 0;
+  Joule energy_{0.0};
+};
+
+}  // namespace bpim::baseline

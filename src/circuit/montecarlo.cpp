@@ -1,0 +1,34 @@
+#include "circuit/montecarlo.hpp"
+
+#include <cmath>
+
+namespace bpim::circuit {
+
+SampleSet monte_carlo_metric(const std::function<double(Rng&)>& model, std::size_t trials,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  SampleSet out;
+  out.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) out.add(model(rng));
+  return out;
+}
+
+double FailureRateResult::rate_upper95() const {
+  if (trials == 0) return 1.0;
+  const double n = static_cast<double>(trials);
+  if (failures == 0) return 3.0 / n;  // "rule of three"
+  const double p = rate();
+  return p + 1.645 * std::sqrt(p * (1.0 - p) / n);
+}
+
+FailureRateResult monte_carlo_failure(const std::function<bool(Rng&)>& model, std::size_t trials,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  FailureRateResult out;
+  out.trials = trials;
+  for (std::size_t i = 0; i < trials; ++i)
+    if (model(rng)) ++out.failures;
+  return out;
+}
+
+}  // namespace bpim::circuit

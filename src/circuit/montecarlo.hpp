@@ -1,0 +1,33 @@
+#pragma once
+// Monte-Carlo driver: runs a per-sample model under mismatch and collects
+// either a metric distribution (delay histograms, Fig 2) or a failure rate
+// (access-disturb margin, 2.5e-5 target).
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace bpim::circuit {
+
+/// Distribution of a scalar metric over `trials` mismatch samples.
+/// `model` draws its own device deltas from the Rng and returns the metric.
+[[nodiscard]] SampleSet monte_carlo_metric(const std::function<double(Rng&)>& model,
+                                           std::size_t trials, std::uint64_t seed);
+
+struct FailureRateResult {
+  std::size_t trials = 0;
+  std::size_t failures = 0;
+  [[nodiscard]] double rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(failures) / static_cast<double>(trials);
+  }
+  /// 95% upper Clopper-ish bound (normal approx, floored at 3/N for 0 fails).
+  [[nodiscard]] double rate_upper95() const;
+};
+
+/// Failure rate of a boolean predicate over `trials` mismatch samples.
+[[nodiscard]] FailureRateResult monte_carlo_failure(const std::function<bool(Rng&)>& model,
+                                                    std::size_t trials, std::uint64_t seed);
+
+}  // namespace bpim::circuit

@@ -1,0 +1,39 @@
+#include "circuit/process.hpp"
+
+namespace bpim::circuit {
+
+const char* to_string(Corner c) {
+  switch (c) {
+    case Corner::SS: return "SS";
+    case Corner::SF: return "SF";
+    case Corner::NN: return "NN";
+    case Corner::FS: return "FS";
+    case Corner::FF: return "FF";
+  }
+  return "??";
+}
+
+const ProcessParams& default_process() {
+  static const ProcessParams params{};
+  return params;
+}
+
+int corner_sign(Corner c, DeviceKind kind) {
+  // Corner naming is NMOS-first: SF = slow NMOS, fast PMOS.
+  switch (c) {
+    case Corner::NN: return 0;
+    case Corner::SS: return +1;
+    case Corner::FF: return -1;
+    case Corner::SF: return kind == DeviceKind::Nmos ? +1 : -1;
+    case Corner::FS: return kind == DeviceKind::Nmos ? -1 : +1;
+  }
+  return 0;
+}
+
+Volt thermal_voltage(double temp_c) {
+  constexpr double k_boltzmann = 1.380649e-23;
+  constexpr double q_electron = 1.602177e-19;
+  return Volt(k_boltzmann * (temp_c + 273.15) / q_electron);
+}
+
+}  // namespace bpim::circuit

@@ -1,0 +1,85 @@
+#pragma once
+// 28 nm-class process description: corners, operating point, and the global
+// device parameters every behavioural model draws from.
+//
+// This is a *behavioural* stand-in for a PDK. Numbers are generic 28 nm HKMG
+// textbook values; the paper-facing results are either calibrated to the
+// paper's anchors (see energy/ and timing/freq_model) or reported as shape
+// comparisons (distributions, corner ratios).
+
+#include <array>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace bpim::circuit {
+
+/// Process corner, named NMOS-first: FS = fast NMOS / slow PMOS.
+enum class Corner { SS, SF, NN, FS, FF };
+
+[[nodiscard]] const char* to_string(Corner c);
+
+/// All five corners in the order the paper plots them (Fig. 7a).
+inline constexpr std::array<Corner, 5> kAllCorners{Corner::SF, Corner::SS, Corner::NN,
+                                                   Corner::FS, Corner::FF};
+
+enum class DeviceKind { Nmos, Pmos };
+enum class VtFlavor { Regular, LowVt };
+
+/// Global supply / temperature / corner context for a simulation.
+struct OperatingPoint {
+  Volt vdd{0.9};
+  double temp_c = 25.0;
+  Corner corner = Corner::NN;
+};
+
+/// Static process parameters (NN, 25 C) plus corner/temperature modifiers.
+struct ProcessParams {
+  // Nominal threshold voltages.
+  Volt vth_n{0.42};
+  Volt vth_p{0.44};
+  /// LVT devices sit ~110 mV below regular Vt (used by the BL booster).
+  Volt lvt_offset{0.11};
+
+  /// Saturation transconductance at 1 V overdrive for a 1 um wide device.
+  /// (alpha-power-law k in I = k * W * (Vgs-Vth)^alpha).
+  double kp_n_a_per_um = 5.5e-4;
+  double kp_p_a_per_um = 2.6e-4;
+
+  /// Velocity-saturation exponent (Sakurai-Newton alpha, 28 nm short channel).
+  double alpha_n = 1.28;
+  double alpha_p = 1.35;
+
+  /// Vdsat = vdsat_frac * (Vgs - Vth).
+  double vdsat_frac = 0.82;
+
+  /// Subthreshold slope factor n (swing = n * kT/q * ln10) and leak floor.
+  double subvt_n_factor = 1.45;
+  double ioff_a_per_um = 1.5e-9;
+
+  /// Corner Vth shift magnitude (applied +/- per corner and device kind).
+  Volt corner_vth_shift{0.045};
+  /// Corner transconductance multiplier (fast = *1.08, slow = /1.08).
+  double corner_kp_factor = 1.08;
+
+  /// Vth temperature coefficient (V/K, negative: Vth drops when hot).
+  double vth_tempco_v_per_k = -0.9e-3;
+  /// Mobility degradation with temperature: kp *= (T/T0)^mobility_temp_exp.
+  double mobility_temp_exp = -1.35;
+
+  /// Pelgrom mismatch coefficient: sigma_Vth = avt / sqrt(W*L) (V*um).
+  double avt_v_um = 1.6e-3;
+  /// Drawn channel length (um) used in the Pelgrom denominator.
+  double lmin_um = 0.030;
+};
+
+/// Default parameter set shared by the whole repository.
+[[nodiscard]] const ProcessParams& default_process();
+
+/// Signed corner direction for a device kind: +1 = slow (higher Vt), -1 = fast.
+[[nodiscard]] int corner_sign(Corner c, DeviceKind kind);
+
+/// Thermal voltage kT/q at the operating temperature.
+[[nodiscard]] Volt thermal_voltage(double temp_c);
+
+}  // namespace bpim::circuit

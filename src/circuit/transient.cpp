@@ -1,0 +1,38 @@
+#include "circuit/transient.hpp"
+
+namespace bpim::circuit {
+
+Volt Waveform::at(Second t) const {
+  if (points_.empty()) return Volt(0.0);
+  const double x = t.si();
+  if (x <= points_.front().first) return Volt(points_.front().second);
+  if (x >= points_.back().first) return Volt(points_.back().second);
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (x <= points_[i].first) {
+      const auto& [t0, v0] = points_[i - 1];
+      const auto& [t1, v1] = points_[i];
+      if (t1 == t0) return Volt(v1);
+      const double frac = (x - t0) / (t1 - t0);
+      return Volt(v0 + frac * (v1 - v0));
+    }
+  }
+  return Volt(points_.back().second);
+}
+
+Waveform Waveform::pulse(Second t0, Second width, Volt level, Second rise, Second fall) {
+  Waveform w;
+  w.add_point(Second(0.0), Volt(0.0));
+  w.add_point(t0, Volt(0.0));
+  w.add_point(t0 + rise, level);
+  w.add_point(t0 + rise + width, level);
+  w.add_point(t0 + rise + width + fall, Volt(0.0));
+  return w;
+}
+
+Waveform Waveform::constant(Volt level) {
+  Waveform w;
+  w.add_point(Second(0.0), level);
+  return w;
+}
+
+}  // namespace bpim::circuit

@@ -1,0 +1,128 @@
+#pragma once
+// Dynamic bit vector used for SRAM row contents and operand words.
+//
+// The functional simulator is bit-exact: every row of the array and every
+// peripheral latch is a BitVector. Bit 0 is the least significant bit of the
+// word it encodes.
+
+#include <cstdint>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace bpim {
+
+class Rng;
+
+class BitVector {
+ public:
+  BitVector() = default;
+  /// All-zero vector of `size` bits.
+  explicit BitVector(std::size_t size) : size_(size), words_((size + 63) / 64, 0) {}
+  /// Vector of `size` bits initialised from the low bits of `value`.
+  BitVector(std::size_t size, std::uint64_t value) : BitVector(size) {
+    BPIM_REQUIRE(size >= 64 || value < (1ull << size), "value does not fit in size bits");
+    if (!words_.empty()) words_[0] = value;
+    trim();
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+  [[nodiscard]] bool get(std::size_t i) const {
+    BPIM_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+
+  void set(std::size_t i, bool v) {
+    BPIM_REQUIRE(i < size_, "bit index out of range");
+    const std::uint64_t mask = 1ull << (i % 64);
+    if (v)
+      words_[i / 64] |= mask;
+    else
+      words_[i / 64] &= ~mask;
+  }
+
+  void fill(bool v) {
+    for (auto& w : words_) w = v ? ~0ull : 0ull;
+    trim();
+  }
+
+  void randomize(Rng& rng);
+
+  /// Low 64 bits as an integer (vector may be shorter than 64 bits).
+  [[nodiscard]] std::uint64_t to_u64() const {
+    return words_.empty() ? 0 : words_[0];
+  }
+
+  /// Bits [pos, pos+len) as a new vector. len may run past the end
+  /// conceptually only if pos+len <= size.
+  [[nodiscard]] BitVector slice(std::size_t pos, std::size_t len) const {
+    BPIM_REQUIRE(pos + len <= size_, "slice out of range");
+    BitVector out(len);
+    for (std::size_t i = 0; i < len; ++i) out.set(i, get(pos + i));
+    return out;
+  }
+
+  /// Overwrites bits [pos, pos+src.size()) with src.
+  void patch(std::size_t pos, const BitVector& src) {
+    BPIM_REQUIRE(pos + src.size() <= size_, "patch out of range");
+    for (std::size_t i = 0; i < src.size(); ++i) set(pos + i, src.get(i));
+  }
+
+  /// Logical shift left by one (bit i+1 <- bit i, bit 0 <- 0), in place.
+  void shl1() {
+    bool carry = false;
+    for (auto& w : words_) {
+      const bool next_carry = (w >> 63) & 1u;
+      w = (w << 1) | (carry ? 1u : 0u);
+      carry = next_carry;
+    }
+    trim();
+  }
+
+  [[nodiscard]] std::size_t popcount() const;
+
+  BitVector& operator&=(const BitVector& o) { return apply(o, [](std::uint64_t a, std::uint64_t b) { return a & b; }); }
+  BitVector& operator|=(const BitVector& o) { return apply(o, [](std::uint64_t a, std::uint64_t b) { return a | b; }); }
+  BitVector& operator^=(const BitVector& o) { return apply(o, [](std::uint64_t a, std::uint64_t b) { return a ^ b; }); }
+
+  friend BitVector operator&(BitVector a, const BitVector& b) { return a &= b; }
+  friend BitVector operator|(BitVector a, const BitVector& b) { return a |= b; }
+  friend BitVector operator^(BitVector a, const BitVector& b) { return a ^= b; }
+
+  [[nodiscard]] BitVector operator~() const {
+    BitVector out = *this;
+    for (auto& w : out.words_) w = ~w;
+    out.trim();
+    return out;
+  }
+
+  friend bool operator==(const BitVector& a, const BitVector& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+  /// MSB-first binary string, e.g. "1010" for the 4-bit value 10.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  template <class F>
+  BitVector& apply(const BitVector& o, F f) {
+    BPIM_REQUIRE(size_ == o.size_, "size mismatch in bitwise op");
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] = f(words_[k], o.words_[k]);
+    trim();
+    return *this;
+  }
+
+  void trim() {
+    const std::size_t rem = size_ % 64;
+    if (rem != 0 && !words_.empty()) words_.back() &= (~0ull >> (64 - rem));
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace bpim

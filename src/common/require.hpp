@@ -1,0 +1,25 @@
+#pragma once
+// Precondition checking for public API entry points.
+//
+// BPIM_REQUIRE throws std::invalid_argument with file:line context; it is for
+// caller errors and stays active in release builds (the simulator is not in
+// any inner loop tight enough for this to matter). Internal invariants use
+// plain assert().
+
+#include <stdexcept>
+#include <string>
+
+namespace bpim::detail {
+
+[[noreturn]] inline void require_failed(const char* expr, const char* file, int line,
+                                        const std::string& msg) {
+  throw std::invalid_argument(std::string(file) + ":" + std::to_string(line) +
+                              ": requirement failed (" + expr + "): " + msg);
+}
+
+}  // namespace bpim::detail
+
+#define BPIM_REQUIRE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr)) ::bpim::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

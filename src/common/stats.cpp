@@ -1,0 +1,110 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace bpim {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (const double x : samples_) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(samples_.size() - 1));
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  BPIM_REQUIRE(!samples_.empty(), "percentile of empty sample set");
+  BPIM_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  ensure_sorted();
+  const double pos = p * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BPIM_REQUIRE(hi > lo, "histogram range must be non-empty");
+  BPIM_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  if (b >= counts_.size()) b = counts_.size() - 1;
+  ++counts_[b];
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(std::size_t b) const {
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * w;
+}
+
+double Histogram::bin_fraction(std::size_t b) const {
+  return total_ == 0 ? 0.0 : static_cast<double>(counts_.at(b)) / static_cast<double>(total_);
+}
+
+std::string Histogram::render(std::size_t width, const std::string& unit) const {
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[b]) / static_cast<double>(peak) * static_cast<double>(width));
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "  " << bin_center(b) << unit << " |" << std::string(bar, '#');
+    os << " " << counts_[b] << "\n";
+  }
+  if (underflow_ > 0) os << "  (" << underflow_ << " below range)\n";
+  if (overflow_ > 0) os << "  (" << overflow_ << " above range)\n";
+  return os.str();
+}
+
+}  // namespace bpim

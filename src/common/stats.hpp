@@ -1,0 +1,80 @@
+#pragma once
+// Statistics helpers for Monte-Carlo experiments: running moments (Welford),
+// percentiles, and a fixed-bin histogram with ASCII rendering used by the
+// Fig. 2 reproduction bench.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bpim {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample container with percentile queries (sorts lazily).
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double stddev() const;
+  /// p in [0,1]; linear interpolation between order statistics.
+  [[nodiscard]] double percentile(double p) const;
+  [[nodiscard]] double min() const { return percentile(0.0); }
+  [[nodiscard]] double max() const { return percentile(1.0); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+  void ensure_sorted() const;
+};
+
+/// Fixed-range, fixed-bin-count histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bin_count(std::size_t b) const { return counts_.at(b); }
+  [[nodiscard]] double bin_center(std::size_t b) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Fraction of all samples in bin b.
+  [[nodiscard]] double bin_fraction(std::size_t b) const;
+
+  /// Multi-line ASCII bar rendering (one row per bin), labelled with centers.
+  [[nodiscard]] std::string render(std::size_t width = 50, const std::string& unit = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+}  // namespace bpim

@@ -1,0 +1,41 @@
+#pragma once
+// Console table formatting for the benchmark binaries, which print
+// paper-shaped tables (rows/series matching the DAC'20 evaluation section),
+// plus a CSV escape hatch for plotting.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bpim {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format with
+/// fixed precision. Rendered with a header rule, e.g.
+///   Op     2-bit   4-bit
+///   -----  ------  ------
+///   ADD    68.2    138.4
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `decimals` fraction digits.
+  static std::string num(double v, int decimals = 2);
+  /// Formats as "12.3x" style ratio.
+  static std::string ratio(double v, int decimals = 2);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used to delimit experiments in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace bpim

@@ -1,0 +1,121 @@
+#pragma once
+// Strong unit types used at API boundaries of the simulator.
+//
+// Each quantity wraps a double holding the value in SI base units (volts,
+// seconds, farads, joules, amperes, hertz, watts). The wrapper prevents the
+// classic "is this delay in ps or ns?" class of bug; internal hot loops are
+// free to extract the raw double via .si().
+
+#include <cmath>
+#include <compare>
+
+namespace bpim {
+
+template <class Tag>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double si) : si_(si) {}
+
+  /// Value in SI base units.
+  [[nodiscard]] constexpr double si() const { return si_; }
+
+  constexpr Quantity& operator+=(Quantity o) { si_ += o.si_; return *this; }
+  constexpr Quantity& operator-=(Quantity o) { si_ -= o.si_; return *this; }
+  constexpr Quantity& operator*=(double k) { si_ *= k; return *this; }
+  constexpr Quantity& operator/=(double k) { si_ /= k; return *this; }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) { return Quantity(a.si_ + b.si_); }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) { return Quantity(a.si_ - b.si_); }
+  friend constexpr Quantity operator-(Quantity a) { return Quantity(-a.si_); }
+  friend constexpr Quantity operator*(Quantity a, double k) { return Quantity(a.si_ * k); }
+  friend constexpr Quantity operator*(double k, Quantity a) { return Quantity(a.si_ * k); }
+  friend constexpr Quantity operator/(Quantity a, double k) { return Quantity(a.si_ / k); }
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Quantity a, Quantity b) { return a.si_ / b.si_; }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+
+ private:
+  double si_ = 0.0;
+};
+
+struct VoltTag {};
+struct SecondTag {};
+struct FaradTag {};
+struct JouleTag {};
+struct AmpereTag {};
+struct HertzTag {};
+struct WattTag {};
+
+using Volt = Quantity<VoltTag>;
+using Second = Quantity<SecondTag>;
+using Farad = Quantity<FaradTag>;
+using Joule = Quantity<JouleTag>;
+using Ampere = Quantity<AmpereTag>;
+using Hertz = Quantity<HertzTag>;
+using Watt = Quantity<WattTag>;
+
+// ---- physically meaningful cross-unit helpers -----------------------------
+
+/// Dynamic switching energy of capacitance c charged through swing v: C*V^2.
+[[nodiscard]] constexpr Joule switching_energy(Farad c, Volt v) {
+  return Joule(c.si() * v.si() * v.si());
+}
+
+/// Charge-sharing / discharge time for capacitance c to slew dv at current i.
+[[nodiscard]] constexpr Second slew_time(Farad c, Volt dv, Ampere i) {
+  return Second(c.si() * dv.si() / i.si());
+}
+
+/// Current that slews capacitance c by dv in time t.
+[[nodiscard]] constexpr Ampere slew_current(Farad c, Volt dv, Second t) {
+  return Ampere(c.si() * dv.si() / t.si());
+}
+
+[[nodiscard]] constexpr Hertz frequency_of(Second period) { return Hertz(1.0 / period.si()); }
+[[nodiscard]] constexpr Second period_of(Hertz f) { return Second(1.0 / f.si()); }
+[[nodiscard]] constexpr Watt power_from_energy(Joule e, Second t) { return Watt(e.si() / t.si()); }
+[[nodiscard]] constexpr Joule energy_from_power(Watt p, Second t) { return Joule(p.si() * t.si()); }
+
+// ---- convenience accessors in engineering units ---------------------------
+
+[[nodiscard]] constexpr double in_mV(Volt v) { return v.si() * 1e3; }
+[[nodiscard]] constexpr double in_ps(Second t) { return t.si() * 1e12; }
+[[nodiscard]] constexpr double in_ns(Second t) { return t.si() * 1e9; }
+[[nodiscard]] constexpr double in_fF(Farad c) { return c.si() * 1e15; }
+[[nodiscard]] constexpr double in_fJ(Joule e) { return e.si() * 1e15; }
+[[nodiscard]] constexpr double in_pJ(Joule e) { return e.si() * 1e12; }
+[[nodiscard]] constexpr double in_uA(Ampere i) { return i.si() * 1e6; }
+[[nodiscard]] constexpr double in_MHz(Hertz f) { return f.si() * 1e-6; }
+[[nodiscard]] constexpr double in_GHz(Hertz f) { return f.si() * 1e-9; }
+[[nodiscard]] constexpr double in_mW(Watt p) { return p.si() * 1e3; }
+
+namespace literals {
+
+constexpr Volt operator""_V(long double v) { return Volt(static_cast<double>(v)); }
+constexpr Volt operator""_mV(long double v) { return Volt(static_cast<double>(v) * 1e-3); }
+constexpr Second operator""_s(long double v) { return Second(static_cast<double>(v)); }
+constexpr Second operator""_ns(long double v) { return Second(static_cast<double>(v) * 1e-9); }
+constexpr Second operator""_ps(long double v) { return Second(static_cast<double>(v) * 1e-12); }
+constexpr Farad operator""_fF(long double v) { return Farad(static_cast<double>(v) * 1e-15); }
+constexpr Farad operator""_pF(long double v) { return Farad(static_cast<double>(v) * 1e-12); }
+constexpr Joule operator""_fJ(long double v) { return Joule(static_cast<double>(v) * 1e-15); }
+constexpr Joule operator""_pJ(long double v) { return Joule(static_cast<double>(v) * 1e-12); }
+constexpr Ampere operator""_uA(long double v) { return Ampere(static_cast<double>(v) * 1e-6); }
+constexpr Ampere operator""_nA(long double v) { return Ampere(static_cast<double>(v) * 1e-9); }
+constexpr Hertz operator""_GHz(long double v) { return Hertz(static_cast<double>(v) * 1e9); }
+constexpr Hertz operator""_MHz(long double v) { return Hertz(static_cast<double>(v) * 1e6); }
+
+constexpr Volt operator""_V(unsigned long long v) { return Volt(static_cast<double>(v)); }
+constexpr Volt operator""_mV(unsigned long long v) { return Volt(static_cast<double>(v) * 1e-3); }
+constexpr Second operator""_ns(unsigned long long v) { return Second(static_cast<double>(v) * 1e-9); }
+constexpr Second operator""_ps(unsigned long long v) { return Second(static_cast<double>(v) * 1e-12); }
+constexpr Farad operator""_fF(unsigned long long v) { return Farad(static_cast<double>(v) * 1e-15); }
+constexpr Joule operator""_fJ(unsigned long long v) { return Joule(static_cast<double>(v) * 1e-15); }
+constexpr Ampere operator""_uA(unsigned long long v) { return Ampere(static_cast<double>(v) * 1e-6); }
+constexpr Hertz operator""_GHz(unsigned long long v) { return Hertz(static_cast<double>(v) * 1e9); }
+constexpr Hertz operator""_MHz(unsigned long long v) { return Hertz(static_cast<double>(v) * 1e6); }
+
+}  // namespace literals
+}  // namespace bpim

@@ -1,0 +1,67 @@
+#include "energy/calibration.hpp"
+
+#include <cmath>
+
+#include "common/units.hpp"
+
+namespace bpim::energy {
+
+using bpim::literals::operator""_V;
+
+const std::vector<Table2Entry>& table2_targets() {
+  static const std::vector<Table2Entry> targets = {
+      {"ADD", 2, SeparatorMode::Enabled, 68.2},
+      {"ADD", 4, SeparatorMode::Enabled, 138.4},
+      {"ADD", 8, SeparatorMode::Enabled, 274.8},
+      {"SUB", 2, SeparatorMode::Disabled, 152.3},
+      {"SUB", 4, SeparatorMode::Disabled, 307.5},
+      {"SUB", 8, SeparatorMode::Disabled, 612.2},
+      {"SUB", 2, SeparatorMode::Enabled, 136.5},
+      {"SUB", 4, SeparatorMode::Enabled, 274.9},
+      {"SUB", 8, SeparatorMode::Enabled, 545.4},
+      {"MULT", 2, SeparatorMode::Disabled, 357.4},
+      {"MULT", 4, SeparatorMode::Disabled, 1167.6},
+      {"MULT", 8, SeparatorMode::Disabled, 4186.4},
+      {"MULT", 2, SeparatorMode::Enabled, 296.0},
+      {"MULT", 4, SeparatorMode::Enabled, 922.4},
+      {"MULT", 8, SeparatorMode::Enabled, 3394.8},
+  };
+  return targets;
+}
+
+CalibrationReport check_table2(const EnergyModel& model) {
+  const Volt v = model.params().v_ref;
+  CalibrationReport report;
+  double sum_abs = 0.0;
+  for (const auto& t : table2_targets()) {
+    Joule e;
+    const std::string op(t.op);
+    if (op == "ADD")
+      e = model.add(t.bits, v);
+    else if (op == "SUB")
+      e = model.sub(t.bits, v, t.sep);
+    else
+      e = model.mult(t.bits, v, t.sep);
+    const double model_fj = in_fJ(e);
+    const double err = (model_fj - t.paper_fj) / t.paper_fj;
+    const std::string label = op + " " + std::to_string(t.bits) + "b" +
+                              (op == "ADD" ? ""
+                               : t.sep == SeparatorMode::Enabled ? " (w/ sep)"
+                                                                 : " (w/o sep)");
+    report.rows.push_back({label, t.paper_fj, model_fj, err});
+    report.max_abs_rel_error = std::max(report.max_abs_rel_error, std::abs(err));
+    sum_abs += std::abs(err);
+  }
+  report.mean_abs_rel_error = sum_abs / static_cast<double>(report.rows.size());
+  return report;
+}
+
+double model_tops_add_06v(const EnergyModel& model) {
+  return model.tops_per_watt(model.add(8, 0.6_V));
+}
+
+double model_tops_mult_06v(const EnergyModel& model) {
+  return model.tops_per_watt(model.mult(8, 0.6_V, SeparatorMode::Enabled));
+}
+
+}  // namespace bpim::energy

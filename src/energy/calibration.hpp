@@ -1,0 +1,49 @@
+#pragma once
+// Calibration targets from the paper and error reporting against them.
+//
+// Table 2 (28 nm, 0.9 V reference): energy per operation in fJ for
+// ADD / SUB / MULT at 2/4/8-bit precision, SUB and MULT quoted both with
+// and without the BL separator. Table 3 adds the 0.6 V TOPS/W anchors.
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+
+namespace bpim::energy {
+
+struct Table2Entry {
+  const char* op;
+  unsigned bits;
+  SeparatorMode sep;
+  double paper_fj;
+};
+
+/// All 15 published Table 2 numbers (ADD has no separator dependence).
+[[nodiscard]] const std::vector<Table2Entry>& table2_targets();
+
+struct CalibrationReport {
+  struct Row {
+    std::string label;
+    double paper_fj;
+    double model_fj;
+    double rel_error;  ///< (model - paper) / paper
+  };
+  std::vector<Row> rows;
+  double max_abs_rel_error = 0.0;
+  double mean_abs_rel_error = 0.0;
+};
+
+/// Evaluates the model against every Table 2 target.
+[[nodiscard]] CalibrationReport check_table2(const EnergyModel& model);
+
+/// Paper's Table 3 anchors at 0.6 V (1 op = one 8-bit word op).
+inline constexpr double kPaperTopsPerWattAdd06V = 8.09;
+inline constexpr double kPaperTopsPerWattMult06V = 0.68;
+
+/// Model TOPS/W at 0.6 V for 8-bit ADD / MULT (separator enabled).
+[[nodiscard]] double model_tops_add_06v(const EnergyModel& model);
+[[nodiscard]] double model_tops_mult_06v(const EnergyModel& model);
+
+}  // namespace bpim::energy

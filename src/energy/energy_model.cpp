@@ -1,0 +1,103 @@
+#include "energy/energy_model.hpp"
+
+#include "common/require.hpp"
+
+namespace bpim::energy {
+
+namespace {
+constexpr double kFj = 1e-15;
+}
+
+double EnergyModel::voltage_scale(Volt vdd) const {
+  BPIM_REQUIRE(vdd.si() > 0.0, "supply must be positive");
+  const double r = vdd.si() / p_.v_ref.si();
+  return r * r;
+}
+
+Joule EnergyModel::price(Component c, Volt vdd) const {
+  double fj = 0.0;
+  switch (c) {
+    case Component::DualWlComputeMain: fj = p_.cmp_main_fj; break;
+    case Component::DualWlComputeNear: fj = p_.cmp_near_fj; break;
+    case Component::SingleWlRead: fj = p_.rd_single_fj; break;
+    case Component::FaLogic: fj = p_.fa_fj; break;
+    case Component::Inverter: fj = p_.inv_fj; break;
+    case Component::WriteBackNear: fj = p_.wb_near_fj; break;
+    case Component::WriteBackFull: fj = p_.wb_full_fj; break;
+    case Component::FlipFlop: fj = p_.ff_fj; break;
+  }
+  return Joule(fj * kFj * voltage_scale(vdd));
+}
+
+Joule EnergyModel::logic_op(unsigned bits, Volt vdd) const {
+  const double n = bits;
+  return (price(Component::DualWlComputeMain, vdd) + price(Component::FaLogic, vdd)) * n;
+}
+
+Joule EnergyModel::add(unsigned bits, Volt vdd) const {
+  // Same data path as a logic op: dual-WL compute plus the carry-select
+  // chain; Table 2's ADD drives the result out without a write-back phase.
+  return logic_op(bits, vdd);
+}
+
+Joule EnergyModel::add_shift(unsigned bits, Volt vdd, SeparatorMode sep) const {
+  const double n = bits;
+  const Component wb =
+      sep == SeparatorMode::Enabled ? Component::WriteBackNear : Component::WriteBackFull;
+  return (price(Component::DualWlComputeNear, vdd) + price(Component::FaLogic, vdd) +
+          price(wb, vdd) * p_.mult_wb_activity) * n +
+         price(Component::FlipFlop, vdd);
+}
+
+Joule EnergyModel::single_wl_writeback(unsigned bits, Volt vdd, SeparatorMode sep) const {
+  const double n = bits;
+  const Component wb =
+      sep == SeparatorMode::Enabled ? Component::WriteBackNear : Component::WriteBackFull;
+  return (price(Component::SingleWlRead, vdd) + price(Component::Inverter, vdd) +
+          price(wb, vdd)) * n;
+}
+
+Joule EnergyModel::sub(unsigned bits, Volt vdd, SeparatorMode sep) const {
+  // Cycle 1: NOT(Data1) written back to a dummy row; cycle 2: ADD with
+  // carry-in forced to 1 (two's complement), result driven out.
+  return single_wl_writeback(bits, vdd, sep) + add(bits, vdd);
+}
+
+Joule EnergyModel::mult(unsigned bits, Volt vdd, SeparatorMode sep) const {
+  // N-bit multiply on a 2N-bit precision unit, N+2 cycles total:
+  //   cycle 1: zero-init the accumulator dummy row (2N bits, low activity)
+  //            + load the multiplier into the FFs (read B, N FF writes);
+  //   cycle 2: copy the multiplicand A into the second dummy row (N bits);
+  //   cycles 3..N+1: (N-1) add-and-shift iterations on the 2N-bit unit;
+  //   cycle N+2: final ADD, result written back.
+  // Dummy-row computes use the short-segment price; the separator mode
+  // decides what every write-back drives (see header).
+  const double n = bits;
+  const double two_n = 2.0 * n;
+  const Component wb =
+      sep == SeparatorMode::Enabled ? Component::WriteBackNear : Component::WriteBackFull;
+  const Joule wb_bit = price(wb, vdd);
+
+  Joule e;
+  // Cycle 1: zero init + multiplier load.
+  e += wb_bit * (two_n * p_.zero_init_activity);
+  e += price(Component::SingleWlRead, vdd) * n;
+  e += price(Component::FlipFlop, vdd) * n;
+  // Cycle 2: copy A.
+  e += price(Component::SingleWlRead, vdd) * n;
+  e += wb_bit * n;
+  // Cycles 3..N+2: N iterations of add-and-shift / final add on 2N bits.
+  const Joule iter = (price(Component::DualWlComputeNear, vdd) + price(Component::FaLogic, vdd) +
+                      wb_bit * p_.mult_wb_activity) * two_n +
+                     price(Component::FlipFlop, vdd);
+  e += iter * n;
+  return e;
+}
+
+double EnergyModel::tops_per_watt(Joule energy_per_op) const {
+  BPIM_REQUIRE(energy_per_op.si() > 0.0, "energy per op must be positive");
+  // ops/s/W = 1 / (J/op); convert to tera-ops.
+  return 1e-12 / energy_per_op.si();
+}
+
+}  // namespace bpim::energy

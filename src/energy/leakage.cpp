@@ -1,0 +1,40 @@
+#include "energy/leakage.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace bpim::energy {
+
+Ampere LeakageModel::cell_current(Volt vdd, double temp_c) const {
+  BPIM_REQUIRE(vdd.si() > 0.0, "supply must be positive");
+  const double supply_decades = p_.dibl_dec_per_v * (vdd.si() - 0.9);
+  const double temp_factor = std::exp2((temp_c - 25.0) / p_.temp_double_c);
+  return Ampere(p_.cell_ioff_ref.si() * std::pow(10.0, supply_decades) * temp_factor);
+}
+
+Watt LeakageModel::array_power(std::size_t cells, Volt vdd, double temp_c) const {
+  const double i_total =
+      cell_current(vdd, temp_c).si() * static_cast<double>(cells) * (1.0 + p_.periphery_fraction);
+  return Watt(i_total * vdd.si());
+}
+
+Joule LeakageModel::energy_per_cycle(std::size_t cells, Volt vdd, double temp_c,
+                                     Hertz f) const {
+  BPIM_REQUIRE(f.si() > 0.0, "frequency must be positive");
+  return Joule(array_power(cells, vdd, temp_c).si() / f.si());
+}
+
+Joule LeakageModel::effective_energy_per_op(Joule dynamic, std::size_t cells, Volt vdd,
+                                            double temp_c, Hertz f, double ops_in_flight,
+                                            double duty) const {
+  BPIM_REQUIRE(ops_in_flight > 0.0, "ops per cycle must be positive");
+  BPIM_REQUIRE(duty > 0.0 && duty <= 1.0, "duty cycle must be in (0, 1]");
+  // Leakage accrues every wall-clock cycle; useful ops happen in the duty
+  // fraction, ops_in_flight at a time.
+  const double leak_per_op =
+      energy_per_cycle(cells, vdd, temp_c, f).si() / (ops_in_flight * duty);
+  return Joule(dynamic.si() + leak_per_op);
+}
+
+}  // namespace bpim::energy

@@ -1,0 +1,56 @@
+#pragma once
+// Static (leakage) power of the IMC memory and its effect on effective
+// energy efficiency.
+//
+// The paper quotes dynamic TOPS/W; a deployed 128 KB part also pays array
+// leakage whenever it is powered. This model gives a first-order 28 nm-class
+// estimate -- subthreshold-dominated, exponential in temperature, supply-
+// dependent through DIBL -- and folds it into duty-cycle-aware efficiency
+// numbers (bench/ablation_leakage).
+
+#include <cstddef>
+
+#include "common/units.hpp"
+
+namespace bpim::energy {
+
+struct LeakageParams {
+  /// Per-cell leakage at 0.9 V, 25 C (both inverter legs + access devices).
+  /// A 2.25 GHz-class part is a GP flavour; hundreds of pA per HD cell.
+  Ampere cell_ioff_ref{300e-12};
+  /// Peripheral leakage as a fraction of array leakage (drivers, SAs, FA).
+  double periphery_fraction = 0.35;
+  /// DIBL-style supply sensitivity: decades of leakage per volt of VDD.
+  double dibl_dec_per_v = 1.1;
+  /// Temperature doubling interval (leakage doubles every ~10 C).
+  double temp_double_c = 10.0;
+};
+
+class LeakageModel {
+ public:
+  explicit LeakageModel(LeakageParams p = {}) : p_(p) {}
+
+  /// Leakage current of one cell at the given supply/temperature.
+  [[nodiscard]] Ampere cell_current(Volt vdd, double temp_c) const;
+
+  /// Static power of `cells` bit cells (plus periphery) at (vdd, temp).
+  [[nodiscard]] Watt array_power(std::size_t cells, Volt vdd, double temp_c) const;
+
+  /// Leakage energy charged to one clock cycle at frequency f.
+  [[nodiscard]] Joule energy_per_cycle(std::size_t cells, Volt vdd, double temp_c,
+                                       Hertz f) const;
+
+  /// Effective energy of an op whose dynamic energy is `dynamic`, running
+  /// `ops_in_flight` word-ops per cycle at duty cycle `duty` (fraction of
+  /// cycles doing useful work; leakage accrues always).
+  [[nodiscard]] Joule effective_energy_per_op(Joule dynamic, std::size_t cells, Volt vdd,
+                                              double temp_c, Hertz f, double ops_in_flight,
+                                              double duty) const;
+
+  [[nodiscard]] const LeakageParams& params() const { return p_; }
+
+ private:
+  LeakageParams p_;
+};
+
+}  // namespace bpim::energy

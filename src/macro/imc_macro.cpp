@@ -1,0 +1,360 @@
+#include "macro/imc_macro.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace bpim::macro {
+
+using array::BlReadout;
+using array::RowRef;
+using energy::Component;
+using energy::SeparatorMode;
+using periph::FaLogics;
+using periph::LogicFn;
+
+DisturbModel DisturbModel::for_scheme(WlScheme scheme) {
+  switch (scheme) {
+    case WlScheme::ShortPulseBoost:
+      // Measured < 1/2M in the ADM Monte Carlo (timing/adm): the WL is gone
+      // before the boost collapses the BL.
+      return {0.0};
+    case WlScheme::Wlud:
+      // Iso-ADM calibration point (2.25e-5 measured at 0.55 V WL, 0.9 V).
+      return {2.25e-5};
+    case WlScheme::FullSwingLong:
+      // Full-swing WL held while the BL collapses: the access device wins
+      // against the pull-up for a large fraction of mismatch samples.
+      return {0.35};
+  }
+  return {0.0};
+}
+
+ImcMacro::ImcMacro(const MacroConfig& cfg)
+    : cfg_(cfg),
+      array_(cfg.geometry),
+      energy_(cfg.energy_params),
+      freq_(cfg.freq),
+      disturb_(DisturbModel::for_scheme(cfg.wl_scheme)),
+      rng_(cfg.seed) {
+  BPIM_REQUIRE(cfg.geometry.dummy_rows >= 3, "the sequencer needs three dummy rows");
+}
+
+std::size_t ImcMacro::words_per_row(unsigned bits) const {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  BPIM_REQUIRE(cols() % bits == 0, "precision must divide the row width");
+  return cols() / bits;
+}
+
+std::size_t ImcMacro::mult_units_per_row(unsigned bits) const {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  BPIM_REQUIRE(cols() % (2 * bits) == 0, "2N-bit units must divide the row width");
+  return cols() / (2 * static_cast<std::size_t>(bits));
+}
+
+// ---- uncharged data access --------------------------------------------------
+
+void ImcMacro::poke_row(std::size_t r, const BitVector& data) {
+  array_.write_row(RowRef::main(r), data);
+}
+
+const BitVector& ImcMacro::peek_row(std::size_t r) const { return array_.row(RowRef::main(r)); }
+
+void ImcMacro::poke_word(std::size_t r, std::size_t word, unsigned bits, std::uint64_t value) {
+  BPIM_REQUIRE(word < words_per_row(bits), "word index out of range");
+  BPIM_REQUIRE(bits >= 64 || value < (1ull << bits), "value does not fit precision");
+  for (unsigned i = 0; i < bits; ++i)
+    array_.set(RowRef::main(r), word * bits + i, (value >> i) & 1u);
+}
+
+std::uint64_t ImcMacro::peek_word(std::size_t r, std::size_t word, unsigned bits) const {
+  BPIM_REQUIRE(word < words_per_row(bits), "word index out of range");
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < bits; ++i)
+    v |= static_cast<std::uint64_t>(array_.get(RowRef::main(r), word * bits + i)) << i;
+  return v;
+}
+
+void ImcMacro::poke_mult_operand(std::size_t r, std::size_t unit, unsigned bits,
+                                 std::uint64_t value) {
+  BPIM_REQUIRE(unit < mult_units_per_row(bits), "unit index out of range");
+  BPIM_REQUIRE(bits >= 64 || value < (1ull << bits), "value does not fit precision");
+  const std::size_t base = unit * 2 * bits;
+  for (unsigned i = 0; i < 2 * bits; ++i)
+    array_.set(RowRef::main(r), base + i, i < bits ? ((value >> i) & 1u) : false);
+}
+
+std::uint64_t ImcMacro::peek_mult_product(const BitVector& row, std::size_t unit,
+                                          unsigned bits) const {
+  BPIM_REQUIRE(unit < mult_units_per_row(bits), "unit index out of range");
+  const std::size_t base = unit * 2 * bits;
+  std::uint64_t v = 0;
+  for (unsigned i = 0; i < 2 * bits; ++i)
+    v |= static_cast<std::uint64_t>(row.get(base + i)) << i;
+  return v;
+}
+
+// ---- accounting helpers -----------------------------------------------------
+
+Component ImcMacro::compute_price(RowRef a, RowRef b) const {
+  // Dummy-segment computes are short-BL accesses; the *adaptive* separator's
+  // energy benefit shows up on write-back (see energy model header).
+  return (a.is_dummy() && b.is_dummy()) ? Component::DualWlComputeNear
+                                        : Component::DualWlComputeMain;
+}
+
+Component ImcMacro::wb_price() const {
+  return cfg_.separator == SeparatorMode::Enabled ? Component::WriteBackNear
+                                                  : Component::WriteBackFull;
+}
+
+void ImcMacro::charge(Component c, double bits) {
+  const Joule e = energy_.price(c, cfg_.vdd) * bits;
+  pending_energy_ += e;
+  component_energy_[static_cast<std::size_t>(c)] += e;
+}
+
+Joule ImcMacro::component_energy(Component c) const {
+  return component_energy_[static_cast<std::size_t>(c)];
+}
+
+void ImcMacro::finish_op(unsigned cycles) {
+  last_ = ExecStats{cycles, pending_energy_};
+  total_cycles_ += cycles;
+  total_energy_ += pending_energy_;
+  pending_energy_ = Joule(0.0);
+}
+
+void ImcMacro::write_back(RowRef dest, const BitVector& data, double charged_bits) {
+  if (cfg_.separator == SeparatorMode::Enabled && dest.is_dummy())
+    array_.set_separated(true);  // adaptive: cut the heavy main-segment BL
+  array_.write_row(dest, data);
+  array_.set_separated(false);
+  const Component wb = dest.is_dummy() ? wb_price() : Component::WriteBackFull;
+  charge(wb, charged_bits);
+}
+
+BlReadout ImcMacro::sense_dual(RowRef a, RowRef b) {
+  if (cfg_.separator == SeparatorMode::Enabled && a.is_dummy() && b.is_dummy())
+    array_.set_separated(true);
+  BlReadout r = array_.compute_dual(a, b);
+  array_.set_separated(false);
+  maybe_disturb(a, b);
+  return r;
+}
+
+void ImcMacro::maybe_disturb(RowRef a, RowRef b) {
+  if (!cfg_.inject_disturb || disturb_.flip_probability <= 0.0) return;
+  // Vulnerable columns hold complementary data: one cell discharges a BL and
+  // the other cell's node on that BL sags toward it (paper Fig 1).
+  const BitVector& ra = array_.row(a);
+  const BitVector& rb = array_.row(b);
+  const BitVector vulnerable = ra ^ rb;
+  for (std::size_t c = 0; c < vulnerable.size(); ++c) {
+    if (!vulnerable.get(c)) continue;
+    if (rng_.bernoulli(disturb_.flip_probability)) {
+      array_.set(a, c, !ra.get(c));
+      ++disturb_flips_;
+    }
+    if (rng_.bernoulli(disturb_.flip_probability)) {
+      array_.set(b, c, !rb.get(c));
+      ++disturb_flips_;
+    }
+  }
+}
+
+void ImcMacro::reset_counters() {
+  total_cycles_ = 0;
+  total_energy_ = Joule(0.0);
+  component_energy_.fill(Joule(0.0));
+  disturb_flips_ = 0;
+  last_ = ExecStats{};
+}
+
+BitVector ImcMacro::read_row(std::size_t r) {
+  const BlReadout out = array_.read_single(RowRef::main(r));
+  charge(Component::SingleWlRead, static_cast<double>(cols()));
+  finish_op(1);
+  return out.bl_and;
+}
+
+void ImcMacro::write_row(std::size_t r, const BitVector& data) {
+  charge(Component::WriteBackFull, static_cast<double>(cols()));
+  array_.write_row(RowRef::main(r), data);
+  finish_op(1);
+}
+
+Second ImcMacro::cycle_time() const {
+  const bool sep = cfg_.separator == SeparatorMode::Enabled;
+  switch (cfg_.wl_scheme) {
+    case WlScheme::ShortPulseBoost:
+      return period_of(freq_.fmax(cfg_.vdd, sep));
+    case WlScheme::Wlud: {
+      // WL activation + sensing replaced by the WLUD BL computation phase
+      // (~1.86 ns at 0.9 V from the transient model), supply-scaled.
+      const auto b = freq_.breakdown(cfg_.vdd, sep);
+      const double k = freq_.config().scaling.factor(cfg_.vdd);
+      return b.bl_precharge + Second(1.86e-9 * k) + b.logic + b.write_back;
+    }
+    case WlScheme::FullSwingLong: {
+      // Full-current discharge without boost (~0.42 ns at 0.9 V) -- fast but
+      // destructive (see DisturbModel).
+      const auto b = freq_.breakdown(cfg_.vdd, sep);
+      const double k = freq_.config().scaling.factor(cfg_.vdd);
+      return b.bl_precharge + Second(0.42e-9 * k) + b.logic + b.write_back;
+    }
+  }
+  return period_of(freq_.fmax(cfg_.vdd, sep));
+}
+
+Hertz ImcMacro::fmax() const { return frequency_of(cycle_time()); }
+
+// ---- compute operations -----------------------------------------------------
+
+BitVector ImcMacro::logic_rows(LogicFn fn, RowRef a, RowRef b) {
+  const BlReadout r = sense_dual(a, b);
+  BitVector out = FaLogics::logic(r, fn);
+  const double n = static_cast<double>(cols());
+  charge(compute_price(a, b), n);
+  charge(Component::FaLogic, n);
+  finish_op(1);
+  return out;
+}
+
+BitVector ImcMacro::unary_row(Op op, RowRef src, RowRef dest, unsigned bits) {
+  BPIM_REQUIRE(op == Op::Not || op == Op::Copy || op == Op::Shift, "not a single-WL op");
+  const BlReadout r = array_.read_single(src);
+  BitVector out(cols());
+  switch (op) {
+    case Op::Not: out = r.bl_nor; break;
+    case Op::Copy: out = r.bl_and; break;
+    case Op::Shift: {
+      // <<1 within every precision word via the carry-propagation path.
+      const std::size_t words = words_per_row(bits);
+      for (std::size_t w = 0; w < words; ++w)
+        for (unsigned i = 1; i < bits; ++i)
+          out.set(w * bits + i, r.bl_and.get(w * bits + i - 1));
+      break;
+    }
+    default: break;
+  }
+  const double n = static_cast<double>(cols());
+  charge(Component::SingleWlRead, n);
+  charge(Component::Inverter, n);
+  write_back(dest, out, n);
+  finish_op(1);
+  return out;
+}
+
+BitVector ImcMacro::add_rows(RowRef a, RowRef b, unsigned bits, std::optional<RowRef> dest,
+                             bool carry_in) {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  const BlReadout r = sense_dual(a, b);
+  periph::AddResult res = FaLogics::add(r, bits, carry_in);
+  const double n = static_cast<double>(cols());
+  charge(compute_price(a, b), n);
+  charge(Component::FaLogic, n);
+  if (dest) write_back(*dest, res.sum, n);
+  finish_op(1);
+  return std::move(res.sum);
+}
+
+BitVector ImcMacro::add_shift_rows(RowRef a, RowRef b, unsigned bits, RowRef dest) {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  const BlReadout r = sense_dual(a, b);
+  const periph::AddResult res = FaLogics::add(r, bits, false);
+  // The propagated-sum path writes S[n-1] into column n (MX0 + Y-path FF).
+  BitVector out(cols());
+  const std::size_t words = words_per_row(bits);
+  for (std::size_t w = 0; w < words; ++w)
+    for (unsigned i = 1; i < bits; ++i) out.set(w * bits + i, res.sum.get(w * bits + i - 1));
+  const double n = static_cast<double>(cols());
+  charge(compute_price(a, b), n);
+  charge(Component::FaLogic, n);
+  charge(Component::FlipFlop, static_cast<double>(words));
+  write_back(dest, out, n);
+  finish_op(1);
+  return out;
+}
+
+BitVector ImcMacro::sub_rows(RowRef a, RowRef b, unsigned bits) {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  // Cycle 1: NOT(b) -> dummy operand row.
+  const RowRef d1 = RowRef::dummy(kDummyOperand);
+  const BlReadout rb = array_.read_single(b);
+  const double n = static_cast<double>(cols());
+  charge(Component::SingleWlRead, n);
+  charge(Component::Inverter, n);
+  write_back(d1, rb.bl_nor, n);
+  // Cycle 2: a + ~b + 1 (two's complement).
+  const BlReadout r = sense_dual(a, d1);
+  periph::AddResult res = FaLogics::add(r, bits, true);
+  charge(compute_price(a, d1), n);
+  charge(Component::FaLogic, n);
+  finish_op(2);
+  return std::move(res.sum);
+}
+
+BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
+  BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
+  const std::size_t units = mult_units_per_row(bits);
+  const unsigned unit_bits = 2 * bits;
+  const RowRef d1 = RowRef::dummy(kDummyOperand);
+  const RowRef d2 = RowRef::dummy(kDummyAccum);
+  const auto& p = energy_.params();
+  const double n_units = static_cast<double>(units);
+
+  // Cycle 1: zero-init the accumulator row; load the multiplier FFs
+  // (MSB-first release order -- the reversed B[3:0] -> B[0:3] of Fig 5).
+  BitVector zeros(cols());
+  write_back(d2, zeros, static_cast<double>(cols()) * p.zero_init_activity);
+  const BlReadout rb = array_.read_single(b);
+  charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
+  charge(Component::FlipFlop, static_cast<double>(bits) * n_units);
+  std::vector<std::uint64_t> ff(units, 0);
+  for (std::size_t u = 0; u < units; ++u) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bits; ++i)
+      v |= static_cast<std::uint64_t>(rb.bl_and.get(u * unit_bits + i)) << i;
+    ff[u] = v;
+  }
+
+  // Cycle 2: copy the multiplicand into the dummy operand row (low halves).
+  const BlReadout ra = array_.read_single(a);
+  BitVector a_copy(cols());
+  for (std::size_t u = 0; u < units; ++u)
+    for (unsigned i = 0; i < bits; ++i)
+      a_copy.set(u * unit_bits + i, ra.bl_and.get(u * unit_bits + i));
+  charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
+  write_back(d1, a_copy, static_cast<double>(bits) * n_units);
+
+  // Cycles 3..N+2: (N-1) add-and-shift iterations plus the final ADD.
+  // acc <- (ff_bit ? acc + A : acc), shifted left except on the last cycle.
+  for (unsigned k = 0; k < bits; ++k) {
+    const bool last = (k + 1 == bits);
+    const BlReadout r = sense_dual(d1, d2);
+    const periph::AddResult res = FaLogics::add(r, unit_bits, false);
+    const BitVector& acc = array_.row(d2);
+    BitVector next(cols());
+    for (std::size_t u = 0; u < units; ++u) {
+      const bool take_sum = (ff[u] >> (bits - 1 - k)) & 1u;  // MSB-first
+      const std::size_t base = u * unit_bits;
+      for (unsigned i = 0; i < unit_bits; ++i) {
+        const bool bit = take_sum ? res.sum.get(base + i) : acc.get(base + i);
+        if (last)
+          next.set(base + i, bit);
+        else if (i + 1 < unit_bits)
+          next.set(base + i + 1, bit);  // <<1 via the propagation path
+      }
+    }
+    charge(compute_price(d1, d2), static_cast<double>(cols()));
+    charge(Component::FaLogic, static_cast<double>(cols()));
+    charge(Component::FlipFlop, n_units);
+    write_back(d2, next, static_cast<double>(cols()) * p.mult_wb_activity);
+  }
+
+  finish_op(op_cycles(Op::Mult, bits));
+  return array_.row(d2);
+}
+
+}  // namespace bpim::macro

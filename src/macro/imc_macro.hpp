@@ -1,0 +1,158 @@
+#pragma once
+// The bit-parallel in-memory-computing macro: the paper's primary
+// contribution, as a cycle-accurate, energy-accounted functional model.
+//
+// One macro = one SRAM array (default 128x128) + 3 dummy rows behind the BL
+// separator + a row of column peripheral units (SAs, FA-Logics, MX0..MX3,
+// multiplier flip-flops, write-back drivers) + the micro-coded sequencer.
+//
+// Word layout: at precision N, a row holds cols/N words; word w occupies
+// columns [w*N, (w+1)*N), bit i of the word in column w*N+i. Operands of a
+// dual-WL operation sit in the *same columns of two different rows*. MULT
+// uses 2N-bit precision units (Fig 6): unit u spans columns [u*2N, (u+1)*2N);
+// the N-bit inputs live in the unit's low half and the 2N-bit product fills
+// the unit.
+//
+// Every compute entry point mutates state exactly as the hardware sequence
+// would (dummy-row traffic included), charges the energy ledger with the
+// same component prices the closed-form EnergyModel uses, and advances the
+// cycle counter per Table 1.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "array/sram_array.hpp"
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "energy/energy_model.hpp"
+#include "macro/isa.hpp"
+#include "periph/falogics.hpp"
+#include "timing/freq_model.hpp"
+
+namespace bpim::macro {
+
+struct MacroConfig {
+  array::ArrayGeometry geometry{};
+  Volt vdd{0.9};
+  energy::SeparatorMode separator = energy::SeparatorMode::Enabled;
+  energy::EnergyParams energy_params{};
+  WlScheme wl_scheme = WlScheme::ShortPulseBoost;
+  /// When true, dual-WL computes under an unsafe WL scheme stochastically
+  /// flip victim cells (see DisturbModel); the proposed scheme is immune.
+  bool inject_disturb = false;
+  std::uint64_t seed = 0x6B1Dull;
+  timing::FreqModelConfig freq{};
+};
+
+/// Per-scheme probability that a vulnerable cell flips during one dual-WL
+/// compute. Values for ShortPulseBoost/Wlud are the measured iso-ADM rates
+/// (see timing/adm and EXPERIMENTS.md); FullSwingLong is catastrophic.
+struct DisturbModel {
+  double flip_probability = 0.0;
+  [[nodiscard]] static DisturbModel for_scheme(WlScheme scheme);
+};
+
+/// Result of one macro-level operation.
+struct ExecStats {
+  unsigned cycles = 0;
+  Joule op_energy{0.0};
+};
+
+class ImcMacro {
+ public:
+  explicit ImcMacro(const MacroConfig& cfg);
+
+  [[nodiscard]] const MacroConfig& config() const { return cfg_; }
+  [[nodiscard]] std::size_t cols() const { return cfg_.geometry.cols; }
+  [[nodiscard]] std::size_t rows() const { return cfg_.geometry.rows; }
+  /// Words per row at a given precision.
+  [[nodiscard]] std::size_t words_per_row(unsigned bits) const;
+  /// MULT units per row at a given precision (each 2*bits wide).
+  [[nodiscard]] std::size_t mult_units_per_row(unsigned bits) const;
+
+  // ---- uncharged data access (test/benchmark setup) ----------------------
+  void poke_row(std::size_t r, const BitVector& data);
+  [[nodiscard]] const BitVector& peek_row(std::size_t r) const;
+  void poke_word(std::size_t r, std::size_t word, unsigned bits, std::uint64_t value);
+  [[nodiscard]] std::uint64_t peek_word(std::size_t r, std::size_t word, unsigned bits) const;
+  /// Low half of MULT unit `u` (operand slot).
+  void poke_mult_operand(std::size_t r, std::size_t unit, unsigned bits, std::uint64_t value);
+  [[nodiscard]] std::uint64_t peek_mult_product(const BitVector& row, std::size_t unit,
+                                                unsigned bits) const;
+  [[nodiscard]] const array::SramArray& sram() const { return array_; }
+
+  // ---- standard SRAM access (charged; the macro is still a memory) --------
+  /// Normal read of a full row (single-WL, 1 cycle).
+  BitVector read_row(std::size_t r);
+  /// Normal write of a full row (1 cycle, drives the full-height BLs).
+  void write_row(std::size_t r, const BitVector& data);
+
+  // ---- compute operations (charged) ---------------------------------------
+  /// Dual-WL logic op across all columns (1 cycle).
+  BitVector logic_rows(periph::LogicFn fn, array::RowRef a, array::RowRef b);
+  /// Single-WL op: NOT / COPY / SHIFT(<<1 per precision word) of row `src`,
+  /// written back to `dest` (1 cycle).
+  BitVector unary_row(Op op, array::RowRef src, array::RowRef dest, unsigned bits);
+  /// Bit-parallel ADD of all words of two rows (1 cycle, result driven out;
+  /// pass `dest` to also write it back).
+  BitVector add_rows(array::RowRef a, array::RowRef b, unsigned bits,
+                     std::optional<array::RowRef> dest = std::nullopt, bool carry_in = false);
+  /// ADD followed by the <<1 write-back path (1 cycle, requires dest).
+  BitVector add_shift_rows(array::RowRef a, array::RowRef b, unsigned bits, array::RowRef dest);
+  /// Two's-complement SUB: a - b (2 cycles: NOT -> dummy, ADD with cin=1).
+  BitVector sub_rows(array::RowRef a, array::RowRef b, unsigned bits);
+  /// Bit-parallel MULT on 2N-bit units (N+2 cycles). Operands in the low
+  /// halves of each unit of rows a (multiplicand) and b (multiplier);
+  /// returns the row of 2N-bit products (also left in dummy row D2).
+  BitVector mult_rows(array::RowRef a, array::RowRef b, unsigned bits);
+
+  // ---- accounting ---------------------------------------------------------
+  [[nodiscard]] ExecStats last_op() const { return last_; }
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+  [[nodiscard]] Joule total_energy() const { return total_energy_; }
+  /// Cumulative energy charged to one micro-action class (sums to
+  /// total_energy() across all components).
+  [[nodiscard]] Joule component_energy(energy::Component c) const;
+  void reset_counters();
+
+  /// Cycle time / fmax for this macro's scheme and separator mode.
+  [[nodiscard]] Second cycle_time() const;
+  [[nodiscard]] Hertz fmax() const;
+
+  /// Count of cells corrupted by injected read disturb so far.
+  [[nodiscard]] std::uint64_t disturb_flips() const { return disturb_flips_; }
+
+  /// Dummy-row roles used by the sequencer.
+  static constexpr std::size_t kDummyZero = 0;  ///< scratch / zero row
+  static constexpr std::size_t kDummyOperand = 1;  ///< NOT result / multiplicand copy
+  static constexpr std::size_t kDummyAccum = 2;    ///< MULT accumulator / results
+
+ private:
+  [[nodiscard]] energy::Component compute_price(array::RowRef a, array::RowRef b) const;
+  [[nodiscard]] energy::Component wb_price() const;
+  void charge(energy::Component c, double bits);
+  void finish_op(unsigned cycles);
+  /// Write with separator management + write-back energy for `bits` bits.
+  void write_back(array::RowRef dest, const BitVector& data, double charged_bits);
+  array::BlReadout sense_dual(array::RowRef a, array::RowRef b);
+  /// Apply stochastic disturb to vulnerable columns of a dual-WL access.
+  void maybe_disturb(array::RowRef a, array::RowRef b);
+
+  MacroConfig cfg_;
+  array::SramArray array_;
+  energy::EnergyModel energy_;
+  timing::FreqModel freq_;
+  DisturbModel disturb_;
+  Rng rng_;
+
+  ExecStats last_{};
+  Joule pending_energy_{0.0};
+  std::uint64_t total_cycles_ = 0;
+  Joule total_energy_{0.0};
+  std::array<Joule, 8> component_energy_{};  // indexed by Component
+  std::uint64_t disturb_flips_ = 0;
+};
+
+}  // namespace bpim::macro

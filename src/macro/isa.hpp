@@ -1,0 +1,49 @@
+#pragma once
+// Operation set of the bit-parallel IMC macro and its cycle costs (Table 1).
+//
+//   Type     Operation        Cycles
+//   Logic    NAND/AND          1
+//            NOR/OR            1
+//            XNOR/XOR          1
+//            NOT, Shift(<<1)   1
+//   Integer  ADD               1
+//            SUB               2
+//            MULT              N+2
+//            ADD-Shift         1
+//   (N = operand bit width)
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace bpim::macro {
+
+enum class Op {
+  Nand, And, Nor, Or, Xnor, Xor,  // dual-WL logic
+  Not, Shift, Copy,               // single-WL
+  Add, AddShift, Sub, Mult,       // arithmetic
+};
+
+[[nodiscard]] const char* to_string(Op op);
+
+/// True for operations that activate two word lines.
+[[nodiscard]] bool is_dual_wl(Op op);
+
+/// Cycle count of `op` at operand precision `bits` (Table 1).
+[[nodiscard]] unsigned op_cycles(Op op, unsigned bits);
+
+/// Word-line scheme the macro is built with; decides disturb behaviour and
+/// the achievable cycle time.
+enum class WlScheme {
+  ShortPulseBoost,  ///< the paper's scheme: full-swing 140 ps WL + BL boost
+  Wlud,             ///< conventional 0.55 V under-driven WL assist
+  FullSwingLong,    ///< unprotected full-swing WL held for the whole access
+};
+
+[[nodiscard]] const char* to_string(WlScheme s);
+
+/// Supported operand precisions (the paper implements 2/4/8 and states the
+/// same method extends to 16/32).
+[[nodiscard]] bool is_supported_precision(unsigned bits);
+
+}  // namespace bpim::macro

@@ -1,0 +1,182 @@
+#include "macro/program.hpp"
+
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace bpim::macro {
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream os;
+  os << to_string(inst.op);
+  if (inst.op == Op::Nand || inst.op == Op::And || inst.op == Op::Nor || inst.op == Op::Or ||
+      inst.op == Op::Xnor || inst.op == Op::Xor)
+    os << "(" << periph::to_string(inst.logic_fn) << ")";
+  auto row = [](const array::RowRef& r) {
+    return std::string(r.is_dummy() ? "D" : "R") + std::to_string(r.index);
+  };
+  os << " " << row(inst.a);
+  if (is_dual_wl(inst.op)) os << ", " << row(inst.b);
+  if (inst.dest) os << " -> " << row(*inst.dest);
+  os << " @" << inst.bits << "b";
+  return os.str();
+}
+
+Program& Program::logic(periph::LogicFn fn, array::RowRef a, array::RowRef b) {
+  BPIM_REQUIRE(fn != periph::LogicFn::PassA && fn != periph::LogicFn::NotA,
+               "PassA/NotA are single-WL paths; use unary(COPY/NOT)");
+  Instruction i;
+  i.op = Op::And;  // representative dual-WL logic op; fn carries the function
+  i.logic_fn = fn;
+  i.a = a;
+  i.b = b;
+  instructions_.push_back(i);
+  return *this;
+}
+
+Program& Program::unary(Op op, array::RowRef src, array::RowRef dest, unsigned bits) {
+  BPIM_REQUIRE(op == Op::Not || op == Op::Copy || op == Op::Shift,
+               "unary() takes NOT/COPY/SHIFT");
+  Instruction i;
+  i.op = op;
+  i.a = src;
+  i.dest = dest;
+  i.bits = bits;
+  instructions_.push_back(i);
+  return *this;
+}
+
+Program& Program::add(array::RowRef a, array::RowRef b, unsigned bits,
+                      std::optional<array::RowRef> dest) {
+  Instruction i;
+  i.op = Op::Add;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  i.dest = dest;
+  instructions_.push_back(i);
+  return *this;
+}
+
+Program& Program::add_shift(array::RowRef a, array::RowRef b, unsigned bits,
+                            array::RowRef dest) {
+  Instruction i;
+  i.op = Op::AddShift;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  i.dest = dest;
+  instructions_.push_back(i);
+  return *this;
+}
+
+Program& Program::sub(array::RowRef a, array::RowRef b, unsigned bits) {
+  Instruction i;
+  i.op = Op::Sub;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  instructions_.push_back(i);
+  return *this;
+}
+
+Program& Program::mult(array::RowRef a, array::RowRef b, unsigned bits) {
+  Instruction i;
+  i.op = Op::Mult;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  instructions_.push_back(i);
+  return *this;
+}
+
+std::uint64_t Program::static_cycles() const {
+  std::uint64_t c = 0;
+  for (const auto& i : instructions_) c += op_cycles(i.op, i.bits);
+  return c;
+}
+
+void MacroController::check_row(const array::RowRef& r, std::size_t index) const {
+  const auto& g = macro_.config().geometry;
+  const std::size_t limit = r.is_dummy() ? g.dummy_rows : g.rows;
+  if (r.index >= limit)
+    throw std::invalid_argument("instruction " + std::to_string(index) +
+                                ": row out of range: " + std::to_string(r.index));
+}
+
+void MacroController::validate(const Program& p) const {
+  for (std::size_t k = 0; k < p.instructions().size(); ++k) {
+    const Instruction& i = p.instructions()[k];
+    check_row(i.a, k);
+    if (is_dual_wl(i.op)) {
+      check_row(i.b, k);
+      if (i.a == i.b)
+        throw std::invalid_argument("instruction " + std::to_string(k) +
+                                    ": dual-WL op needs two distinct rows");
+    }
+    if (i.dest) check_row(*i.dest, k);
+    const bool needs_dest = i.op == Op::Not || i.op == Op::Copy || i.op == Op::Shift ||
+                            i.op == Op::AddShift;
+    if (needs_dest && !i.dest)
+      throw std::invalid_argument("instruction " + std::to_string(k) + ": " +
+                                  std::string(to_string(i.op)) + " requires a destination");
+    if (i.op != Op::And || i.logic_fn == periph::LogicFn::PassA ||
+        i.logic_fn == periph::LogicFn::NotA) {
+      // Arithmetic ops and single-WL paths carry a precision.
+      if (i.op == Op::Add || i.op == Op::AddShift || i.op == Op::Sub || i.op == Op::Mult ||
+          needs_dest) {
+        if (!is_supported_precision(i.bits))
+          throw std::invalid_argument("instruction " + std::to_string(k) +
+                                      ": unsupported precision " + std::to_string(i.bits));
+        const unsigned span = i.op == Op::Mult ? 2 * i.bits : i.bits;
+        if (macro_.cols() % span != 0)
+          throw std::invalid_argument("instruction " + std::to_string(k) +
+                                      ": precision does not divide the row width");
+      }
+    }
+  }
+}
+
+ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* trace) {
+  validate(p);
+  ProgramStats stats;
+  for (const Instruction& i : p.instructions()) {
+    BitVector result;
+    switch (i.op) {
+      case Op::Nand:
+      case Op::And:
+      case Op::Nor:
+      case Op::Or:
+      case Op::Xnor:
+      case Op::Xor:
+        result = macro_.logic_rows(i.logic_fn, i.a, i.b);
+        break;
+      case Op::Not:
+      case Op::Copy:
+      case Op::Shift:
+        result = macro_.unary_row(i.op, i.a, *i.dest, i.bits);
+        break;
+      case Op::Add:
+        result = macro_.add_rows(i.a, i.b, i.bits, i.dest);
+        break;
+      case Op::AddShift:
+        result = macro_.add_shift_rows(i.a, i.b, i.bits, *i.dest);
+        break;
+      case Op::Sub:
+        result = macro_.sub_rows(i.a, i.b, i.bits);
+        break;
+      case Op::Mult:
+        result = macro_.mult_rows(i.a, i.b, i.bits);
+        break;
+    }
+    const ExecStats es = macro_.last_op();
+    ++stats.instructions;
+    stats.cycles += es.cycles;
+    stats.energy += es.op_energy;
+    if (trace) trace->push_back(TraceEntry{i, es.cycles, es.op_energy, result});
+  }
+  stats.elapsed = macro_.cycle_time() * static_cast<double>(stats.cycles);
+  return stats;
+}
+
+}  // namespace bpim::macro

@@ -1,0 +1,95 @@
+#pragma once
+// Micro-program interface to the IMC macro -- the software-visible face of
+// the "Ctrl." block in the paper's Fig 3.
+//
+// A Program is a validated list of instructions (op, operand rows, precision,
+// destination); the MacroController executes it on an ImcMacro, accumulating
+// per-program cycle/energy statistics and recording an optional trace. This
+// is how a host integrates the macro: build row-level programs, run them,
+// read results -- without touching the per-op C++ API directly.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "macro/imc_macro.hpp"
+
+namespace bpim::macro {
+
+/// One row-level instruction. Unused fields are ignored per op kind:
+///   * logic ops use `logic_fn`, rows a+b;
+///   * NOT/COPY/SHIFT use row a and `dest` (required);
+///   * ADD uses rows a+b and optional `dest`; ADD-Shift requires `dest`;
+///   * SUB/MULT use rows a+b (results: SUB driven out, MULT in dummy D2).
+struct Instruction {
+  Op op = Op::Add;
+  periph::LogicFn logic_fn = periph::LogicFn::And;
+  array::RowRef a{};
+  array::RowRef b{};
+  std::optional<array::RowRef> dest{};
+  unsigned bits = 8;
+};
+
+[[nodiscard]] std::string to_string(const Instruction& inst);
+
+/// Validated instruction list.
+class Program {
+ public:
+  Program() = default;
+
+  Program& logic(periph::LogicFn fn, array::RowRef a, array::RowRef b);
+  Program& unary(Op op, array::RowRef src, array::RowRef dest, unsigned bits);
+  Program& add(array::RowRef a, array::RowRef b, unsigned bits,
+               std::optional<array::RowRef> dest = std::nullopt);
+  Program& add_shift(array::RowRef a, array::RowRef b, unsigned bits, array::RowRef dest);
+  Program& sub(array::RowRef a, array::RowRef b, unsigned bits);
+  Program& mult(array::RowRef a, array::RowRef b, unsigned bits);
+
+  [[nodiscard]] std::size_t size() const { return instructions_.size(); }
+  [[nodiscard]] bool empty() const { return instructions_.empty(); }
+  [[nodiscard]] const std::vector<Instruction>& instructions() const { return instructions_; }
+
+  /// Total cycle cost per Table 1 (static, before execution).
+  [[nodiscard]] std::uint64_t static_cycles() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+};
+
+/// Per-instruction execution record.
+struct TraceEntry {
+  Instruction inst;
+  unsigned cycles = 0;
+  Joule op_energy{0.0};
+  BitVector result;  ///< row-wide result driven out (empty for pure WB ops)
+};
+
+struct ProgramStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  Joule energy{0.0};
+  Second elapsed{0.0};
+};
+
+/// Executes programs against a macro; validates rows/precision before any
+/// state is touched (a bad program is rejected whole).
+class MacroController {
+ public:
+  explicit MacroController(ImcMacro& m) : macro_(m) {}
+
+  /// Throws std::invalid_argument (with the offending instruction index) if
+  /// any instruction is malformed for this macro.
+  void validate(const Program& p) const;
+
+  /// Validates and runs; returns stats. If `trace` is non-null, appends one
+  /// entry per instruction.
+  ProgramStats run(const Program& p, std::vector<TraceEntry>* trace = nullptr);
+
+ private:
+  void check_row(const array::RowRef& r, std::size_t index) const;
+
+  ImcMacro& macro_;
+};
+
+}  // namespace bpim::macro

@@ -1,0 +1,62 @@
+#include "periph/falogics.hpp"
+
+namespace bpim::periph {
+
+const char* to_string(LogicFn fn) {
+  switch (fn) {
+    case LogicFn::And: return "AND";
+    case LogicFn::Nand: return "NAND";
+    case LogicFn::Or: return "OR";
+    case LogicFn::Nor: return "NOR";
+    case LogicFn::Xor: return "XOR";
+    case LogicFn::Xnor: return "XNOR";
+    case LogicFn::PassA: return "PASS";
+    case LogicFn::NotA: return "NOT";
+  }
+  return "??";
+}
+
+BitVector FaLogics::xor_bits(const array::BlReadout& r) { return ~(r.bl_and | r.bl_nor); }
+
+BitVector FaLogics::xnor_bits(const array::BlReadout& r) { return r.bl_and | r.bl_nor; }
+
+BitVector FaLogics::logic(const array::BlReadout& r, LogicFn fn) {
+  switch (fn) {
+    case LogicFn::And: return r.bl_and;
+    case LogicFn::Nand: return ~r.bl_and;
+    case LogicFn::Or: return ~r.bl_nor;
+    case LogicFn::Nor: return r.bl_nor;
+    case LogicFn::Xor: return xor_bits(r);
+    case LogicFn::Xnor: return xnor_bits(r);
+    case LogicFn::PassA: return r.bl_and;  // single-WL: BLT carries A
+    case LogicFn::NotA: return r.bl_nor;   // single-WL: BLB carries ~A
+  }
+  return r.bl_and;
+}
+
+AddResult FaLogics::add(const array::BlReadout& r, unsigned precision, bool carry_in) {
+  const std::size_t width = r.bl_and.size();
+  BPIM_REQUIRE(precision >= 1, "precision must be at least 1 bit");
+  BPIM_REQUIRE(width % precision == 0, "precision must divide the row width");
+
+  const BitVector x = xor_bits(r);
+  const BitVector n = xnor_bits(r);
+  const BitVector& a_and = r.bl_and;
+  const BitVector a_or = ~r.bl_nor;
+
+  AddResult out{BitVector(width), BitVector(width), BitVector(width)};
+  bool c = carry_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    if (i % precision == 0) c = carry_in;  // MX3 cuts the chain at boundaries
+    // Carry-select: both candidates precomputed, carry picks one.
+    const bool s = c ? n.get(i) : x.get(i);
+    const bool c_next = c ? a_or.get(i) : a_and.get(i);
+    out.sum.set(i, s);
+    out.carry.set(i, c_next);
+    if ((i + 1) % precision == 0) out.word_carry.set(i, c_next);
+    c = c_next;
+  }
+  return out;
+}
+
+}  // namespace bpim::periph

@@ -1,0 +1,55 @@
+#pragma once
+// Access Disturb Margin (ADM) estimation.
+//
+// The paper compares its short-WL + boost scheme against WLUD at an
+// *iso-failure-rate* of 2.5e-5 (Fig 2 caption). The dominant hazard during
+// dual-WL bit-line computing is the Fig-1 mechanism: once the shared BL has
+// been discharged by the '0' cell, the other accessed cell (storing '1')
+// sees its '1' node pulled down through the access device toward the low BL.
+//
+//   * WLUD: the BL fully collapses while the (weakened) WL is still high --
+//     a quasi-DC stress; failure happens in mismatch tails where the access
+//     device wins against the pull-up.
+//   * Short WL + boost: the WL is gone before the boost collapses the BL;
+//     residual risk comes from the WL fall ramp overlapping early boost
+//     triggering in fast-P0 tails.
+//
+// Both estimators share the Sram6tCell disturb primitives. A bisection
+// helper finds the WLUD level that lands on a target failure rate (this is
+// how the 0.55 V operating point of the baseline is justified).
+
+#include <cstdint>
+
+#include "circuit/montecarlo.hpp"
+#include "timing/bl_compute.hpp"
+
+namespace bpim::timing {
+
+struct AdmConfig {
+  double target_failure = 2.5e-5;
+  std::size_t trials = 400000;
+  std::uint64_t seed = 0xADCull;
+};
+
+/// Failure probability of a stored '1' during a WLUD dual-WL compute at the
+/// given WL level (quasi-DC stress with the BL collapsed).
+[[nodiscard]] circuit::FailureRateResult wlud_disturb_rate(const BlComputeConfig& cfg,
+                                                           const circuit::OperatingPoint& op,
+                                                           Volt wlud_level, std::size_t trials,
+                                                           std::uint64_t seed);
+
+/// Failure probability of a stored '1' during a short-WL + boost compute.
+/// Walks the WL fall ramp against the (analytically estimated) BL droop and
+/// boost collapse, checking the sag criterion at each step.
+[[nodiscard]] circuit::FailureRateResult shortwl_disturb_rate(const BlComputeConfig& cfg,
+                                                              const circuit::OperatingPoint& op,
+                                                              std::size_t trials,
+                                                              std::uint64_t seed);
+
+/// WLUD level whose disturb rate equals `target` (bisection over the level).
+/// Used to justify the 0.55 V iso-ADM comparison point.
+[[nodiscard]] Volt calibrate_wlud_level(const BlComputeConfig& cfg,
+                                        const circuit::OperatingPoint& op, double target,
+                                        std::size_t trials_per_probe, std::uint64_t seed);
+
+}  // namespace bpim::timing

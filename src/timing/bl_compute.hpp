@@ -1,0 +1,105 @@
+#pragma once
+// Bit-line computation delay model (Fig 2 and Fig 7a of the paper).
+//
+// Simulates one bit-line pair column during a dual-WL compute where the
+// result is '0' (exactly one accessed cell discharges -- the slowest and
+// therefore timing-critical case), under one of two word-line schemes:
+//
+//   * Wlud           -- conventional assist: WL held at a reduced level
+//                       (default 0.55 V) for the whole evaluation; the cell
+//                       alone discharges the BL.
+//   * ShortWlBoost   -- the paper's scheme: full-swing WL for a short pulse
+//                       (default 140 ps), after which the LVT boost circuit
+//                       (P0 mirror + N0/N1 pull-down) regeneratively
+//                       completes the swing.
+//
+// The transient integrates two nodes, the bit line and the booster's mirror
+// node, with alpha-power/EKV devices. Monte-Carlo runs resample cell and
+// booster Vth mismatch, SA offset and WL pulse-width jitter.
+
+#include <cstdint>
+
+#include "cell/sram6t.hpp"
+#include "circuit/montecarlo.hpp"
+#include "circuit/process.hpp"
+#include "common/stats.hpp"
+#include "common/units.hpp"
+
+namespace bpim::timing {
+
+enum class BlScheme { ShortWlBoost, Wlud };
+
+[[nodiscard]] const char* to_string(BlScheme s);
+
+struct BlComputeConfig {
+  /// Cells on the bit line (array rows sharing the BL).
+  std::size_t rows = 128;
+  /// BL capacitance: per-cell (drain + wire share) plus fixed periphery.
+  Farad c_bl_per_cell{0.18e-15};
+  Farad c_bl_fixed{3.0e-15};
+
+  // Word-line driver.
+  Second wl_t0{10e-12};
+  Second wl_rise{20e-12};
+  Second wl_fall{25e-12};
+  Second wl_pulse{140e-12};     ///< ShortWlBoost pulse width
+  Volt wlud_level{0.55};        ///< Wlud DC level
+  Second wl_jitter_sigma{5e-12};
+
+  // Boost circuit (ShortWlBoost only). Widths in um; LVT devices.
+  double w_p0_um = 0.60;
+  double w_n1_um = 0.80;
+  /// Conductance derating of the N0/N1 series stack.
+  double n_stack_factor = 0.62;
+  Farad c_mirror{0.9e-15};
+  /// Effective extra Vt drop of the P0 droop sensor. The silicon circuit
+  /// biases P0 through the N2/N3 network so a ~100-150 mV BL droop already
+  /// turns the mirror path on; we fold that bias into an effective
+  /// threshold reduction of the behavioural P0 device.
+  Volt p0_sense_vt_drop{0.24};
+  /// Fraction of the global corner Vth shift the booster's bias network
+  /// cancels (replica-bias corner tracking of the sensing stage).
+  double boost_corner_tracking = 0.85;
+
+  // Single-ended sense amplifier.
+  double sa_threshold_frac = 0.62;  ///< sense when v_bl < frac * VDD
+  Second sa_resolve{45e-12};
+  Volt sa_offset_sigma{12e-3};
+
+  // Integration.
+  Second dt{1.5e-12};
+  Second t_end{9e-9};
+
+  cell::CellGeometry cell_geometry{};
+};
+
+/// One-column transient evaluator.
+class BlComputeModel {
+ public:
+  BlComputeModel(BlScheme scheme, const BlComputeConfig& cfg, const circuit::OperatingPoint& op);
+
+  /// Total BL-computation delay (WL activation to SA output) for a given
+  /// mismatch sample. Returns t_end if the swing never develops.
+  [[nodiscard]] Second compute_delay(const cell::CellMismatch& cell_mm, Volt d_p0, Volt d_n1,
+                                     Volt sa_offset, Second pulse_jitter) const;
+
+  /// Nominal delay (no mismatch).
+  [[nodiscard]] Second nominal_delay() const;
+
+  [[nodiscard]] Farad bl_capacitance() const;
+  [[nodiscard]] const BlComputeConfig& config() const { return cfg_; }
+  [[nodiscard]] const circuit::OperatingPoint& op() const { return op_; }
+  [[nodiscard]] BlScheme scheme() const { return scheme_; }
+
+ private:
+  BlScheme scheme_;
+  BlComputeConfig cfg_;
+  circuit::OperatingPoint op_;
+};
+
+/// Monte-Carlo distribution of the BL computation delay (seconds).
+[[nodiscard]] SampleSet bl_delay_distribution(BlScheme scheme, const BlComputeConfig& cfg,
+                                              const circuit::OperatingPoint& op,
+                                              std::size_t trials, std::uint64_t seed);
+
+}  // namespace bpim::timing

@@ -1,0 +1,38 @@
+#include "timing/fa_timing.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace bpim::timing {
+
+double DelayScaling::factor(Volt vdd, circuit::Corner corner) const {
+  // A slow corner raises the effective threshold; fast lowers it. Use the
+  // NMOS-side sign (logic paths here are dominated by NMOS evaluation).
+  const int sign = circuit::corner_sign(corner, circuit::DeviceKind::Nmos);
+  const double vth = vth_eff.si() + sign * corner_vth_shift.si();
+  const double v = vdd.si();
+  BPIM_REQUIRE(v > vth + 0.05, "supply too low for the delay-scaling fit");
+  auto g = [&](double supply, double threshold) {
+    return supply / std::pow(supply - threshold, alpha_eff);
+  };
+  return g(v, vth) / g(0.9, vth_eff.si());
+}
+
+Second fa_critical_path(FaKind kind, unsigned bits, Volt vdd, const FaTimingConfig& cfg,
+                        circuit::Corner corner) {
+  BPIM_REQUIRE(bits >= 1, "adder must have at least one bit");
+  const double per_stage =
+      (kind == FaKind::TransmissionGateSelect ? cfg.tg_stage : cfg.logic_stage).si();
+  const double setup =
+      (kind == FaKind::TransmissionGateSelect ? cfg.tg_setup : cfg.logic_setup).si();
+  const double base = setup + static_cast<double>(bits) * per_stage;
+  return Second(base * cfg.scaling.factor(vdd, corner));
+}
+
+double fa_speedup(unsigned bits, Volt vdd, const FaTimingConfig& cfg) {
+  return fa_critical_path(FaKind::LogicGate, bits, vdd, cfg) /
+         fa_critical_path(FaKind::TransmissionGateSelect, bits, vdd, cfg);
+}
+
+}  // namespace bpim::timing

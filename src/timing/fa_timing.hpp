@@ -1,0 +1,51 @@
+#pragma once
+// Full-adder critical-path timing (Fig 7b) and the shared supply-voltage
+// delay-scaling law used across the timing models.
+//
+// The proposed FA is a transmission-gate carry-select structure: both
+// candidate (sum, carry) pairs are precomputed from the BL computation
+// results (A AND B on BLT, NOR(A,B) on BLB) while sensing completes; the
+// ripple path then only traverses one transmission-gate mux per bit. The
+// baseline logic-gate FA recomputes the majority/parity functions at every
+// stage, paying ~2 gate delays per bit.
+//
+// Voltage scaling: g(V) = V / (V - Vth_eff)^alpha_eff, an effective
+// alpha-power fit anchored to the paper's published operating points
+// (2.25 GHz @ 1.0 V and 372 MHz @ 0.6 V -- see freq_model).
+
+#include "circuit/process.hpp"
+#include "common/units.hpp"
+
+namespace bpim::timing {
+
+/// Effective alpha-power supply scaling shared by all gate-delay models.
+struct DelayScaling {
+  Volt vth_eff{0.33};
+  double alpha_eff = 2.54;
+  /// Corner adjustment: Vth_eff shift per slow/fast corner step.
+  Volt corner_vth_shift{0.04};
+
+  /// Relative delay factor at `vdd` vs the 0.9 V reference.
+  [[nodiscard]] double factor(Volt vdd, circuit::Corner corner = circuit::Corner::NN) const;
+};
+
+enum class FaKind { TransmissionGateSelect, LogicGate };
+
+struct FaTimingConfig {
+  // Per-bit ripple stage and fixed setup at 0.9 V, NN, 25 C.
+  Second tg_stage{12e-12};
+  Second tg_setup{30e-12};
+  Second logic_stage{27.5e-12};
+  Second logic_setup{20e-12};
+  DelayScaling scaling{};
+};
+
+/// Critical path of an N-bit ripple chain for the chosen FA style.
+[[nodiscard]] Second fa_critical_path(FaKind kind, unsigned bits, Volt vdd,
+                                      const FaTimingConfig& cfg = {},
+                                      circuit::Corner corner = circuit::Corner::NN);
+
+/// Speedup of the TG carry-select FA over the logic-gate FA (paper: 1.8-2.2x).
+[[nodiscard]] double fa_speedup(unsigned bits, Volt vdd, const FaTimingConfig& cfg = {});
+
+}  // namespace bpim::timing

@@ -1,0 +1,23 @@
+#include "timing/freq_model.hpp"
+
+namespace bpim::timing {
+
+CycleBreakdown FreqModel::breakdown(Volt vdd, bool with_separator, circuit::Corner corner,
+                                    FaKind fa_kind) const {
+  const double k = cfg_.scaling.factor(vdd, corner);
+  CycleBreakdown b;
+  b.bl_precharge = cfg_.bl_precharge * k;
+  b.wl_activation = cfg_.wl_activation * k;
+  b.bl_sensing = cfg_.bl_sensing * k;
+  b.logic = fa_critical_path(fa_kind, cfg_.logic_bits, vdd, cfg_.fa, corner);
+  const double wb_factor = with_separator ? 1.0 : cfg_.write_back_full_bl_factor;
+  b.write_back = cfg_.write_back_separated * (k * wb_factor);
+  return b;
+}
+
+Hertz FreqModel::fmax(Volt vdd, bool with_separator, circuit::Corner corner,
+                      FaKind fa_kind) const {
+  return frequency_of(breakdown(vdd, with_separator, corner, fa_kind).total());
+}
+
+}  // namespace bpim::timing

@@ -1,0 +1,68 @@
+#pragma once
+// Cycle-time composition and maximum operating frequency (Fig 8).
+//
+// One IMC cycle is the serial composition the paper breaks down on the left
+// of Fig 8 (values at 0.9 V, NN):
+//
+//     BL precharge      60 ps
+//     WL activation    140 ps   (short full-swing pulse)
+//     BL sensing       130 ps   (boost completion + single-ended SA)
+//     logic            222 ps   (16-bit TG carry-select ripple, 8-bit mode
+//                                pairs two 8-bit words -> 16-bit chain)
+//     write-back        51 ps   (with BL separator; ~3x without)
+//
+// The sum scales with the shared DelayScaling law; the fit reproduces the
+// paper's anchors: 2.25 GHz at 1.0 V and 372 MHz at 0.6 V.
+
+#include "circuit/process.hpp"
+#include "common/units.hpp"
+#include "timing/fa_timing.hpp"
+
+namespace bpim::timing {
+
+struct CycleBreakdown {
+  Second bl_precharge{0.0};
+  Second wl_activation{0.0};
+  Second bl_sensing{0.0};
+  Second logic{0.0};
+  Second write_back{0.0};
+
+  [[nodiscard]] Second total() const {
+    return bl_precharge + wl_activation + bl_sensing + logic + write_back;
+  }
+};
+
+struct FreqModelConfig {
+  // Component delays at the 0.9 V / NN reference point.
+  Second bl_precharge{60e-12};
+  Second wl_activation{140e-12};
+  Second bl_sensing{130e-12};
+  Second write_back_separated{51e-12};
+  /// Write-back without the BL separator drives the full-height BL.
+  double write_back_full_bl_factor = 3.0;
+  /// Logic stage = ripple chain of this many bits (paper: 16-bit adder even
+  /// in 8-bit mode, two words per 32-bit slice segment pair).
+  unsigned logic_bits = 16;
+  FaTimingConfig fa{};
+  DelayScaling scaling{};
+};
+
+class FreqModel {
+ public:
+  explicit FreqModel(FreqModelConfig cfg = {}) : cfg_(cfg) {}
+
+  [[nodiscard]] CycleBreakdown breakdown(Volt vdd, bool with_separator = true,
+                                         circuit::Corner corner = circuit::Corner::NN,
+                                         FaKind fa_kind = FaKind::TransmissionGateSelect) const;
+
+  [[nodiscard]] Hertz fmax(Volt vdd, bool with_separator = true,
+                           circuit::Corner corner = circuit::Corner::NN,
+                           FaKind fa_kind = FaKind::TransmissionGateSelect) const;
+
+  [[nodiscard]] const FreqModelConfig& config() const { return cfg_; }
+
+ private:
+  FreqModelConfig cfg_;
+};
+
+}  // namespace bpim::timing

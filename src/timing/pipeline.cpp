@@ -1,0 +1,25 @@
+#include "timing/pipeline.hpp"
+
+namespace bpim::timing {
+
+PipelineTiming PipelineModel::timing(Volt vdd, bool with_separator,
+                                     circuit::Corner corner) const {
+  const CycleBreakdown b = freq_.breakdown(vdd, with_separator, corner);
+  PipelineTiming t;
+  t.latency = b.total();
+  // BL occupancy: precharge + WL + sensing always; write-back only holds the
+  // main BLs when the separator is absent (otherwise it retires onto the
+  // short dummy segment in the shadow of the next op's logic phase).
+  Second bl_busy = b.bl_precharge + b.wl_activation + b.bl_sensing;
+  if (!with_separator) bl_busy += b.write_back;
+  // The periphery (logic) must also drain before the next result arrives;
+  // the issue interval is the slower of the two resources.
+  t.issue_interval = bl_busy > b.logic ? bl_busy : b.logic;
+  return t;
+}
+
+Hertz PipelineModel::throughput(Volt vdd, bool with_separator, circuit::Corner corner) const {
+  return frequency_of(timing(vdd, with_separator, corner).issue_interval);
+}
+
+}  // namespace bpim::timing

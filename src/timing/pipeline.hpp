@@ -1,0 +1,47 @@
+#pragma once
+// Pipelined issue model for back-to-back macro operations.
+//
+// The five phases of one cycle (Fig 8) occupy two resource classes:
+//   * the bit lines:   precharge, WL activation, sensing, write-back;
+//   * the periphery:   FA-Logics evaluation.
+// Operation i+1 may precharge while operation i is still in its logic
+// phase, so the steady-state issue interval is the BL occupancy, not the
+// full latency. The BL separator helps twice: with it, write-back drives
+// only the dummy segment, releasing the *main* BLs one phase earlier.
+//
+// This is an extension study (the paper reports the serial cycle; related
+// work [4] pipelines with latches) -- see bench/ablation_pipeline.
+
+#include "timing/freq_model.hpp"
+
+namespace bpim::timing {
+
+struct PipelineTiming {
+  Second latency{0.0};         ///< one operation start-to-result
+  Second issue_interval{0.0};  ///< steady-state spacing between operations
+  [[nodiscard]] double speedup_vs_serial() const {
+    return latency.si() / issue_interval.si();
+  }
+};
+
+class PipelineModel {
+ public:
+  explicit PipelineModel(FreqModelConfig cfg = {}) : freq_(cfg) {}
+
+  /// Steady-state pipelined timing at `vdd`. With the separator, write-back
+  /// retires onto the separated dummy segment and does not hold the main
+  /// BLs, shortening the issue interval further.
+  [[nodiscard]] PipelineTiming timing(Volt vdd, bool with_separator = true,
+                                      circuit::Corner corner = circuit::Corner::NN) const;
+
+  /// Sustained operation rate (1 / issue interval).
+  [[nodiscard]] Hertz throughput(Volt vdd, bool with_separator = true,
+                                 circuit::Corner corner = circuit::Corner::NN) const;
+
+  [[nodiscard]] const FreqModel& freq() const { return freq_; }
+
+ private:
+  FreqModel freq_;
+};
+
+}  // namespace bpim::timing

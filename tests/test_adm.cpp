@@ -1,0 +1,64 @@
+// Access-disturb-margin estimators and the iso-ADM calibration.
+
+#include <gtest/gtest.h>
+
+#include "timing/adm.hpp"
+
+namespace bpim::timing {
+namespace {
+
+using namespace bpim::literals;
+using circuit::OperatingPoint;
+
+OperatingPoint nominal() { return OperatingPoint{0.9_V, 25.0, circuit::Corner::NN}; }
+
+TEST(Adm, WludAtPaperLevelNearIsoTarget) {
+  // The 0.55 V WLUD operating point should sit in the 2.5e-5 decade
+  // (measured 2.25e-5 over 2M samples during calibration; use a smaller,
+  // CI-friendly sample here with wide Poisson bounds).
+  const auto r = wlud_disturb_rate(BlComputeConfig{}, nominal(), 0.55_V, 400000, 42);
+  EXPECT_LT(r.rate(), 3.0e-4);
+  EXPECT_GT(r.rate_upper95(), 1.0e-6);
+}
+
+TEST(Adm, WludRateIncreasesWithLevel) {
+  const BlComputeConfig cfg;
+  const auto lo = wlud_disturb_rate(cfg, nominal(), 0.55_V, 150000, 43);
+  const auto hi = wlud_disturb_rate(cfg, nominal(), 0.70_V, 150000, 43);
+  EXPECT_GT(hi.failures, lo.failures);
+  EXPECT_GT(hi.rate(), 1e-3);  // 0.70 V is clearly unsafe
+}
+
+TEST(Adm, FullLevelIsCatastrophic) {
+  const auto r = wlud_disturb_rate(BlComputeConfig{}, nominal(), 0.9_V, 5000, 44);
+  EXPECT_GT(r.rate(), 0.2);
+}
+
+TEST(Adm, ShortWlSchemeIsAtLeastAsSafe) {
+  const BlComputeConfig cfg;
+  const auto prop = shortwl_disturb_rate(cfg, nominal(), 300000, 45);
+  const auto wlud = wlud_disturb_rate(cfg, nominal(), 0.55_V, 300000, 46);
+  EXPECT_LE(prop.failures, wlud.failures + 5);
+  EXPECT_LT(prop.rate(), 1e-4);
+}
+
+TEST(Adm, LongerPulseEventuallyUnsafe) {
+  // Stretching the "short" pulse toward a quasi-DC full-swing access must
+  // raise the disturb rate dramatically -- the reason 140 ps is short.
+  BlComputeConfig long_pulse;
+  long_pulse.wl_pulse = Second(3e-9);
+  const auto r = shortwl_disturb_rate(long_pulse, nominal(), 20000, 47);
+  EXPECT_GT(r.rate(), 1e-2);
+}
+
+TEST(Adm, CalibrateFindsLevelNearPaper) {
+  // Bisecting for the 2.5e-5 iso-ADM level should land in the 0.5-0.6 V
+  // neighbourhood the paper uses (0.55 V).
+  const Volt level =
+      calibrate_wlud_level(BlComputeConfig{}, nominal(), 2.5e-5, 60000, 48);
+  EXPECT_GT(level.si(), 0.48);
+  EXPECT_LT(level.si(), 0.62);
+}
+
+}  // namespace
+}  // namespace bpim::timing

@@ -1,0 +1,123 @@
+// The bit-serial baseline ([2]-style): functional correctness and the cycle
+// algebra the Fig 9 comparison rests on.
+
+#include <gtest/gtest.h>
+
+#include "baseline/bitserial.hpp"
+#include "common/rng.hpp"
+
+namespace bpim::baseline {
+namespace {
+
+TEST(BitSerial, DefaultsMatchReferenceDesign) {
+  const BitSerialMacro m;
+  EXPECT_EQ(m.config().cols, 256u);   // [2]: 128 x 256 array
+  EXPECT_EQ(m.alus(), 64u);           // 4:1 interleaved column ALUs
+}
+
+TEST(BitSerial, TransposedStorageRoundTrip) {
+  BitSerialMacro m;
+  m.poke_element(3, 8, 8, 0xA5);
+  EXPECT_EQ(m.peek_element(3, 8, 8), 0xA5u);
+  EXPECT_EQ(m.peek_element(2, 8, 8), 0u);
+  EXPECT_THROW(m.poke_element(3, 125, 8, 1), std::invalid_argument);
+  EXPECT_THROW(m.poke_element(64, 0, 8, 1), std::invalid_argument);
+}
+
+TEST(BitSerial, CycleFormulas) {
+  EXPECT_EQ(BitSerialMacro::logic_cycles(8), 8u);
+  EXPECT_EQ(BitSerialMacro::add_cycles(8), 9u);     // N+1
+  EXPECT_EQ(BitSerialMacro::sub_cycles(8), 10u);    // N+2
+  EXPECT_EQ(BitSerialMacro::mult_cycles(8), 80u);   // N*(N+2) ~ the N^2 cost
+}
+
+TEST(BitSerial, AddVectorAgainstReference) {
+  BitSerialMacro m;
+  bpim::Rng rng(5);
+  const std::size_t elems = 64;
+  std::vector<std::uint64_t> a(elems), b(elems);
+  for (std::size_t e = 0; e < elems; ++e) {
+    a[e] = rng.next_u64() & 0xFF;
+    b[e] = rng.next_u64() & 0xFF;
+    m.poke_element(e, 0, 8, a[e]);
+    m.poke_element(e, 8, 8, b[e]);
+  }
+  m.add(0, 8, 16, 8, elems);
+  EXPECT_EQ(m.total_cycles(), 9u);
+  for (std::size_t e = 0; e < elems; ++e)
+    EXPECT_EQ(m.peek_element(e, 16, 8), (a[e] + b[e]) & 0xFF) << e;
+}
+
+TEST(BitSerial, SubVectorAgainstReference) {
+  BitSerialMacro m;
+  bpim::Rng rng(6);
+  for (std::size_t e = 0; e < 32; ++e) {
+    const std::uint64_t a = rng.next_u64() & 0xFF, b = rng.next_u64() & 0xFF;
+    m.poke_element(e, 0, 8, a);
+    m.poke_element(e, 8, 8, b);
+    m.sub(0, 8, 16, 8, e + 1);
+    EXPECT_EQ(m.peek_element(e, 16, 8), (a - b) & 0xFF);
+  }
+}
+
+TEST(BitSerial, MultVectorAgainstReference) {
+  BitSerialMacro m;
+  bpim::Rng rng(7);
+  const std::size_t elems = 48;
+  std::vector<std::uint64_t> a(elems), b(elems);
+  for (std::size_t e = 0; e < elems; ++e) {
+    a[e] = rng.next_u64() & 0xFF;
+    b[e] = rng.next_u64() & 0xFF;
+    m.poke_element(e, 0, 8, a[e]);
+    m.poke_element(e, 8, 8, b[e]);
+  }
+  m.mult(0, 8, 16, 8, elems);
+  EXPECT_EQ(m.total_cycles(), 80u);
+  for (std::size_t e = 0; e < elems; ++e)
+    EXPECT_EQ(m.peek_element(e, 16, 16), a[e] * b[e]) << e;
+}
+
+TEST(BitSerial, LogicFunctions) {
+  BitSerialMacro m;
+  m.poke_element(0, 0, 8, 0b1100);
+  m.poke_element(0, 8, 8, 0b1010);
+  m.logic(SerialLogicFn::And, 0, 8, 16, 8, 1);
+  EXPECT_EQ(m.peek_element(0, 16, 8), 0b1000u);
+  m.logic(SerialLogicFn::Or, 0, 8, 16, 8, 1);
+  EXPECT_EQ(m.peek_element(0, 16, 8), 0b1110u);
+  m.logic(SerialLogicFn::Xor, 0, 8, 16, 8, 1);
+  EXPECT_EQ(m.peek_element(0, 16, 8), 0b0110u);
+}
+
+TEST(BitSerial, MultNeedsRoomForProduct) {
+  BitSerialMacro m;
+  EXPECT_THROW(m.mult(0, 8, 120, 8, 1), std::invalid_argument);  // 120+16 > 128
+}
+
+TEST(BitSerial, EnergyCalibratedToPublishedTopsPerWatt) {
+  // [2] Table: ADD 5.27 TOPS/W and MULT 0.56 TOPS/W at 0.6 V.
+  const BitSerialMacro m;
+  const double add_tops =
+      1e-12 / m.op_energy(BitSerialMacro::add_cycles(8), Volt(0.6)).si();
+  const double mult_tops =
+      1e-12 / m.op_energy(BitSerialMacro::mult_cycles(8), Volt(0.6)).si();
+  EXPECT_NEAR(add_tops, 5.27, 0.07 * 5.27);
+  EXPECT_NEAR(mult_tops, 0.56, 0.10 * 0.56);
+}
+
+TEST(BitSerial, ChargesPerElementAndCycle) {
+  BitSerialMacro m;
+  m.add(0, 8, 16, 8, 10);
+  const double e10 = m.total_energy().si();
+  m.reset_counters();
+  m.add(0, 8, 16, 8, 20);
+  EXPECT_NEAR(m.total_energy().si() / e10, 2.0, 1e-9);
+}
+
+TEST(BitSerial, ParallelismCappedByAlus) {
+  BitSerialMacro m;
+  EXPECT_THROW(m.add(0, 8, 16, 8, 65), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::baseline

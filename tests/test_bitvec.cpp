@@ -1,0 +1,125 @@
+// BitVector: the bit-exact substrate under every row and latch.
+
+#include <gtest/gtest.h>
+
+#include "common/bitvec.hpp"
+#include "common/rng.hpp"
+
+namespace bpim {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(BitVector, ConstructsZeroed) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, ValueConstructorLittleEndian) {
+  BitVector v(8, 0b1010);
+  EXPECT_FALSE(v.get(0));
+  EXPECT_TRUE(v.get(1));
+  EXPECT_FALSE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_EQ(v.to_u64(), 0b1010u);
+}
+
+TEST(BitVector, ValueMustFit) {
+  EXPECT_THROW(BitVector(3, 8), std::invalid_argument);
+  EXPECT_NO_THROW(BitVector(3, 7));
+}
+
+TEST(BitVector, SetGetAcrossWordBoundary) {
+  BitVector v(128);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(127, true);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(127));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(16);
+  EXPECT_THROW((void)v.get(16), std::invalid_argument);
+  EXPECT_THROW(v.set(16, true), std::invalid_argument);
+}
+
+TEST(BitVector, FillAndNotRespectSizeMask) {
+  BitVector v(70);
+  v.fill(true);
+  EXPECT_EQ(v.popcount(), 70u);
+  const BitVector inv = ~v;
+  EXPECT_EQ(inv.popcount(), 0u);
+}
+
+TEST(BitVector, BitwiseOps) {
+  BitVector a(8, 0b1100);
+  BitVector b(8, 0b1010);
+  EXPECT_EQ((a & b).to_u64(), 0b1000u);
+  EXPECT_EQ((a | b).to_u64(), 0b1110u);
+  EXPECT_EQ((a ^ b).to_u64(), 0b0110u);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(8);
+  BitVector b(9);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+}
+
+TEST(BitVector, Shl1AcrossWords) {
+  BitVector v(128);
+  v.set(63, true);
+  v.shl1();
+  EXPECT_FALSE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  // MSB falls off the end.
+  v.fill(false);
+  v.set(127, true);
+  v.shl1();
+  EXPECT_EQ(v.popcount(), 0u);
+}
+
+TEST(BitVector, SliceAndPatch) {
+  BitVector v(32, 0xABCDu);
+  const BitVector nib = v.slice(4, 4);
+  EXPECT_EQ(nib.to_u64(), 0xCu);
+  BitVector w(32);
+  w.patch(8, nib);
+  EXPECT_EQ(w.to_u64(), 0xC00u);
+  EXPECT_THROW(v.slice(30, 4), std::invalid_argument);
+  EXPECT_THROW(w.patch(30, nib), std::invalid_argument);
+}
+
+TEST(BitVector, ToStringMsbFirst) {
+  BitVector v(4, 0b0110);
+  EXPECT_EQ(v.to_string(), "0110");
+}
+
+TEST(BitVector, EqualityIncludesSize) {
+  EXPECT_EQ(BitVector(8, 5), BitVector(8, 5));
+  EXPECT_FALSE(BitVector(8, 5) == BitVector(9, 5));
+  EXPECT_FALSE(BitVector(8, 5) == BitVector(8, 6));
+}
+
+TEST(BitVector, RandomizeIsDeterministicPerSeed) {
+  Rng r1(7), r2(7), r3(8);
+  BitVector a(200), b(200), c(200);
+  a.randomize(r1);
+  b.randomize(r2);
+  c.randomize(r3);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  // Random 200-bit vector has ~100 set bits; 5-sigma band.
+  EXPECT_GT(a.popcount(), 60u);
+  EXPECT_LT(a.popcount(), 140u);
+}
+
+}  // namespace
+}  // namespace bpim

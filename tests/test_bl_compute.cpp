@@ -1,0 +1,134 @@
+// Bit-line computation transients: the Fig 2 / Fig 7a physics.
+
+#include <gtest/gtest.h>
+
+#include "timing/bl_compute.hpp"
+
+namespace bpim::timing {
+namespace {
+
+using namespace bpim::literals;
+using circuit::Corner;
+using circuit::OperatingPoint;
+
+OperatingPoint nominal() { return OperatingPoint{0.9_V, 25.0, Corner::NN}; }
+
+TEST(BlCompute, SchemeNames) {
+  EXPECT_STREQ(to_string(BlScheme::Wlud), "WLUD");
+  EXPECT_STREQ(to_string(BlScheme::ShortWlBoost), "Short-WL + BL Boost");
+}
+
+TEST(BlCompute, CapacitanceScalesWithRows) {
+  BlComputeConfig cfg;
+  cfg.rows = 128;
+  const BlComputeModel m128(BlScheme::Wlud, cfg, nominal());
+  cfg.rows = 256;
+  const BlComputeModel m256(BlScheme::Wlud, cfg, nominal());
+  EXPECT_GT(m256.bl_capacitance().si(), m128.bl_capacitance().si());
+}
+
+TEST(BlCompute, ProposedFasterThanWludNominal) {
+  BlComputeConfig cfg;
+  const double prop =
+      BlComputeModel(BlScheme::ShortWlBoost, cfg, nominal()).nominal_delay().si();
+  const double wlud = BlComputeModel(BlScheme::Wlud, cfg, nominal()).nominal_delay().si();
+  EXPECT_LT(prop, 0.8e-9);   // sub-ns with the boost
+  EXPECT_GT(wlud, 1.2e-9);   // WLUD pays the weak-access discharge
+  EXPECT_LT(prop / wlud, 0.5);
+}
+
+TEST(BlCompute, WludDelayInPaperBallpark) {
+  // Fig 2's WLUD distribution is centred around ~1.5-2.2 ns at 0.9 V.
+  const double d = BlComputeModel(BlScheme::Wlud, BlComputeConfig{}, nominal())
+                       .nominal_delay().si();
+  EXPECT_GT(d, 1.3e-9);
+  EXPECT_LT(d, 2.6e-9);
+}
+
+TEST(BlCompute, WorstCornerRatioMatchesPaper) {
+  // Paper Fig 7a: proposed is ~0.22x the WLUD delay at the worst corner.
+  double worst_ratio = 0.0;
+  for (const auto c : circuit::kAllCorners) {
+    const OperatingPoint op{0.9_V, 25.0, c};
+    const double p =
+        BlComputeModel(BlScheme::ShortWlBoost, BlComputeConfig{}, op).nominal_delay().si();
+    const double w = BlComputeModel(BlScheme::Wlud, BlComputeConfig{}, op).nominal_delay().si();
+    worst_ratio = std::max(worst_ratio, p / w);
+  }
+  EXPECT_GT(worst_ratio, 0.12);
+  EXPECT_LT(worst_ratio, 0.35);
+}
+
+TEST(BlCompute, BoostCollapsesAfterPulse) {
+  // With the booster disabled (WLUD path uses none), a short pulse alone
+  // never develops a full swing: delay saturates at t_end.
+  BlComputeConfig cfg;
+  cfg.t_end = Second(4e-9);
+  BlComputeModel prop(BlScheme::ShortWlBoost, cfg, nominal());
+  const double with_boost = prop.nominal_delay().si();
+  EXPECT_LT(with_boost, 1e-9);
+
+  // Emulate "no boost" by making the booster devices vanishingly weak.
+  BlComputeConfig no_boost = cfg;
+  no_boost.w_p0_um = 1e-6;
+  no_boost.w_n1_um = 1e-6;
+  BlComputeModel crippled(BlScheme::ShortWlBoost, no_boost, nominal());
+  EXPECT_DOUBLE_EQ(crippled.nominal_delay().si(), no_boost.t_end.si());
+}
+
+TEST(BlCompute, LongerPulseSpeedsWludStyleDischarge) {
+  BlComputeConfig slow;
+  slow.wl_pulse = Second(80e-12);
+  BlComputeConfig fast;
+  fast.wl_pulse = Second(240e-12);
+  const double d_slow =
+      BlComputeModel(BlScheme::ShortWlBoost, slow, nominal()).nominal_delay().si();
+  const double d_fast =
+      BlComputeModel(BlScheme::ShortWlBoost, fast, nominal()).nominal_delay().si();
+  EXPECT_LT(d_fast, d_slow);  // more droop -> earlier boost trigger
+}
+
+TEST(BlCompute, DistributionShapesMatchFig2) {
+  // Proposed: short-tail (small sigma/mean); WLUD: long right tail.
+  BlComputeConfig cfg;
+  const auto prop = bl_delay_distribution(BlScheme::ShortWlBoost, cfg, nominal(), 1500, 21);
+  const auto wlud = bl_delay_distribution(BlScheme::Wlud, cfg, nominal(), 1500, 22);
+
+  EXPECT_LT(prop.stddev() / prop.mean(), 0.30);
+  EXPECT_GT(wlud.stddev() / wlud.mean(), 0.12);
+  EXPECT_LT(prop.mean(), wlud.mean());
+
+  // Right-tail skew: (p99 - p50) vs (p50 - p1) is strongly asymmetric for
+  // WLUD (current collapses as overdrive -> 0) and mild for the boost.
+  const double wlud_skew = (wlud.percentile(0.99) - wlud.percentile(0.5)) /
+                           (wlud.percentile(0.5) - wlud.percentile(0.01));
+  const double prop_skew = (prop.percentile(0.99) - prop.percentile(0.5)) /
+                           (prop.percentile(0.5) - prop.percentile(0.01));
+  EXPECT_GT(wlud_skew, 1.3);
+  EXPECT_LT(prop_skew, wlud_skew);
+}
+
+TEST(BlCompute, MonteCarloDeterministicPerSeed) {
+  BlComputeConfig cfg;
+  const auto a = bl_delay_distribution(BlScheme::Wlud, cfg, nominal(), 50, 5);
+  const auto b = bl_delay_distribution(BlScheme::Wlud, cfg, nominal(), 50, 5);
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(BlCompute, LowerSupplyIsSlower) {
+  BlComputeConfig cfg;
+  const OperatingPoint low{0.8_V, 25.0, Corner::NN};
+  const double d09 =
+      BlComputeModel(BlScheme::ShortWlBoost, cfg, nominal()).nominal_delay().si();
+  const double d08 = BlComputeModel(BlScheme::ShortWlBoost, cfg, low).nominal_delay().si();
+  EXPECT_GT(d08, d09);
+}
+
+TEST(BlCompute, RejectsEmptyBitline) {
+  BlComputeConfig cfg;
+  cfg.rows = 0;
+  EXPECT_THROW(BlComputeModel(BlScheme::Wlud, cfg, nominal()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::timing

@@ -1,0 +1,62 @@
+// Calibration against the paper's published numbers (Table 2, Table 3).
+
+#include <gtest/gtest.h>
+
+#include "energy/calibration.hpp"
+
+namespace bpim::energy {
+namespace {
+
+TEST(Calibration, TargetsCoverAllFifteenEntries) {
+  EXPECT_EQ(table2_targets().size(), 15u);
+}
+
+TEST(Calibration, Table2WithinTolerance) {
+  const CalibrationReport r = check_table2(EnergyModel{});
+  ASSERT_EQ(r.rows.size(), 15u);
+  for (const auto& row : r.rows)
+    EXPECT_LT(std::abs(row.rel_error), 0.06) << row.label << ": model " << row.model_fj
+                                             << " fJ vs paper " << row.paper_fj << " fJ";
+  EXPECT_LT(r.mean_abs_rel_error, 0.03);
+}
+
+TEST(Calibration, AddEntriesEssentiallyExact) {
+  const CalibrationReport r = check_table2(EnergyModel{});
+  for (const auto& row : r.rows)
+    if (row.label.rfind("ADD", 0) == 0) {
+      EXPECT_LT(std::abs(row.rel_error), 0.01) << row.label;
+    }
+}
+
+TEST(Calibration, SubEntriesEssentiallyExact) {
+  const CalibrationReport r = check_table2(EnergyModel{});
+  for (const auto& row : r.rows)
+    if (row.label.rfind("SUB", 0) == 0) {
+      EXPECT_LT(std::abs(row.rel_error), 0.01) << row.label;
+    }
+}
+
+TEST(Calibration, TopsPerWattAnchors) {
+  // Table 3 at 0.6 V: ADD 8.09, MULT 0.68 TOPS/W (1 op = 8-bit word op).
+  const EnergyModel m;
+  EXPECT_NEAR(model_tops_add_06v(m), kPaperTopsPerWattAdd06V, 0.05 * kPaperTopsPerWattAdd06V);
+  EXPECT_NEAR(model_tops_mult_06v(m), kPaperTopsPerWattMult06V,
+              0.05 * kPaperTopsPerWattMult06V);
+}
+
+TEST(Calibration, ReportTracksWorstRow) {
+  const CalibrationReport r = check_table2(EnergyModel{});
+  double worst = 0.0;
+  for (const auto& row : r.rows) worst = std::max(worst, std::abs(row.rel_error));
+  EXPECT_DOUBLE_EQ(worst, r.max_abs_rel_error);
+}
+
+TEST(Calibration, DetectsMiscalibratedModel) {
+  EnergyParams bad;
+  bad.cmp_main_fj *= 2.0;
+  const CalibrationReport r = check_table2(EnergyModel{bad});
+  EXPECT_GT(r.max_abs_rel_error, 0.3);
+}
+
+}  // namespace
+}  // namespace bpim::energy

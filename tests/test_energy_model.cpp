@@ -1,0 +1,89 @@
+// Component energy model: prices, closed forms, scaling.
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace bpim::energy {
+namespace {
+
+using namespace bpim::literals;
+
+TEST(EnergyModel, VoltageScaleIsQuadratic) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.voltage_scale(0.9_V), 1.0);
+  EXPECT_NEAR(m.voltage_scale(0.6_V), (0.6 / 0.9) * (0.6 / 0.9), 1e-12);
+  EXPECT_NEAR(m.voltage_scale(1.1_V), (1.1 / 0.9) * (1.1 / 0.9), 1e-12);
+  EXPECT_THROW((void)m.voltage_scale(Volt(0.0)), std::invalid_argument);
+}
+
+TEST(EnergyModel, PricesPositiveAndOrdered) {
+  const EnergyModel m;
+  const auto p = [&](Component c) { return in_fJ(m.price(c, 0.9_V)); };
+  EXPECT_GT(p(Component::DualWlComputeMain), p(Component::DualWlComputeNear));
+  EXPECT_GT(p(Component::WriteBackFull), p(Component::WriteBackNear));
+  EXPECT_GT(p(Component::SingleWlRead), 0.0);
+  EXPECT_GT(p(Component::FaLogic), 0.0);
+  EXPECT_GT(p(Component::FlipFlop), 0.0);
+  EXPECT_GT(p(Component::Inverter), 0.0);
+}
+
+TEST(EnergyModel, AddIsLinearInBits) {
+  const EnergyModel m;
+  const double e2 = in_fJ(m.add(2, 0.9_V));
+  const double e4 = in_fJ(m.add(4, 0.9_V));
+  const double e8 = in_fJ(m.add(8, 0.9_V));
+  EXPECT_NEAR(e4, 2.0 * e2, 1e-9);
+  EXPECT_NEAR(e8, 4.0 * e2, 1e-9);
+}
+
+TEST(EnergyModel, AddEqualsLogicOpCost) {
+  const EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.add(8, 0.9_V).si(), m.logic_op(8, 0.9_V).si());
+}
+
+TEST(EnergyModel, SubIsNotPlusAdd) {
+  const EnergyModel m;
+  for (const auto sep : {SeparatorMode::Enabled, SeparatorMode::Disabled}) {
+    const double sub = m.sub(8, 0.9_V, sep).si();
+    const double parts =
+        m.single_wl_writeback(8, 0.9_V, sep).si() + m.add(8, 0.9_V).si();
+    EXPECT_DOUBLE_EQ(sub, parts);
+  }
+}
+
+TEST(EnergyModel, SeparatorSavesOnSubAndMult) {
+  const EnergyModel m;
+  for (const unsigned bits : {2u, 4u, 8u}) {
+    EXPECT_LT(m.sub(bits, 0.9_V, SeparatorMode::Enabled).si(),
+              m.sub(bits, 0.9_V, SeparatorMode::Disabled).si());
+    EXPECT_LT(m.mult(bits, 0.9_V, SeparatorMode::Enabled).si(),
+              m.mult(bits, 0.9_V, SeparatorMode::Disabled).si());
+  }
+}
+
+TEST(EnergyModel, MultGrowsSuperlinearly) {
+  // N+2 cycles on 2N-bit units: the per-op energy is ~quadratic in N.
+  const EnergyModel m;
+  const double e2 = m.mult(2, 0.9_V, SeparatorMode::Enabled).si();
+  const double e4 = m.mult(4, 0.9_V, SeparatorMode::Enabled).si();
+  const double e8 = m.mult(8, 0.9_V, SeparatorMode::Enabled).si();
+  EXPECT_GT(e4 / e2, 2.5);
+  EXPECT_GT(e8 / e4, 3.0);
+}
+
+TEST(EnergyModel, TopsPerWattInverse) {
+  const EnergyModel m;
+  EXPECT_NEAR(m.tops_per_watt(Joule(100e-15)), 10.0, 1e-9);
+  EXPECT_THROW((void)m.tops_per_watt(Joule(0.0)), std::invalid_argument);
+}
+
+TEST(EnergyModel, EnergyDropsQuadraticallyWithSupply) {
+  const EnergyModel m;
+  const double hi = m.add(8, 0.9_V).si();
+  const double lo = m.add(8, 0.6_V).si();
+  EXPECT_NEAR(lo / hi, 4.0 / 9.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace bpim::energy

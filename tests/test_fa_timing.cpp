@@ -1,0 +1,98 @@
+// FA critical-path timing (Fig 7b) and the shared delay-scaling law.
+
+#include <gtest/gtest.h>
+
+#include "timing/fa_timing.hpp"
+
+namespace bpim::timing {
+namespace {
+
+using namespace bpim::literals;
+using circuit::Corner;
+
+TEST(DelayScaling, ReferencePointIsUnity) {
+  DelayScaling s;
+  EXPECT_DOUBLE_EQ(s.factor(0.9_V), 1.0);
+}
+
+TEST(DelayScaling, MonotoneInSupply) {
+  DelayScaling s;
+  double prev = 1e9;
+  for (double v = 0.6; v <= 1.1; v += 0.05) {
+    const double f = s.factor(Volt(v));
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(DelayScaling, PaperAnchorsReproduced) {
+  // Fitted so 0.9 V -> 1.0 V speeds up by 2.25/1.658 and 0.9 -> 0.6 slows
+  // by 1.658/0.372 (the published fmax pair).
+  DelayScaling s;
+  EXPECT_NEAR(s.factor(1.0_V), 1.658 / 2.25, 0.01);
+  EXPECT_NEAR(s.factor(0.6_V), 1.658 / 0.372, 0.10);
+}
+
+TEST(DelayScaling, CornersShiftDelay) {
+  DelayScaling s;
+  EXPECT_GT(s.factor(0.9_V, Corner::SS), 1.0);
+  EXPECT_LT(s.factor(0.9_V, Corner::FF), 1.0);
+}
+
+TEST(DelayScaling, RejectsSupplyBelowFitRange) {
+  DelayScaling s;
+  EXPECT_THROW((void)s.factor(Volt(0.30)), std::invalid_argument);
+}
+
+TEST(FaTiming, SixteenBitReferenceIs222ps) {
+  // Fig 8: the 16-bit adder logic stage is 222 ps at 0.9 V.
+  const Second d = fa_critical_path(FaKind::TransmissionGateSelect, 16, 0.9_V);
+  EXPECT_NEAR(in_ps(d), 222.0, 1e-6);
+}
+
+TEST(FaTiming, SpeedupInPaperBand) {
+  // Paper: the TG carry-select FA improves the critical path 1.8x-2.2x.
+  for (const unsigned bits : {8u, 16u}) {
+    for (const double v : {0.7, 0.8, 0.9, 1.0, 1.1}) {
+      const double s = fa_speedup(bits, Volt(v));
+      EXPECT_GT(s, 1.8) << bits << " bits @ " << v << " V";
+      EXPECT_LT(s, 2.2) << bits << " bits @ " << v << " V";
+    }
+  }
+}
+
+TEST(FaTiming, ChainGrowsLinearlyInBits) {
+  const FaTimingConfig cfg;
+  const double d8 = fa_critical_path(FaKind::TransmissionGateSelect, 8, 0.9_V).si();
+  const double d16 = fa_critical_path(FaKind::TransmissionGateSelect, 16, 0.9_V).si();
+  const double d32 = fa_critical_path(FaKind::TransmissionGateSelect, 32, 0.9_V).si();
+  EXPECT_NEAR(d16 - d8, 8.0 * cfg.tg_stage.si(), 1e-15);
+  EXPECT_NEAR(d32 - d16, 16.0 * cfg.tg_stage.si(), 1e-15);
+}
+
+TEST(FaTiming, LogicFaPaysPerStage) {
+  const double tg = fa_critical_path(FaKind::TransmissionGateSelect, 16, 0.9_V).si();
+  const double lg = fa_critical_path(FaKind::LogicGate, 16, 0.9_V).si();
+  EXPECT_GT(lg, tg);
+}
+
+TEST(FaTiming, LowVoltageSixteenBitLogicFaAboveNanosecond) {
+  // Fig 7b's y-axis: the logic-gate 16-bit FA crosses ~1 ns near 0.7 V.
+  const double d = in_ps(fa_critical_path(FaKind::LogicGate, 16, 0.7_V));
+  EXPECT_GT(d, 900.0);
+  EXPECT_LT(d, 1400.0);
+}
+
+TEST(FaTiming, RejectsZeroBits) {
+  EXPECT_THROW((void)fa_critical_path(FaKind::LogicGate, 0, 0.9_V), std::invalid_argument);
+}
+
+TEST(FaTiming, SlowCornerSlower) {
+  const double nn = fa_critical_path(FaKind::TransmissionGateSelect, 16, 0.9_V).si();
+  const double ss =
+      fa_critical_path(FaKind::TransmissionGateSelect, 16, 0.9_V, {}, Corner::SS).si();
+  EXPECT_GT(ss, nn);
+}
+
+}  // namespace
+}  // namespace bpim::timing

@@ -1,0 +1,134 @@
+// FA-Logics: every logic function and the carry-select adder, exhaustively
+// and property-style against reference arithmetic.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "periph/falogics.hpp"
+
+namespace bpim::periph {
+namespace {
+
+using array::BlReadout;
+
+BlReadout readout_of(std::uint64_t a, std::uint64_t b, std::size_t width) {
+  BitVector va(width, a), vb(width, b);
+  return BlReadout{va & vb, ~(va | vb)};
+}
+
+TEST(FaLogics, AllLogicFunctionsMatchReference) {
+  const std::size_t w = 8;
+  for (std::uint64_t a = 0; a < 256; a += 37) {
+    for (std::uint64_t b = 0; b < 256; b += 41) {
+      const BlReadout r = readout_of(a, b, w);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::And).to_u64(), a & b);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::Nand).to_u64(), (~(a & b)) & 0xFF);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::Or).to_u64(), a | b);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::Nor).to_u64(), (~(a | b)) & 0xFF);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::Xor).to_u64(), a ^ b);
+      EXPECT_EQ(FaLogics::logic(r, LogicFn::Xnor).to_u64(), (~(a ^ b)) & 0xFF);
+    }
+  }
+}
+
+TEST(FaLogics, SingleWlPassAndNot) {
+  BitVector a(8, 0b10110010);
+  const BlReadout r{a, ~a};
+  EXPECT_EQ(FaLogics::logic(r, LogicFn::PassA).to_u64(), 0b10110010u);
+  EXPECT_EQ(FaLogics::logic(r, LogicFn::NotA).to_u64(), 0b01001101u);
+}
+
+TEST(FaLogics, ToStringNames) {
+  EXPECT_STREQ(to_string(LogicFn::Xnor), "XNOR");
+  EXPECT_STREQ(to_string(LogicFn::NotA), "NOT");
+}
+
+// --- the full adder, paper eq. (1)-(2) -------------------------------------
+
+TEST(FaLogics, SingleBitTruthTable) {
+  // All eight (A, B, Cin) combinations of the carry-select FA.
+  for (unsigned a = 0; a <= 1; ++a)
+    for (unsigned b = 0; b <= 1; ++b)
+      for (unsigned cin = 0; cin <= 1; ++cin) {
+        const BlReadout r = readout_of(a, b, 1);
+        const AddResult res = FaLogics::add(r, 1, cin != 0);
+        const unsigned expect = a + b + cin;
+        EXPECT_EQ(res.sum.get(0), (expect & 1u) != 0) << a << b << cin;
+        EXPECT_EQ(res.carry.get(0), (expect >> 1) != 0) << a << b << cin;
+      }
+}
+
+TEST(FaLogics, EightBitExhaustiveAgainstAdder) {
+  for (std::uint64_t a = 0; a < 256; ++a)
+    for (std::uint64_t b = 0; b < 256; ++b) {
+      const AddResult r = FaLogics::add(readout_of(a, b, 8), 8, false);
+      EXPECT_EQ(r.sum.to_u64(), (a + b) & 0xFF);
+      EXPECT_EQ(r.word_carry.get(7), ((a + b) >> 8) != 0);
+    }
+}
+
+TEST(FaLogics, CarryInImplementsPlusOne) {
+  for (std::uint64_t a = 0; a < 256; a += 7)
+    for (std::uint64_t b = 0; b < 256; b += 11) {
+      const AddResult r = FaLogics::add(readout_of(a, b, 8), 8, true);
+      EXPECT_EQ(r.sum.to_u64(), (a + b + 1) & 0xFF);
+    }
+}
+
+TEST(FaLogics, SegmentationIsolatesWords) {
+  // Two 4-bit words packed in 8 columns: 0xF + 0x1 must not carry into the
+  // upper word when the chain is cut at 4-bit boundaries.
+  const std::uint64_t a = 0x2F;  // words: low 0xF, high 0x2
+  const std::uint64_t b = 0x11;  // words: low 0x1, high 0x1
+  const AddResult cut = FaLogics::add(readout_of(a, b, 8), 4, false);
+  EXPECT_EQ(cut.sum.to_u64() & 0xF, 0x0u);        // 0xF + 0x1 wraps
+  EXPECT_EQ((cut.sum.to_u64() >> 4) & 0xF, 0x3u); // 2 + 1, no ripple-in
+  // Without the cut the carry ripples across.
+  const AddResult joined = FaLogics::add(readout_of(a, b, 8), 8, false);
+  EXPECT_EQ(joined.sum.to_u64(), 0x40u);
+}
+
+TEST(FaLogics, WordCarryPackedAtWordMsb) {
+  const AddResult r = FaLogics::add(readout_of(0xFF, 0x01, 8), 4, false);
+  EXPECT_TRUE(r.word_carry.get(3));   // low word overflows
+  EXPECT_FALSE(r.word_carry.get(7));  // 0xF + 0x0 + no ripple-in... (0xF+0x0=0xF)
+}
+
+class FaLogicsWidths : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FaLogicsWidths, RandomizedWordsMatchReference) {
+  // Property sweep: at every supported precision, packed multi-word rows add
+  // like independent integers.
+  const unsigned bits = GetParam();
+  const std::size_t width = 128;
+  const std::size_t words = width / bits;
+  bpim::Rng rng(1000 + bits);
+  for (int iter = 0; iter < 200; ++iter) {
+    BitVector ra(width), rb(width);
+    ra.randomize(rng);
+    rb.randomize(rng);
+    const BlReadout r{ra & rb, ~(ra | rb)};
+    const AddResult res = FaLogics::add(r, bits, false);
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t a = 0, b = 0, s = 0;
+      for (unsigned i = 0; i < bits; ++i) {
+        a |= static_cast<std::uint64_t>(ra.get(w * bits + i)) << i;
+        b |= static_cast<std::uint64_t>(rb.get(w * bits + i)) << i;
+        s |= static_cast<std::uint64_t>(res.sum.get(w * bits + i)) << i;
+      }
+      const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+      EXPECT_EQ(s, (a + b) & mask) << "word " << w << " @ " << bits << " bits";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, FaLogicsWidths, ::testing::Values(2u, 4u, 8u, 16u, 32u));
+
+TEST(FaLogics, RejectsBadPrecision) {
+  const BlReadout r = readout_of(1, 2, 8);
+  EXPECT_THROW(FaLogics::add(r, 3, false), std::invalid_argument);  // 8 % 3 != 0
+  EXPECT_THROW(FaLogics::add(r, 0, false), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::periph

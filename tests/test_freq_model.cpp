@@ -1,0 +1,82 @@
+// Cycle-time composition and fmax (Fig 8).
+
+#include <gtest/gtest.h>
+
+#include "timing/freq_model.hpp"
+
+namespace bpim::timing {
+namespace {
+
+using namespace bpim::literals;
+
+TEST(FreqModel, BreakdownMatchesFig8At09V) {
+  const FreqModel m;
+  const auto b = m.breakdown(0.9_V);
+  EXPECT_NEAR(in_ps(b.bl_precharge), 60.0, 1e-6);
+  EXPECT_NEAR(in_ps(b.wl_activation), 140.0, 1e-6);
+  EXPECT_NEAR(in_ps(b.bl_sensing), 130.0, 1e-6);
+  EXPECT_NEAR(in_ps(b.logic), 222.0, 1e-6);
+  EXPECT_NEAR(in_ps(b.write_back), 51.0, 1e-6);
+  EXPECT_NEAR(in_ps(b.total()), 603.0, 1e-6);
+}
+
+TEST(FreqModel, Fig8FractionsMatchPaper) {
+  // Paper: logic 36.8%, WL act 23.2%, sensing 21.6%, precharge 10.0%, WB 8.5%.
+  const FreqModel m;
+  const auto b = m.breakdown(0.9_V);
+  const double t = b.total().si();
+  EXPECT_NEAR(b.logic.si() / t, 0.368, 0.005);
+  EXPECT_NEAR(b.wl_activation.si() / t, 0.232, 0.005);
+  EXPECT_NEAR(b.bl_sensing.si() / t, 0.216, 0.005);
+  EXPECT_NEAR(b.bl_precharge.si() / t, 0.100, 0.005);
+  EXPECT_NEAR(b.write_back.si() / t, 0.085, 0.005);
+}
+
+TEST(FreqModel, PaperFmaxAnchors) {
+  const FreqModel m;
+  // Table 3: 2.25 GHz at 1.0 V; Fig 8 right: 372 MHz at 0.6 V.
+  EXPECT_NEAR(in_GHz(m.fmax(1.0_V)), 2.25, 0.02);
+  EXPECT_NEAR(in_MHz(m.fmax(0.6_V)), 372.0, 8.0);
+  EXPECT_NEAR(in_GHz(m.fmax(0.9_V)), 1.658, 0.02);
+}
+
+TEST(FreqModel, FmaxMonotoneInSupply) {
+  const FreqModel m;
+  double prev = 0.0;
+  for (double v = 0.6; v <= 1.1; v += 0.05) {
+    const double f = m.fmax(Volt(v)).si();
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(FreqModel, SeparatorShortensWriteBack) {
+  const FreqModel m;
+  const auto with = m.breakdown(0.9_V, true);
+  const auto without = m.breakdown(0.9_V, false);
+  EXPECT_NEAR(without.write_back.si() / with.write_back.si(),
+              m.config().write_back_full_bl_factor, 1e-9);
+  EXPECT_GT(m.fmax(0.9_V, true).si(), m.fmax(0.9_V, false).si());
+}
+
+TEST(FreqModel, LogicFaChoiceHurtsFmax) {
+  const FreqModel m;
+  EXPECT_GT(m.fmax(0.9_V, true, circuit::Corner::NN, FaKind::TransmissionGateSelect).si(),
+            m.fmax(0.9_V, true, circuit::Corner::NN, FaKind::LogicGate).si());
+}
+
+TEST(FreqModel, SlowCornerLowersFmax) {
+  const FreqModel m;
+  EXPECT_LT(m.fmax(0.9_V, true, circuit::Corner::SS).si(),
+            m.fmax(0.9_V, true, circuit::Corner::NN).si());
+}
+
+TEST(FreqModel, SupplyRangeOfPaperIsUsable) {
+  // The paper claims 0.6-1.1 V operation.
+  const FreqModel m;
+  EXPECT_GT(m.fmax(0.6_V).si(), 100e6);
+  EXPECT_GT(m.fmax(1.1_V).si(), 2.5e9);
+}
+
+}  // namespace
+}  // namespace bpim::timing

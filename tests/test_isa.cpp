@@ -1,0 +1,48 @@
+// ISA metadata: Table 1 cycle counts and classification.
+
+#include <gtest/gtest.h>
+
+#include "macro/isa.hpp"
+
+namespace bpim::macro {
+namespace {
+
+TEST(Isa, Table1CycleCounts) {
+  // Logic / NOT / Shift / ADD / ADD-Shift: 1 cycle; SUB: 2; MULT: N+2.
+  for (const Op op : {Op::Nand, Op::And, Op::Nor, Op::Or, Op::Xnor, Op::Xor, Op::Not,
+                      Op::Shift, Op::Copy, Op::Add, Op::AddShift})
+    EXPECT_EQ(op_cycles(op, 8), 1u) << to_string(op);
+  EXPECT_EQ(op_cycles(Op::Sub, 8), 2u);
+  EXPECT_EQ(op_cycles(Op::Mult, 2), 4u);
+  EXPECT_EQ(op_cycles(Op::Mult, 4), 6u);
+  EXPECT_EQ(op_cycles(Op::Mult, 8), 10u);
+  EXPECT_EQ(op_cycles(Op::Mult, 16), 18u);
+}
+
+TEST(Isa, DualVsSingleWl) {
+  EXPECT_TRUE(is_dual_wl(Op::Add));
+  EXPECT_TRUE(is_dual_wl(Op::Xor));
+  EXPECT_TRUE(is_dual_wl(Op::Mult));
+  EXPECT_FALSE(is_dual_wl(Op::Not));
+  EXPECT_FALSE(is_dual_wl(Op::Shift));
+  EXPECT_FALSE(is_dual_wl(Op::Copy));
+}
+
+TEST(Isa, PrecisionSet) {
+  // Paper: 2/4/8-bit modes, extensible to 16/32 by the same method.
+  for (const unsigned b : {2u, 4u, 8u, 16u, 32u}) EXPECT_TRUE(is_supported_precision(b));
+  for (const unsigned b : {1u, 3u, 5u, 7u, 12u, 64u}) EXPECT_FALSE(is_supported_precision(b));
+}
+
+TEST(Isa, Names) {
+  EXPECT_STREQ(to_string(Op::AddShift), "ADD-Shift");
+  EXPECT_STREQ(to_string(Op::Mult), "MULT");
+  EXPECT_STREQ(to_string(WlScheme::ShortPulseBoost), "Short WL + BL Boost");
+}
+
+TEST(Isa, CycleCountRejectsZeroBits) {
+  EXPECT_THROW((void)op_cycles(Op::Mult, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::macro

@@ -1,0 +1,73 @@
+// Leakage / static-power model.
+
+#include <gtest/gtest.h>
+
+#include "energy/leakage.hpp"
+
+namespace bpim::energy {
+namespace {
+
+using namespace bpim::literals;
+
+constexpr std::size_t kMacroCells = 128 * 128;
+constexpr std::size_t kMemoryCells = 64 * kMacroCells;  // the 128 KB part
+
+TEST(Leakage, ReferenceCellCurrent) {
+  const LeakageModel m;
+  EXPECT_NEAR(in_uA(m.cell_current(0.9_V, 25.0)) * 1e6, 300.0, 1e-6);  // pA
+}
+
+TEST(Leakage, SupplyAndTemperatureMonotone) {
+  const LeakageModel m;
+  EXPECT_LT(m.cell_current(0.6_V, 25.0).si(), m.cell_current(0.9_V, 25.0).si());
+  EXPECT_LT(m.cell_current(0.9_V, 25.0).si(), m.cell_current(1.1_V, 25.0).si());
+  EXPECT_LT(m.cell_current(0.9_V, 25.0).si(), m.cell_current(0.9_V, 85.0).si());
+}
+
+TEST(Leakage, TemperatureDoublesEveryTenC) {
+  const LeakageModel m;
+  const double r = m.cell_current(0.9_V, 35.0).si() / m.cell_current(0.9_V, 25.0).si();
+  EXPECT_NEAR(r, 2.0, 1e-9);
+}
+
+TEST(Leakage, MemoryPowerInRealisticBand) {
+  // 1M cells at hundreds of pA and 0.9 V: a few hundred uW -- the right
+  // 28 nm GP decade.
+  const LeakageModel m;
+  const double p = in_mW(m.array_power(kMemoryCells, 0.9_V, 25.0));
+  EXPECT_GT(p, 0.05);
+  EXPECT_LT(p, 2.0);
+}
+
+TEST(Leakage, EnergyPerCycleScalesInverselyWithF) {
+  const LeakageModel m;
+  const double e1 = m.energy_per_cycle(kMacroCells, 0.9_V, 25.0, 1.0_GHz).si();
+  const double e2 = m.energy_per_cycle(kMacroCells, 0.9_V, 25.0, 2.0_GHz).si();
+  EXPECT_NEAR(e1 / e2, 2.0, 1e-9);
+}
+
+TEST(Leakage, EffectiveEnergyScalesInverselyWithDuty) {
+  const LeakageModel m;
+  const Joule dyn(274.8e-15);  // 8-bit ADD
+  const double full = m.effective_energy_per_op(dyn, kMacroCells, 0.9_V, 25.0, 1.658_GHz,
+                                                16.0, 1.0).si();
+  const double idle = m.effective_energy_per_op(dyn, kMacroCells, 0.9_V, 25.0, 1.658_GHz,
+                                                16.0, 0.01).si();
+  // At full duty the leakage adder is a small fraction of the dynamic
+  // energy; at 1% duty the *leakage contribution* is exactly 100x larger.
+  EXPECT_LT(full, dyn.si() * 1.05);
+  EXPECT_GT(idle, full);
+  EXPECT_NEAR((idle - dyn.si()) / (full - dyn.si()), 100.0, 1e-6);
+}
+
+TEST(Leakage, GuardsInputs) {
+  const LeakageModel m;
+  EXPECT_THROW((void)m.cell_current(Volt(0.0), 25.0), std::invalid_argument);
+  EXPECT_THROW((void)m.energy_per_cycle(1, 0.9_V, 25.0, Hertz(0.0)), std::invalid_argument);
+  EXPECT_THROW(
+      (void)m.effective_energy_per_op(Joule(1e-15), 1, 0.9_V, 25.0, 1.0_GHz, 1.0, 0.0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::energy

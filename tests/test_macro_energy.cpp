@@ -1,0 +1,129 @@
+// The macro's cycle-by-cycle energy ledger must agree with the closed-form
+// EnergyModel (same component prices, same recipes) -- Table 2 by simulation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "energy/calibration.hpp"
+#include "macro/imc_macro.hpp"
+
+namespace bpim::macro {
+namespace {
+
+using array::RowRef;
+using energy::EnergyModel;
+using energy::SeparatorMode;
+
+MacroConfig config_with(SeparatorMode sep) {
+  MacroConfig cfg;
+  cfg.separator = sep;
+  return cfg;
+}
+
+/// Energy per word of a full-row op = ledger energy / words per row.
+double per_word_fj(const ImcMacro& m, unsigned bits) {
+  return in_fJ(m.last_op().op_energy) / static_cast<double>(m.cols() / bits);
+}
+
+class MacroEnergy : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(MacroEnergy, AddMatchesClosedForm) {
+  const unsigned bits = GetParam();
+  ImcMacro m{MacroConfig{}};
+  const EnergyModel ref;
+  m.add_rows(RowRef::main(0), RowRef::main(1), bits);
+  EXPECT_NEAR(per_word_fj(m, bits), in_fJ(ref.add(bits, m.config().vdd)), 1e-6);
+}
+
+TEST_P(MacroEnergy, SubMatchesClosedFormBothSeparatorModes) {
+  const unsigned bits = GetParam();
+  const EnergyModel ref;
+  for (const auto sep : {SeparatorMode::Enabled, SeparatorMode::Disabled}) {
+    ImcMacro m{config_with(sep)};
+    m.sub_rows(RowRef::main(0), RowRef::main(1), bits);
+    EXPECT_NEAR(per_word_fj(m, bits), in_fJ(ref.sub(bits, m.config().vdd, sep)), 1e-6)
+        << (sep == SeparatorMode::Enabled ? "w/ sep" : "w/o sep");
+  }
+}
+
+TEST_P(MacroEnergy, MultMatchesClosedFormBothSeparatorModes) {
+  const unsigned bits = GetParam();
+  const EnergyModel ref;
+  for (const auto sep : {SeparatorMode::Enabled, SeparatorMode::Disabled}) {
+    ImcMacro m{config_with(sep)};
+    m.poke_mult_operand(0, 0, bits, 1);
+    m.poke_mult_operand(1, 0, bits, 1);
+    m.mult_rows(RowRef::main(0), RowRef::main(1), bits);
+    const double per_unit =
+        in_fJ(m.last_op().op_energy) / static_cast<double>(m.mult_units_per_row(bits));
+    EXPECT_NEAR(per_unit, in_fJ(ref.mult(bits, m.config().vdd, sep)), 1e-6)
+        << (sep == SeparatorMode::Enabled ? "w/ sep" : "w/o sep");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, MacroEnergy, ::testing::Values(2u, 4u, 8u));
+
+TEST(MacroEnergyTable2, SimulatedMacroReproducesTable2) {
+  // End-to-end: run the ops on the macro and compare the per-word energies
+  // against the paper's Table 2 within the calibration tolerance.
+  for (const auto& t : energy::table2_targets()) {
+    ImcMacro m{config_with(t.sep)};
+    double fj = 0.0;
+    const std::string op(t.op);
+    if (op == "ADD") {
+      m.add_rows(RowRef::main(0), RowRef::main(1), t.bits);
+      fj = per_word_fj(m, t.bits);
+    } else if (op == "SUB") {
+      m.sub_rows(RowRef::main(0), RowRef::main(1), t.bits);
+      fj = per_word_fj(m, t.bits);
+    } else {
+      m.mult_rows(RowRef::main(0), RowRef::main(1), t.bits);
+      fj = in_fJ(m.last_op().op_energy) / static_cast<double>(m.mult_units_per_row(t.bits));
+    }
+    EXPECT_NEAR(fj, t.paper_fj, 0.06 * t.paper_fj)
+        << op << " " << t.bits << "b sep=" << (t.sep == SeparatorMode::Enabled);
+  }
+}
+
+TEST(MacroEnergyProperties, EnergyIndependentOfDataValues) {
+  // The structural ledger charges by bits touched, not data (activity
+  // factors are modelled as constants) -- two different operand sets must
+  // report identical op energy.
+  ImcMacro m{MacroConfig{}};
+  Rng rng(9);
+  BitVector r0(128), r1(128);
+  r0.randomize(rng);
+  r1.randomize(rng);
+  m.poke_row(0, r0);
+  m.poke_row(1, r1);
+  m.add_rows(RowRef::main(0), RowRef::main(1), 8);
+  const double e1 = m.last_op().op_energy.si();
+  m.poke_row(0, BitVector(128));
+  m.poke_row(1, BitVector(128));
+  m.add_rows(RowRef::main(0), RowRef::main(1), 8);
+  EXPECT_DOUBLE_EQ(m.last_op().op_energy.si(), e1);
+}
+
+TEST(MacroEnergyProperties, LowerSupplyQuadraticallyCheaper) {
+  MacroConfig lo;
+  lo.vdd = Volt(0.6);
+  ImcMacro m09{MacroConfig{}};
+  ImcMacro m06{lo};
+  m09.add_rows(RowRef::main(0), RowRef::main(1), 8);
+  m06.add_rows(RowRef::main(0), RowRef::main(1), 8);
+  EXPECT_NEAR(m06.last_op().op_energy.si() / m09.last_op().op_energy.si(),
+              (0.6 / 0.9) * (0.6 / 0.9), 1e-9);
+}
+
+TEST(MacroEnergyProperties, SeparatorNeverCostsEnergy) {
+  for (const unsigned bits : {2u, 4u, 8u, 16u}) {
+    ImcMacro with{config_with(SeparatorMode::Enabled)};
+    ImcMacro without{config_with(SeparatorMode::Disabled)};
+    with.mult_rows(RowRef::main(0), RowRef::main(1), bits);
+    without.mult_rows(RowRef::main(0), RowRef::main(1), bits);
+    EXPECT_LT(with.last_op().op_energy.si(), without.last_op().op_energy.si());
+  }
+}
+
+}  // namespace
+}  // namespace bpim::macro

@@ -1,0 +1,79 @@
+// Multi-layer perceptron with per-layer precision.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/mlp.hpp"
+#include "common/rng.hpp"
+
+namespace bpim::app {
+namespace {
+
+std::vector<std::vector<double>> rand_w(std::size_t out, std::size_t in, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  std::vector<std::vector<double>> w(out, std::vector<double>(in));
+  for (auto& row : w)
+    for (auto& x : row) x = rng.uniform(0.0, 1.0);
+  return w;
+}
+
+TEST(Mlp, ShapeValidation) {
+  EXPECT_THROW(Mlp({}), std::invalid_argument);
+  // 8 -> 4 followed by a layer expecting 5 inputs: mismatch.
+  EXPECT_THROW(Mlp({{rand_w(4, 8, 1), 8}, {rand_w(2, 5, 2), 8}}), std::invalid_argument);
+  const Mlp ok({{rand_w(4, 8, 1), 8}, {rand_w(2, 4, 2), 8}});
+  EXPECT_EQ(ok.depth(), 2u);
+  EXPECT_EQ(ok.in_features(), 8u);
+  EXPECT_EQ(ok.out_features(), 2u);
+}
+
+TEST(Mlp, ImcMatchesReference) {
+  macro::ImcMemory mem;
+  Mlp net({{rand_w(12, 24, 3), 8}, {rand_w(6, 12, 4), 8}, {rand_w(3, 6, 5), 8}});
+  bpim::Rng rng(6);
+  std::vector<double> x(24);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  const auto y = net.forward(mem, x);
+  const auto ref = net.forward_reference(x);
+  ASSERT_EQ(y.size(), 3u);
+  for (std::size_t i = 0; i < y.size(); ++i)
+    EXPECT_NEAR(y[i], ref[i], 1e-9 * std::max(1.0, ref[i]));
+}
+
+TEST(Mlp, PerLayerStatsSumToTotal) {
+  macro::ImcMemory mem;
+  Mlp net({{rand_w(8, 16, 7), 8}, {rand_w(4, 8, 8), 4}});
+  bpim::Rng rng(9);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  (void)net.forward(mem, x);
+  ASSERT_EQ(net.layer_stats().size(), 2u);
+  std::uint64_t cycles = 0;
+  double energy = 0.0;
+  for (const auto& s : net.layer_stats()) {
+    cycles += s.cycles;
+    energy += s.energy.si();
+  }
+  EXPECT_EQ(cycles, net.last_stats().cycles);
+  EXPECT_NEAR(energy, net.last_stats().energy.si(), 1e-20);
+  EXPECT_EQ(net.last_stats().macs, 8u * 16u + 4u * 8u);
+}
+
+TEST(Mlp, MixedPrecisionCheaperThanUniformHigh) {
+  macro::ImcMemory mem;
+  const auto w1 = rand_w(16, 32, 10);
+  const auto w2 = rand_w(8, 16, 11);
+  Mlp uniform({{w1, 8}, {w2, 8}});
+  Mlp mixed({{w1, 8}, {w2, 2}});
+  bpim::Rng rng(12);
+  std::vector<double> x(32);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  (void)uniform.forward(mem, x);
+  const double e_uniform = uniform.last_stats().energy.si();
+  (void)mixed.forward(mem, x);
+  EXPECT_LT(mixed.last_stats().energy.si(), e_uniform);
+}
+
+}  // namespace
+}  // namespace bpim::app

@@ -1,0 +1,50 @@
+// Monte-Carlo drivers: determinism, convergence, failure-rate bounds.
+
+#include <gtest/gtest.h>
+
+#include "circuit/montecarlo.hpp"
+
+namespace bpim::circuit {
+namespace {
+
+TEST(MonteCarlo, MetricDistributionConverges) {
+  const auto s = monte_carlo_metric([](Rng& r) { return r.normal(5.0, 1.0); }, 50000, 11);
+  EXPECT_EQ(s.count(), 50000u);
+  EXPECT_NEAR(s.mean(), 5.0, 0.03);
+  EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(MonteCarlo, MetricIsDeterministicPerSeed) {
+  const auto a = monte_carlo_metric([](Rng& r) { return r.uniform(); }, 100, 7);
+  const auto b = monte_carlo_metric([](Rng& r) { return r.uniform(); }, 100, 7);
+  EXPECT_EQ(a.samples(), b.samples());
+}
+
+TEST(MonteCarlo, FailureRateMatchesProbability) {
+  const auto r =
+      monte_carlo_failure([](Rng& rng) { return rng.uniform() < 0.01; }, 200000, 13);
+  EXPECT_EQ(r.trials, 200000u);
+  EXPECT_NEAR(r.rate(), 0.01, 0.002);
+}
+
+TEST(MonteCarlo, ZeroFailuresUsesRuleOfThree) {
+  const auto r = monte_carlo_failure([](Rng&) { return false; }, 1000, 17);
+  EXPECT_EQ(r.failures, 0u);
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+  EXPECT_NEAR(r.rate_upper95(), 3.0 / 1000.0, 1e-12);
+}
+
+TEST(MonteCarlo, UpperBoundCoversTrueRate) {
+  const auto r =
+      monte_carlo_failure([](Rng& rng) { return rng.uniform() < 0.005; }, 100000, 19);
+  EXPECT_GT(r.rate_upper95(), 0.005 * 0.8);
+}
+
+TEST(MonteCarlo, EmptyTrialsSafe) {
+  FailureRateResult r;
+  EXPECT_DOUBLE_EQ(r.rate(), 0.0);
+  EXPECT_DOUBLE_EQ(r.rate_upper95(), 1.0);
+}
+
+}  // namespace
+}  // namespace bpim::circuit

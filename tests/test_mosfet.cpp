@@ -1,0 +1,131 @@
+// Alpha-power/EKV MOSFET model: monotonicity, regions, corners, mismatch.
+
+#include <gtest/gtest.h>
+
+#include "circuit/mosfet.hpp"
+
+namespace bpim::circuit {
+namespace {
+
+using namespace bpim::literals;
+
+OperatingPoint nominal() { return OperatingPoint{0.9_V, 25.0, Corner::NN}; }
+
+TEST(Mosfet, RejectsNonPositiveWidth) {
+  EXPECT_THROW(Mosfet(DeviceKind::Nmos, VtFlavor::Regular, 0.0, nominal()),
+               std::invalid_argument);
+}
+
+TEST(Mosfet, CurrentIncreasesWithVgs) {
+  const Mosfet m(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  double prev = 0.0;
+  for (double vgs = 0.2; vgs <= 1.1; vgs += 0.05) {
+    const double i = m.current(Volt(vgs), 0.9_V).si();
+    EXPECT_GT(i, prev);
+    prev = i;
+  }
+}
+
+TEST(Mosfet, CurrentIncreasesWithVdsInTriode) {
+  const Mosfet m(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const double sat = m.current(0.9_V, 0.9_V).si();
+  const double lin = m.current(0.9_V, 0.05_V).si();
+  EXPECT_LT(lin, sat);
+  EXPECT_GT(lin, 0.0);
+  // Beyond Vdsat the current saturates.
+  EXPECT_DOUBLE_EQ(m.current(0.9_V, 0.8_V).si(), m.current(0.9_V, 0.9_V).si());
+}
+
+TEST(Mosfet, ZeroOrNegativeVdsGivesZero) {
+  const Mosfet m(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  EXPECT_DOUBLE_EQ(m.current(0.9_V, 0.0_V).si(), 0.0);
+  EXPECT_DOUBLE_EQ(m.current(0.9_V, Volt(-0.1)).si(), 0.0);
+}
+
+TEST(Mosfet, SubthresholdIsExponentialNotZero) {
+  const Mosfet m(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const double i1 = m.current(Volt(m.vth().si() - 0.10), 0.9_V).si();
+  const double i2 = m.current(Volt(m.vth().si() - 0.20), 0.9_V).si();
+  EXPECT_GT(i1, 0.0);
+  EXPECT_GT(i2, 0.0);
+  EXPECT_GT(i1 / i2, 5.0);  // ~100 mV/decade-ish slope
+  EXPECT_LT(i1 / i2, 100.0);
+}
+
+TEST(Mosfet, CurrentScalesLinearlyWithWidth) {
+  const Mosfet w1(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const Mosfet w2(DeviceKind::Nmos, VtFlavor::Regular, 0.4, nominal());
+  EXPECT_NEAR(w2.current(0.9_V, 0.9_V).si() / w1.current(0.9_V, 0.9_V).si(), 2.0, 1e-9);
+}
+
+TEST(Mosfet, LvtConductsMoreAtSameBias) {
+  const Mosfet rvt(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const Mosfet lvt(DeviceKind::Nmos, VtFlavor::LowVt, 0.2, nominal());
+  EXPECT_LT(lvt.vth().si(), rvt.vth().si());
+  EXPECT_GT(lvt.current(0.5_V, 0.9_V).si(), rvt.current(0.5_V, 0.9_V).si());
+}
+
+TEST(Mosfet, PmosWeakerPerMicron) {
+  const Mosfet n(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const Mosfet p(DeviceKind::Pmos, VtFlavor::Regular, 0.2, nominal());
+  EXPECT_GT(n.current(0.9_V, 0.9_V).si(), p.current(0.9_V, 0.9_V).si());
+}
+
+TEST(Mosfet, CornerOrderingSlowToFast) {
+  auto idsat = [](Corner c) {
+    OperatingPoint op{Volt(0.9), 25.0, c};
+    return Mosfet(DeviceKind::Nmos, VtFlavor::Regular, 0.2, op).current(Volt(0.9), Volt(0.9)).si();
+  };
+  EXPECT_LT(idsat(Corner::SS), idsat(Corner::NN));
+  EXPECT_LT(idsat(Corner::NN), idsat(Corner::FF));
+  // NMOS: SF is slow, FS is fast.
+  EXPECT_LT(idsat(Corner::SF), idsat(Corner::NN));
+  EXPECT_GT(idsat(Corner::FS), idsat(Corner::NN));
+}
+
+TEST(Mosfet, PmosCornerAsymmetry) {
+  auto idsat = [](Corner c) {
+    OperatingPoint op{Volt(0.9), 25.0, c};
+    return Mosfet(DeviceKind::Pmos, VtFlavor::Regular, 0.2, op).current(Volt(0.9), Volt(0.9)).si();
+  };
+  EXPECT_GT(idsat(Corner::SF), idsat(Corner::NN));  // fast PMOS at SF
+  EXPECT_LT(idsat(Corner::FS), idsat(Corner::NN));
+}
+
+TEST(Mosfet, HotterIsSlowerAtHighOverdrive) {
+  OperatingPoint hot{0.9_V, 125.0, Corner::NN};
+  const Mosfet cold(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal());
+  const Mosfet warm(DeviceKind::Nmos, VtFlavor::Regular, 0.2, hot);
+  // At full overdrive, mobility loss dominates the Vth drop.
+  EXPECT_LT(warm.current(0.9_V, 0.9_V).si(), cold.current(0.9_V, 0.9_V).si());
+  // Near threshold the lower Vth wins (temperature inversion).
+  EXPECT_GT(warm.current(0.45_V, 0.9_V).si(), cold.current(0.45_V, 0.9_V).si());
+}
+
+TEST(Mosfet, MismatchDeltaShiftsThreshold) {
+  const Mosfet fast(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal(), default_process(),
+                    Volt(-0.05));
+  const Mosfet slow(DeviceKind::Nmos, VtFlavor::Regular, 0.2, nominal(), default_process(),
+                    Volt(+0.05));
+  EXPECT_NEAR(slow.vth().si() - fast.vth().si(), 0.10, 1e-12);
+  EXPECT_GT(fast.current(0.6_V, 0.9_V).si(), slow.current(0.6_V, 0.9_V).si());
+}
+
+TEST(Mosfet, PelgromSigmaShrinksWithArea) {
+  const double s_small = Mosfet::mismatch_sigma(0.1).si();
+  const double s_large = Mosfet::mismatch_sigma(0.4).si();
+  EXPECT_NEAR(s_small / s_large, 2.0, 1e-9);  // sqrt(4x area)
+  EXPECT_GT(s_small, 0.01);                   // tens of mV for minimum devices
+  EXPECT_LT(s_small, 0.06);
+}
+
+TEST(Mosfet, RealisticSaturationCurrentDensity) {
+  // ~200-600 uA/um at full overdrive is the right 28 nm ballpark.
+  const Mosfet m(DeviceKind::Nmos, VtFlavor::Regular, 1.0, nominal());
+  const double i = m.current(0.9_V, 0.9_V).si();
+  EXPECT_GT(i, 100e-6);
+  EXPECT_LT(i, 800e-6);
+}
+
+}  // namespace
+}  // namespace bpim::circuit

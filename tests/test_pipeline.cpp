@@ -1,0 +1,65 @@
+// Pipelined-issue timing model.
+
+#include <gtest/gtest.h>
+
+#include "timing/pipeline.hpp"
+
+namespace bpim::timing {
+namespace {
+
+using namespace bpim::literals;
+
+TEST(Pipeline, IssueIntervalNeverExceedsLatency) {
+  const PipelineModel m;
+  for (double v = 0.6; v <= 1.1 + 1e-9; v += 0.1) {
+    const auto t = m.timing(Volt(v));
+    EXPECT_LE(t.issue_interval.si(), t.latency.si());
+    EXPECT_GE(t.speedup_vs_serial(), 1.0);
+  }
+}
+
+TEST(Pipeline, ReferencePointNumbers) {
+  // At 0.9 V with the separator: BL busy = 60+140+130 = 330 ps; logic is
+  // 222 ps, so the BL side limits issue at 330 ps against a 603 ps latency.
+  const PipelineModel m;
+  const auto t = m.timing(0.9_V, true);
+  EXPECT_NEAR(in_ps(t.latency), 603.0, 1e-6);
+  EXPECT_NEAR(in_ps(t.issue_interval), 330.0, 1e-6);
+  EXPECT_NEAR(t.speedup_vs_serial(), 603.0 / 330.0, 1e-9);
+}
+
+TEST(Pipeline, SeparatorShortensIssueInterval) {
+  // Without the separator the write-back holds the main BLs, lengthening
+  // the BL-busy window (330 -> 483 ps at 0.9 V).
+  const PipelineModel m;
+  const auto with = m.timing(0.9_V, true);
+  const auto without = m.timing(0.9_V, false);
+  EXPECT_LT(with.issue_interval.si(), without.issue_interval.si());
+  EXPECT_NEAR(in_ps(without.issue_interval), 330.0 + 153.0, 1e-6);
+}
+
+TEST(Pipeline, ThroughputIsInverseIssueInterval) {
+  const PipelineModel m;
+  const auto t = m.timing(0.9_V);
+  EXPECT_NEAR(m.throughput(0.9_V).si(), 1.0 / t.issue_interval.si(), 1.0);
+}
+
+TEST(Pipeline, LogicBoundWhenChainVeryWide) {
+  // A 32-bit logic stage (444 ps at 0.9 V) exceeds the 330 ps BL window, so
+  // the periphery becomes the bottleneck.
+  FreqModelConfig cfg;
+  cfg.logic_bits = 32;
+  const PipelineModel m(cfg);
+  const auto t = m.timing(0.9_V, true);
+  EXPECT_GT(in_ps(t.issue_interval), 330.0 + 1.0);
+}
+
+TEST(Pipeline, ScalesWithSupplyLikeTheCycle) {
+  const PipelineModel m;
+  const double r06 = m.timing(0.6_V).issue_interval.si() / m.timing(0.6_V).latency.si();
+  const double r09 = m.timing(0.9_V).issue_interval.si() / m.timing(0.9_V).latency.si();
+  EXPECT_NEAR(r06, r09, 1e-9);  // all components share the scaling law
+}
+
+}  // namespace
+}  // namespace bpim::timing

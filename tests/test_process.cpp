@@ -1,0 +1,52 @@
+// Process-corner bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "circuit/process.hpp"
+
+namespace bpim::circuit {
+namespace {
+
+TEST(Process, CornerNames) {
+  EXPECT_STREQ(to_string(Corner::SS), "SS");
+  EXPECT_STREQ(to_string(Corner::SF), "SF");
+  EXPECT_STREQ(to_string(Corner::NN), "NN");
+  EXPECT_STREQ(to_string(Corner::FS), "FS");
+  EXPECT_STREQ(to_string(Corner::FF), "FF");
+}
+
+TEST(Process, CornerSignsNmosFirstConvention) {
+  EXPECT_EQ(corner_sign(Corner::NN, DeviceKind::Nmos), 0);
+  EXPECT_EQ(corner_sign(Corner::NN, DeviceKind::Pmos), 0);
+  EXPECT_EQ(corner_sign(Corner::SS, DeviceKind::Nmos), +1);
+  EXPECT_EQ(corner_sign(Corner::SS, DeviceKind::Pmos), +1);
+  EXPECT_EQ(corner_sign(Corner::FF, DeviceKind::Nmos), -1);
+  EXPECT_EQ(corner_sign(Corner::FF, DeviceKind::Pmos), -1);
+  // SF = slow NMOS / fast PMOS, FS = the reverse.
+  EXPECT_EQ(corner_sign(Corner::SF, DeviceKind::Nmos), +1);
+  EXPECT_EQ(corner_sign(Corner::SF, DeviceKind::Pmos), -1);
+  EXPECT_EQ(corner_sign(Corner::FS, DeviceKind::Nmos), -1);
+  EXPECT_EQ(corner_sign(Corner::FS, DeviceKind::Pmos), +1);
+}
+
+TEST(Process, AllCornersListsFive) {
+  EXPECT_EQ(kAllCorners.size(), 5u);
+}
+
+TEST(Process, ThermalVoltage) {
+  EXPECT_NEAR(thermal_voltage(25.0).si(), 0.0257, 5e-4);
+  EXPECT_GT(thermal_voltage(125.0).si(), thermal_voltage(25.0).si());
+}
+
+TEST(Process, DefaultsAreSane) {
+  const auto& p = default_process();
+  EXPECT_GT(p.vth_n.si(), 0.2);
+  EXPECT_LT(p.vth_n.si(), 0.6);
+  EXPECT_GT(p.kp_n_a_per_um, p.kp_p_a_per_um);  // NMOS stronger per um
+  EXPECT_GT(p.alpha_n, 1.0);                    // velocity-saturated short channel
+  EXPECT_LT(p.alpha_n, 2.0);
+  EXPECT_GT(p.lvt_offset.si(), 0.0);
+}
+
+}  // namespace
+}  // namespace bpim::circuit

@@ -1,0 +1,129 @@
+// Deterministic RNG stream quality and the statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace bpim {
+namespace {
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(1);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndRange) {
+  Rng r(2);
+  RunningStats s;
+  for (int i = 0; i < 100000; ++i) s.add(r.uniform(2.0, 4.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.02);
+  EXPECT_GE(s.min(), 2.0);
+  EXPECT_LT(s.max(), 4.0);
+}
+
+TEST(Rng, BoundedIntegerIsUnbiasedEnough) {
+  Rng r(3);
+  std::size_t counts[5] = {};
+  for (int i = 0; i < 50000; ++i) ++counts[r.uniform_u64(5)];
+  for (const auto c : counts) EXPECT_NEAR(static_cast<double>(c), 10000.0, 500.0);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(4);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(r.normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, NormalTailFractionIsGaussian) {
+  // P(|z| > 3) ~ 2.7e-3; check within a factor band over 1M samples.
+  Rng r(5);
+  std::size_t tails = 0;
+  constexpr std::size_t kN = 1000000;
+  for (std::size_t i = 0; i < kN; ++i)
+    if (std::abs(r.normal()) > 3.0) ++tails;
+  const double frac = static_cast<double>(tails) / kN;
+  EXPECT_GT(frac, 1.8e-3);
+  EXPECT_LT(frac, 3.8e-3);
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(6);
+  std::size_t hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.bernoulli(0.25);
+  EXPECT_NEAR(static_cast<double>(hits) / 1e5, 0.25, 0.01);
+}
+
+TEST(RunningStats, WelfordAgainstClosedForm) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSet, PercentilesInterpolate) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-12);
+  EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-9);
+}
+
+TEST(SampleSet, GuardsEmptyAndBadP) {
+  SampleSet s;
+  EXPECT_THROW((void)s.percentile(0.5), std::invalid_argument);
+  s.add(1.0);
+  EXPECT_THROW((void)s.percentile(1.5), std::invalid_argument);
+}
+
+TEST(Histogram, BinsAndFractions) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  h.add(-1.0);   // underflow
+  h.add(11.0);   // overflow
+  EXPECT_EQ(h.total(), 12u);
+  for (std::size_t b = 0; b < 10; ++b) {
+    EXPECT_EQ(h.bin_count(b), 1u);
+    EXPECT_NEAR(h.bin_fraction(b), 1.0 / 12.0, 1e-12);
+    EXPECT_NEAR(h.bin_center(b), b + 0.5, 1e-12);
+  }
+}
+
+TEST(Histogram, RenderMentionsCountsAndOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  h.add(0.75);
+  h.add(2.0);
+  const std::string r = h.render(10, "ns");
+  EXPECT_NE(r.find("ns"), std::string::npos);
+  EXPECT_NE(r.find("above range"), std::string::npos);
+}
+
+TEST(Histogram, RejectsBadRange) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim

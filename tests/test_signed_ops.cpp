@@ -1,0 +1,92 @@
+// Signed arithmetic layered over the unsigned in-memory datapath.
+
+#include <gtest/gtest.h>
+
+#include "app/signed_ops.hpp"
+#include "common/rng.hpp"
+
+namespace bpim::app {
+namespace {
+
+macro::MemoryConfig small_mem() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 1;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+TEST(SignedCodec, EncodeDecodeRoundTrip) {
+  for (const unsigned bits : {2u, 4u, 8u, 16u}) {
+    const std::int64_t lo = -(1ll << (bits - 1));
+    const std::int64_t hi = (1ll << (bits - 1)) - 1;
+    for (std::int64_t v = lo; v <= hi; v += std::max<std::int64_t>(1, (hi - lo) / 50))
+      EXPECT_EQ(decode_signed(encode_signed(v, bits), bits), v) << v << " @ " << bits;
+  }
+}
+
+TEST(SignedCodec, KnownEncodings) {
+  EXPECT_EQ(encode_signed(-1, 8), 0xFFu);
+  EXPECT_EQ(encode_signed(-128, 8), 0x80u);
+  EXPECT_EQ(encode_signed(127, 8), 0x7Fu);
+  EXPECT_EQ(decode_signed(0x80, 8), -128);
+}
+
+TEST(SignedCodec, RangeChecks) {
+  EXPECT_TRUE(fits_signed(-8, 4));
+  EXPECT_TRUE(fits_signed(7, 4));
+  EXPECT_FALSE(fits_signed(8, 4));
+  EXPECT_FALSE(fits_signed(-9, 4));
+  EXPECT_THROW((void)encode_signed(128, 8), std::invalid_argument);
+  EXPECT_THROW((void)decode_signed(256, 8), std::invalid_argument);
+}
+
+class SignedOpsP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SignedOpsP, AddSubMatchReference) {
+  const unsigned bits = GetParam();
+  macro::ImcMemory mem(small_mem());
+  SignedVectorOps ops(mem, bits);
+  Rng rng(bits * 13);
+  const std::int64_t half = 1ll << (bits - 2);  // keep sums in range
+  std::vector<std::int64_t> a(100), b(100);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = static_cast<std::int64_t>(rng.uniform_u64(2 * half)) - half;
+    b[i] = static_cast<std::int64_t>(rng.uniform_u64(2 * half)) - half;
+  }
+  const auto s = ops.add(a, b);
+  const auto d = ops.sub(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(s[i], a[i] + b[i]) << i;
+    EXPECT_EQ(d[i], a[i] - b[i]) << i;
+  }
+}
+
+TEST_P(SignedOpsP, MultMatchesReferenceAllSignCombos) {
+  const unsigned bits = GetParam();
+  macro::ImcMemory mem(small_mem());
+  SignedVectorOps ops(mem, bits);
+  const std::int64_t m = (1ll << (bits - 1)) - 1;
+  const std::vector<std::int64_t> a{m, -m, m, -m, 0, -1, 1, 3};
+  const std::vector<std::int64_t> b{m, m, -m, -m, -5, -1, -1, -3};
+  const auto p = ops.mult(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(p[i], a[i] * b[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, SignedOpsP, ::testing::Values(4u, 8u, 16u));
+
+TEST(SignedOps, NegationWrapsAtWordWidth) {
+  // -128 - 1 wraps to +127 at 8 bits (documented two's-complement behaviour).
+  macro::ImcMemory mem(small_mem());
+  SignedVectorOps ops(mem, 8);
+  const auto d = ops.sub({-128}, {1});
+  EXPECT_EQ(d[0], 127);
+}
+
+TEST(SignedOps, RejectsOutOfRangeValues) {
+  macro::ImcMemory mem(small_mem());
+  SignedVectorOps ops(mem, 4);
+  EXPECT_THROW((void)ops.mult({9}, {1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::app

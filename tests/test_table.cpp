@@ -1,0 +1,55 @@
+// TextTable formatting used by every bench binary.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace bpim {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndRule) {
+  TextTable t({"Op", "Cycles"});
+  t.add_row({"ADD", "1"}).add_row({"MULT", "10"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Op"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  EXPECT_NE(s.find("MULT"), std::string::npos);
+  // Header line and rule line have the same length.
+  std::istringstream is(s);
+  std::string header, rule;
+  std::getline(is, header);
+  std::getline(is, rule);
+  EXPECT_EQ(header.size(), rule.size());
+}
+
+TEST(TextTable, RowWidthEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::ratio(0.22, 2), "0.22x");
+}
+
+TEST(TextTable, CsvEscapeHatch) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, EmptyHeaderRejected) {
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Banner, ContainsTitle) {
+  std::ostringstream os;
+  print_banner(os, "Fig 2");
+  EXPECT_NE(os.str().find("Fig 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace bpim

@@ -1,0 +1,79 @@
+// Unit-type arithmetic, literals, and the physics helpers.
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace bpim {
+namespace {
+
+using namespace bpim::literals;
+
+TEST(Units, LiteralsProduceSiValues) {
+  EXPECT_DOUBLE_EQ((1.0_V).si(), 1.0);
+  EXPECT_DOUBLE_EQ((550.0_mV).si(), 0.55);
+  EXPECT_DOUBLE_EQ((140.0_ps).si(), 140e-12);
+  EXPECT_DOUBLE_EQ((1.5_ns).si(), 1.5e-9);
+  EXPECT_DOUBLE_EQ((20.0_fF).si(), 20e-15);
+  EXPECT_DOUBLE_EQ((34.35_fJ).si(), 34.35e-15);
+  EXPECT_DOUBLE_EQ((2.25_GHz).si(), 2.25e9);
+  EXPECT_DOUBLE_EQ((372.0_MHz).si(), 372e6);
+}
+
+TEST(Units, IntegerLiterals) {
+  EXPECT_DOUBLE_EQ((1_V).si(), 1.0);
+  EXPECT_DOUBLE_EQ((140_ps).si(), 140e-12);
+  EXPECT_DOUBLE_EQ((60_fF).si(), 60e-15);
+}
+
+TEST(Units, ArithmeticAndComparison) {
+  const Volt a = 0.9_V;
+  const Volt b = 0.3_V;
+  EXPECT_DOUBLE_EQ((a + b).si(), 1.2);
+  EXPECT_DOUBLE_EQ((a - b).si(), 0.6);
+  EXPECT_DOUBLE_EQ((a * 2.0).si(), 1.8);
+  EXPECT_DOUBLE_EQ((a / 3.0).si(), 0.3);
+  EXPECT_DOUBLE_EQ(a / b, 3.0);  // like-ratio is dimensionless
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, 0.9_V);
+}
+
+TEST(Units, CompoundAssignment) {
+  Volt v = 0.5_V;
+  v += 0.1_V;
+  v -= 0.2_V;
+  v *= 2.0;
+  EXPECT_NEAR(v.si(), 0.8, 1e-12);
+}
+
+TEST(Units, SwitchingEnergyIsCV2) {
+  // 20 fF swinging 0.9 V: 20e-15 * 0.81 = 16.2 fJ.
+  EXPECT_NEAR(in_fJ(switching_energy(20.0_fF, 0.9_V)), 16.2, 1e-9);
+}
+
+TEST(Units, SlewRelations) {
+  // 20 fF slewing 0.3 V at 20 uA takes 300 ps.
+  EXPECT_NEAR(in_ps(slew_time(20.0_fF, 300.0_mV, 20.0_uA)), 300.0, 1e-9);
+  EXPECT_NEAR(in_uA(slew_current(20.0_fF, 300.0_mV, 300.0_ps)), 20.0, 1e-9);
+}
+
+TEST(Units, FrequencyPeriodRoundTrip) {
+  const Hertz f = frequency_of(444.4_ps);
+  EXPECT_NEAR(in_GHz(f), 2.2503, 1e-3);
+  EXPECT_NEAR(in_ps(period_of(f)), 444.4, 1e-9);
+}
+
+TEST(Units, PowerEnergyHelpers) {
+  EXPECT_NEAR(power_from_energy(100.0_fJ, 1.0_ns).si(), 100e-6, 1e-12);
+  EXPECT_NEAR(in_fJ(energy_from_power(Watt(100e-6), 1.0_ns)), 100.0, 1e-9);
+}
+
+TEST(Units, EngineeringAccessors) {
+  EXPECT_DOUBLE_EQ(in_mV(0.55_V), 550.0);
+  EXPECT_DOUBLE_EQ(in_ns(1500.0_ps), 1.5);
+  EXPECT_DOUBLE_EQ(in_pJ(1500.0_fJ), 1.5);
+  EXPECT_DOUBLE_EQ(in_MHz(2.25_GHz), 2250.0);
+}
+
+}  // namespace
+}  // namespace bpim

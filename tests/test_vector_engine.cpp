@@ -1,0 +1,118 @@
+// Vector engine: tiling across macros and row pairs, stats bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include "app/vector_engine.hpp"
+#include "common/rng.hpp"
+
+namespace bpim::app {
+namespace {
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+class VectorEngineP : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(VectorEngineP, AddMatchesScalarReference) {
+  const unsigned bits = GetParam();
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, bits);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  const auto a = random_vec(300, bits, 1);
+  const auto b = random_vec(300, bits, 2);
+  const auto c = eng.add(a, b);
+  ASSERT_EQ(c.size(), a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], (a[i] + b[i]) & mask) << i;
+}
+
+TEST_P(VectorEngineP, SubMatchesScalarReference) {
+  const unsigned bits = GetParam();
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, bits);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  const auto a = random_vec(150, bits, 3);
+  const auto b = random_vec(150, bits, 4);
+  const auto c = eng.sub(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], (a[i] - b[i]) & mask) << i;
+}
+
+TEST_P(VectorEngineP, MultMatchesScalarReference) {
+  const unsigned bits = GetParam();
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, bits);
+  const auto a = random_vec(100, bits, 5);
+  const auto b = random_vec(100, bits, 6);
+  const auto c = eng.mult(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], a[i] * b[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Precisions, VectorEngineP, ::testing::Values(2u, 4u, 8u, 16u));
+
+TEST(VectorEngine, LogicOp) {
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, 8);
+  const auto a = random_vec(64, 8, 7);
+  const auto b = random_vec(64, 8, 8);
+  const auto c = eng.logic(periph::LogicFn::Xor, a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], a[i] ^ b[i]);
+}
+
+TEST(VectorEngine, StatsReflectParallelism) {
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, 8);
+  // 4 macros x 16 words per row pair: 64 adds in one lock-step layer.
+  const auto a = random_vec(64, 8, 9);
+  const auto b = random_vec(64, 8, 10);
+  (void)eng.add(a, b);
+  const auto& run = eng.last_run();
+  EXPECT_EQ(run.elements, 64u);
+  EXPECT_EQ(run.elapsed_cycles, 1u);  // single ADD cycle per macro, lock-step
+  EXPECT_NEAR(run.cycles_per_element(), 1.0 / 64.0, 1e-12);
+  EXPECT_GT(run.energy.si(), 0.0);
+  EXPECT_GT(run.elapsed_time.si(), 0.0);
+
+  // Twice the data -> two layers -> twice the elapsed cycles.
+  const auto a2 = random_vec(128, 8, 11);
+  const auto b2 = random_vec(128, 8, 12);
+  (void)eng.add(a2, b2);
+  EXPECT_EQ(eng.last_run().elapsed_cycles, 2u);
+}
+
+TEST(VectorEngine, MismatchedLengthsRejected) {
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, 8);
+  EXPECT_THROW((void)eng.add({1, 2}, {1}), std::invalid_argument);
+}
+
+TEST(VectorEngine, CapacityQueries) {
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, 8);
+  EXPECT_EQ(eng.words_per_row(), 16u);
+  EXPECT_EQ(eng.mult_units_per_row(), 8u);
+  EXPECT_EQ(eng.layer_capacity(), 64u);
+}
+
+TEST(VectorEngine, LargeVectorSpansManyRowPairs) {
+  macro::ImcMemory mem(tiny_memory());
+  VectorEngine eng(mem, 8);
+  const auto a = random_vec(2048, 8, 13);
+  const auto b = random_vec(2048, 8, 14);
+  const auto c = eng.add(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], (a[i] + b[i]) & 0xFF);
+  EXPECT_EQ(eng.last_run().elapsed_cycles, 2048 / 64);
+}
+
+}  // namespace
+}  // namespace bpim::app
