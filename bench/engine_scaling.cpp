@@ -1,0 +1,165 @@
+// ExecutionEngine scaling: host wall-clock speedup of the sharded,
+// multi-threaded engine over the serial seed path, swept across thread
+// count and macro count, plus the cycle-model win of double-buffered
+// batches. Every parallel run is checked bit-identical (values and
+// RunStats) against the 1-thread execution of the same workload, which is
+// exactly the seed's serial macro walk.
+//
+// Usage: engine_scaling [elements] [repeats]
+//   elements  vector length per op        (default 4096)
+//   repeats   timed repetitions per cell  (default 5)
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "engine/execution_engine.hpp"
+
+using namespace bpim;
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OpKind;
+using engine::OpResult;
+using engine::VecOp;
+
+namespace {
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+macro::MemoryConfig memory_of(std::size_t macros) {
+  macro::MemoryConfig cfg;
+  cfg.banks = 1;
+  cfg.macros_per_bank = macros;
+  return cfg;
+}
+
+struct Timed {
+  double seconds = 0.0;
+  OpResult result;
+};
+
+/// Run `op` `repeats` times on a fresh memory each time; report best time.
+Timed time_run(const VecOp& op, std::size_t macros, std::size_t threads, int repeats) {
+  Timed t;
+  t.seconds = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    macro::ImcMemory mem(memory_of(macros));
+    ExecutionEngine eng(mem, EngineConfig{threads});
+    const auto t0 = std::chrono::steady_clock::now();
+    OpResult res = eng.run(op);
+    const auto t1 = std::chrono::steady_clock::now();
+    t.seconds = std::min(t.seconds, std::chrono::duration<double>(t1 - t0).count());
+    t.result = std::move(res);
+  }
+  return t;
+}
+
+bool identical(const OpResult& a, const OpResult& b) {
+  return a.values == b.values && a.stats.elements == b.stats.elements &&
+         a.stats.elapsed_cycles == b.stats.elapsed_cycles &&
+         a.stats.energy.si() == b.stats.energy.si() &&
+         a.stats.elapsed_time.si() == b.stats.elapsed_time.si();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t elements = 4096;
+  int repeats = 5;
+  try {
+    if (argc > 1) elements = std::stoul(argv[1]);
+    if (argc > 2) repeats = std::stoi(argv[2]);
+  } catch (const std::exception&) {
+    std::cerr << "usage: engine_scaling [elements] [repeats]\n";
+    return 2;
+  }
+  if (elements == 0 || repeats < 1) {
+    std::cerr << "usage: engine_scaling [elements] [repeats]  (both must be positive)\n";
+    return 2;
+  }
+  // 16 macros x 8 MULT units x 64 row pairs caps one run's residency.
+  if (elements > 16 * 8 * 64) {
+    std::cerr << "error: elements > " << 16 * 8 * 64
+              << " exceeds the 16-macro layer capacity for 8-bit MULT\n";
+    return 2;
+  }
+  const unsigned bits = 8;
+
+  const auto a = random_vec(elements, bits, 1);
+  const auto b = random_vec(elements, bits, 2);
+  // MULT is the heaviest op per layer (N+2 cycles) and the one the
+  // ML/DSP workloads lean on; it is the representative kernel here.
+  VecOp op{OpKind::Mult, bits, periph::LogicFn::And, a, b};
+
+  std::cout << "host threads available: " << std::thread::hardware_concurrency() << "\n";
+  if (std::thread::hardware_concurrency() < 2)
+    std::cout << "NOTE: single-hardware-thread host -- parallel speedup is "
+                 "bounded by the core count; determinism checks still run.\n";
+
+  print_banner(std::cout, "Wall-clock speedup vs thread count (16 macros, " +
+                              std::to_string(elements) + " x " + std::to_string(bits) +
+                              "-bit MULT)");
+  {
+    TextTable table({"threads", "time_ms", "speedup", "bit-identical"});
+    const Timed serial = time_run(op, 16, 1, repeats);
+    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+      const Timed t = time_run(op, 16, threads, repeats);
+      table.add_row({std::to_string(threads), TextTable::num(t.seconds * 1e3, 3),
+                     TextTable::ratio(serial.seconds / t.seconds),
+                     identical(serial.result, t.result) ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout, "Wall-clock speedup vs macro count (4 threads, weak scaling)");
+  {
+    // Workload grows with the array: 32 row-pair layers per macro, so every
+    // cell runs the same per-macro work and the sweep isolates dispatch cost.
+    TextTable table({"macros", "elements", "serial_ms", "parallel_ms", "speedup",
+                     "bit-identical"});
+    for (const std::size_t macros : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      macro::ImcMemory probe(memory_of(1));
+      const std::size_t units = probe.macro(0).mult_units_per_row(bits);
+      const std::size_t n = macros * units * 32;
+      const auto wa = random_vec(n, bits, 3);
+      const auto wb = random_vec(n, bits, 4);
+      VecOp wop{OpKind::Mult, bits, periph::LogicFn::And, wa, wb};
+      const Timed serial = time_run(wop, macros, 1, repeats);
+      const Timed parallel = time_run(wop, macros, 4, repeats);
+      table.add_row({std::to_string(macros), std::to_string(n),
+                     TextTable::num(serial.seconds * 1e3, 3),
+                     TextTable::num(parallel.seconds * 1e3, 3),
+                     TextTable::ratio(serial.seconds / parallel.seconds),
+                     identical(serial.result, parallel.result) ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+  }
+
+  print_banner(std::cout, "Batch double-buffering (cycle model, 16 macros)");
+  {
+    // A batch of independent ops: loads of op k+1 overlap compute of op k.
+    TextTable table({"batch_ops", "serial_cycles", "pipelined_cycles", "overlap_speedup"});
+    for (const std::size_t batch : {1u, 4u, 16u, 64u}) {
+      macro::ImcMemory mem(memory_of(16));
+      ExecutionEngine eng(mem, EngineConfig{4});
+      std::vector<VecOp> ops(batch, op);
+      (void)eng.run_batch(ops);
+      const auto& bs = eng.last_batch();
+      table.add_row({std::to_string(batch), std::to_string(bs.serial_cycles),
+                     std::to_string(bs.pipelined_cycles),
+                     TextTable::ratio(bs.overlap_speedup())});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}

@@ -13,23 +13,37 @@ FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits)
 
 std::vector<std::int64_t> FirFilter::apply(macro::ImcMemory& mem,
                                            const std::vector<std::int64_t>& x) {
-  SignedVectorOps ops(mem, bits_);
+  engine::ExecutionEngine eng(mem);
+  return apply(eng, x);
+}
+
+std::vector<std::int64_t> FirFilter::apply(engine::ExecutionEngine& eng,
+                                           const std::vector<std::int64_t>& x) {
+  SignedVectorOps ops(eng, bits_);
   stats_ = FirStats{};
   std::vector<std::int64_t> y(x.size(), 0);
 
+  // Each non-zero tap multiplies the stream delayed by k against the
+  // broadcast tap; all taps go down as one double-buffered engine batch.
+  std::vector<std::vector<std::int64_t>> delayed_streams, tap_vectors;
   for (std::size_t k = 0; k < taps_.size(); ++k) {
     if (taps_[k] == 0) continue;
-    // Tap k multiplies the stream delayed by k against the broadcast tap.
     std::vector<std::int64_t> delayed(x.size(), 0);
     for (std::size_t n = k; n < x.size(); ++n) delayed[n] = x[n - k];
-    const std::vector<std::int64_t> tap(x.size(), taps_[k]);
-    const auto partial = ops.mult(delayed, tap);
-    const auto& run = ops.last_run();
+    delayed_streams.push_back(std::move(delayed));
+    tap_vectors.emplace_back(x.size(), taps_[k]);
+  }
+  if (delayed_streams.empty()) return y;
+
+  const auto partials = ops.mult_batch(delayed_streams, tap_vectors);
+  for (std::size_t k = 0; k < partials.size(); ++k) {
+    const RunStats& run = ops.last_batch_runs()[k];
     stats_.macs += x.size();
     stats_.cycles += run.elapsed_cycles;
     stats_.energy += run.energy;
-    for (std::size_t n = 0; n < x.size(); ++n) y[n] += partial[n];
+    for (std::size_t n = 0; n < x.size(); ++n) y[n] += partials[k][n];
   }
+  stats_.pipelined_cycles = ops.last_batch().pipelined_cycles;
   return y;
 }
 

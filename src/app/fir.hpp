@@ -18,7 +18,10 @@ namespace bpim::app {
 
 struct FirStats {
   std::uint64_t macs = 0;
-  std::uint64_t cycles = 0;
+  std::uint64_t cycles = 0;  ///< sum of per-tap compute cycles (no load overlap)
+  /// Double-buffered schedule: tap k+1's operand load overlaps tap k's
+  /// compute (see engine::BatchStats).
+  std::uint64_t pipelined_cycles = 0;
   Joule energy{0.0};
 };
 
@@ -31,8 +34,12 @@ class FirFilter {
   [[nodiscard]] unsigned bits() const { return bits_; }
 
   /// Filters `x` (values must fit `bits` signed); returns y of equal length
-  /// (zero-padded history). All multiplies run in-memory.
+  /// (zero-padded history). All multiplies run in-memory: every non-zero
+  /// tap is one op of a single double-buffered ExecutionEngine batch.
   [[nodiscard]] std::vector<std::int64_t> apply(macro::ImcMemory& mem,
+                                                const std::vector<std::int64_t>& x);
+  /// Same, on a shared engine (reuses its thread pool across calls).
+  [[nodiscard]] std::vector<std::int64_t> apply(engine::ExecutionEngine& eng,
                                                 const std::vector<std::int64_t>& x);
 
   /// Host-only reference implementation.

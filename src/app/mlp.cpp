@@ -20,15 +20,21 @@ std::size_t Mlp::in_features() const { return layers_.front().in_features(); }
 std::size_t Mlp::out_features() const { return layers_.back().out_features(); }
 
 std::vector<double> Mlp::forward(macro::ImcMemory& mem, const std::vector<double>& x) {
+  engine::ExecutionEngine eng(mem);
+  return forward(eng, x);
+}
+
+std::vector<double> Mlp::forward(engine::ExecutionEngine& eng, const std::vector<double>& x) {
   stats_ = LayerStats{};
   per_layer_.clear();
   std::vector<double> act = x;
   for (auto& layer : layers_) {
-    act = layer.forward(mem, act);  // ReLU applied inside the layer
+    act = layer.forward(eng, act);  // ReLU applied inside the layer
     const LayerStats& s = layer.last_stats();
     per_layer_.push_back(s);
     stats_.macs += s.macs;
     stats_.cycles += s.cycles;
+    stats_.pipelined_cycles += s.pipelined_cycles;
     stats_.energy += s.energy;
     stats_.elapsed += s.elapsed;
   }

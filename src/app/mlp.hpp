@@ -24,8 +24,12 @@ class Mlp {
   [[nodiscard]] std::size_t in_features() const;
   [[nodiscard]] std::size_t out_features() const;
 
-  /// Full forward pass on the IMC memory (ReLU between layers).
+  /// Full forward pass on the IMC memory (ReLU between layers). One
+  /// ExecutionEngine (thread pool) is shared by every layer.
   [[nodiscard]] std::vector<double> forward(macro::ImcMemory& mem,
+                                            const std::vector<double>& x);
+  /// Same, on a caller-provided engine (reused across forward() calls).
+  [[nodiscard]] std::vector<double> forward(engine::ExecutionEngine& eng,
                                             const std::vector<double>& x);
   /// Host-side reference with the same quantisation.
   [[nodiscard]] std::vector<double> forward_reference(const std::vector<double>& x) const;

@@ -44,27 +44,38 @@ std::size_t QuantizedLinear::in_features() const { return weights_raw_.front().s
 
 std::vector<double> QuantizedLinear::forward(macro::ImcMemory& mem,
                                              const std::vector<double>& x) {
+  engine::ExecutionEngine eng(mem);
+  return forward(eng, x);
+}
+
+std::vector<double> QuantizedLinear::forward(engine::ExecutionEngine& eng,
+                                             const std::vector<double>& x) {
   BPIM_REQUIRE(x.size() == in_features(), "input size mismatch");
   const Quantized qx = quantize(x, bits_);
 
-  VectorEngine engine(mem, bits_);
+  // One engine batch: every output neuron's product vector is an
+  // independent op, so loads double-buffer against computes across neurons.
+  VectorEngine engine(eng, bits_);
+  std::vector<std::pair<std::span<const std::uint64_t>, std::span<const std::uint64_t>>> pairs;
+  pairs.reserve(weights_.size());
+  for (const auto& w : weights_) pairs.emplace_back(w.values, qx.values);
+  const auto results = engine.mult_batch(pairs);
+
   stats_ = LayerStats{};
   std::vector<double> y;
   y.reserve(out_features());
-
-  for (const auto& w : weights_) {
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
     // In-memory products, host-side accumulate (see header).
-    const auto products = engine.mult(w.values, qx.values);
     std::uint64_t acc = 0;
-    for (const auto p : products) acc += p;
-    const auto& run = engine.last_run();
+    for (const auto p : results[j].values) acc += p;
     stats_.macs += x.size();
-    stats_.cycles += run.elapsed_cycles;
-    stats_.energy += run.energy;
-    stats_.elapsed += run.elapsed_time;
-    const double real = static_cast<double>(acc) * w.scale * qx.scale;
+    stats_.cycles += results[j].stats.elapsed_cycles;
+    stats_.energy += results[j].stats.energy;
+    stats_.elapsed += results[j].stats.elapsed_time;
+    const double real = static_cast<double>(acc) * weights_[j].scale * qx.scale;
     y.push_back(std::max(0.0, real));  // ReLU
   }
+  stats_.pipelined_cycles = eng.last_batch().pipelined_cycles;
   return y;
 }
 

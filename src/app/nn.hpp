@@ -28,7 +28,10 @@ struct Quantized {
 
 struct LayerStats {
   std::uint64_t macs = 0;
-  std::uint64_t cycles = 0;
+  std::uint64_t cycles = 0;  ///< sum of per-op compute cycles (no load overlap)
+  /// Double-buffered schedule: operand load of neuron k+1 overlaps the
+  /// compute of neuron k (see engine::BatchStats).
+  std::uint64_t pipelined_cycles = 0;
   Joule energy{0.0};
   Second elapsed{0.0};
 };
@@ -44,7 +47,12 @@ class QuantizedLinear {
   [[nodiscard]] std::size_t out_features() const { return weights_.size(); }
 
   /// Runs inference on the IMC memory; returns dequantised outputs (ReLU).
+  /// All per-neuron multiplies are submitted as one ExecutionEngine batch
+  /// (sharded across macros and threads, double-buffered row-pair loads).
   [[nodiscard]] std::vector<double> forward(macro::ImcMemory& mem,
+                                            const std::vector<double>& x);
+  /// Same, on a shared engine (reuses its thread pool across layers/calls).
+  [[nodiscard]] std::vector<double> forward(engine::ExecutionEngine& eng,
                                             const std::vector<double>& x);
 
   /// Reference (double-precision, same quantised codes) for accuracy checks.

@@ -36,10 +36,34 @@ std::vector<std::uint64_t> encode_all(const std::vector<std::int64_t>& v, unsign
   return out;
 }
 
+std::vector<std::uint64_t> magnitudes(const std::vector<std::int64_t>& v, unsigned bits) {
+  std::vector<std::uint64_t> out;
+  out.reserve(v.size());
+  for (const auto x : v) {
+    BPIM_REQUIRE(fits_signed(x, bits), "value out of signed range");
+    out.push_back(static_cast<std::uint64_t>(std::llabs(x)));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> apply_signs(const std::vector<std::uint64_t>& mags,
+                                      const std::vector<std::int64_t>& a,
+                                      const std::vector<std::int64_t>& b) {
+  std::vector<std::int64_t> out;
+  out.reserve(mags.size());
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    const bool neg = (a[i] < 0) != (b[i] < 0);
+    out.push_back(neg ? -static_cast<std::int64_t>(mags[i])
+                      : static_cast<std::int64_t>(mags[i]));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::vector<std::int64_t> SignedVectorOps::add(const std::vector<std::int64_t>& a,
                                                const std::vector<std::int64_t>& b) {
+  batch_runs_.clear();
   const auto codes = engine_.add(encode_all(a, bits_), encode_all(b, bits_));
   std::vector<std::int64_t> out;
   out.reserve(codes.size());
@@ -49,6 +73,7 @@ std::vector<std::int64_t> SignedVectorOps::add(const std::vector<std::int64_t>& 
 
 std::vector<std::int64_t> SignedVectorOps::sub(const std::vector<std::int64_t>& a,
                                                const std::vector<std::int64_t>& b) {
+  batch_runs_.clear();
   const auto codes = engine_.sub(encode_all(a, bits_), encode_all(b, bits_));
   std::vector<std::int64_t> out;
   out.reserve(codes.size());
@@ -59,23 +84,36 @@ std::vector<std::int64_t> SignedVectorOps::sub(const std::vector<std::int64_t>& 
 std::vector<std::int64_t> SignedVectorOps::mult(const std::vector<std::int64_t>& a,
                                                 const std::vector<std::int64_t>& b) {
   BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
+  batch_runs_.clear();
   // In-memory magnitudes (the heavy work); host-side sign bookkeeping.
-  std::vector<std::uint64_t> ma, mb;
-  ma.reserve(a.size());
-  mb.reserve(b.size());
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    BPIM_REQUIRE(fits_signed(a[i], bits_) && fits_signed(b[i], bits_),
-                 "value out of signed range");
-    ma.push_back(static_cast<std::uint64_t>(std::llabs(a[i])));
-    mb.push_back(static_cast<std::uint64_t>(std::llabs(b[i])));
+  const auto mags = engine_.mult(magnitudes(a, bits_), magnitudes(b, bits_));
+  return apply_signs(mags, a, b);
+}
+
+std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_batch(
+    const std::vector<std::vector<std::int64_t>>& as,
+    const std::vector<std::vector<std::int64_t>>& bs) {
+  BPIM_REQUIRE(as.size() == bs.size(), "batch operand lists must have equal length");
+  // Magnitude storage must outlive the engine call (ops borrow spans).
+  std::vector<std::vector<std::uint64_t>> ma, mb;
+  ma.reserve(as.size());
+  mb.reserve(bs.size());
+  std::vector<std::pair<std::span<const std::uint64_t>, std::span<const std::uint64_t>>> pairs;
+  pairs.reserve(as.size());
+  for (std::size_t k = 0; k < as.size(); ++k) {
+    BPIM_REQUIRE(as[k].size() == bs[k].size(), "operand vectors must have equal length");
+    ma.push_back(magnitudes(as[k], bits_));
+    mb.push_back(magnitudes(bs[k], bits_));
+    pairs.emplace_back(ma.back(), mb.back());
   }
-  const auto mags = engine_.mult(ma, mb);
-  std::vector<std::int64_t> out;
-  out.reserve(mags.size());
-  for (std::size_t i = 0; i < mags.size(); ++i) {
-    const bool neg = (a[i] < 0) != (b[i] < 0);
-    out.push_back(neg ? -static_cast<std::int64_t>(mags[i])
-                      : static_cast<std::int64_t>(mags[i]));
+  const auto results = engine_.mult_batch(pairs);
+
+  batch_runs_.clear();
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(results.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    batch_runs_.push_back(results[k].stats);
+    out.push_back(apply_signs(results[k].values, as[k], bs[k]));
   }
   return out;
 }

@@ -27,6 +27,9 @@ namespace bpim::app {
 class SignedVectorOps {
  public:
   SignedVectorOps(macro::ImcMemory& mem, unsigned bits) : engine_(mem, bits), bits_(bits) {}
+  /// Shares the given engine's thread pool instead of owning one.
+  SignedVectorOps(engine::ExecutionEngine& eng, unsigned bits)
+      : engine_(eng, bits), bits_(bits) {}
 
   [[nodiscard]] std::vector<std::int64_t> add(const std::vector<std::int64_t>& a,
                                               const std::vector<std::int64_t>& b);
@@ -36,11 +39,23 @@ class SignedVectorOps {
   [[nodiscard]] std::vector<std::int64_t> mult(const std::vector<std::int64_t>& a,
                                                const std::vector<std::int64_t>& b);
 
+  /// Batched sign-magnitude multiply: pairs (as[k], bs[k]) run as one
+  /// double-buffered engine batch. Per-pair stats via last_batch_runs();
+  /// overlap accounting via last_batch().
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> mult_batch(
+      const std::vector<std::vector<std::int64_t>>& as,
+      const std::vector<std::vector<std::int64_t>>& bs);
+
   [[nodiscard]] const RunStats& last_run() const { return engine_.last_run(); }
+  [[nodiscard]] const std::vector<RunStats>& last_batch_runs() const { return batch_runs_; }
+  [[nodiscard]] const engine::BatchStats& last_batch() const {
+    return engine_.engine().last_batch();
+  }
 
  private:
   VectorEngine engine_;
   unsigned bits_;
+  std::vector<RunStats> batch_runs_;
 };
 
 }  // namespace bpim::app

@@ -1,124 +1,89 @@
 #include "app/vector_engine.hpp"
 
-#include <algorithm>
-
 #include "common/require.hpp"
+#include "macro/isa.hpp"
 
 namespace bpim::app {
 
-using array::RowRef;
-
 VectorEngine::VectorEngine(macro::ImcMemory& memory, unsigned bits)
-    : mem_(memory), bits_(bits) {
+    : owned_(std::make_unique<engine::ExecutionEngine>(memory)),
+      engine_(owned_.get()),
+      bits_(bits) {
   BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
 }
 
-std::size_t VectorEngine::words_per_row() const { return mem_.macro(0).words_per_row(bits_); }
+VectorEngine::VectorEngine(engine::ExecutionEngine& engine, unsigned bits)
+    : engine_(&engine), bits_(bits) {
+  BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
+}
+
+std::size_t VectorEngine::words_per_row() const { return engine_->words_per_row(bits_); }
 
 std::size_t VectorEngine::mult_units_per_row() const {
-  return mem_.macro(0).mult_units_per_row(bits_);
+  return engine_->mult_units_per_row(bits_);
 }
 
-std::size_t VectorEngine::layer_capacity() const {
-  return words_per_row() * mem_.macro_count();
-}
+std::size_t VectorEngine::layer_capacity() const { return engine_->layer_capacity(bits_); }
 
-template <class PerMacroOp, class Extract>
-std::vector<std::uint64_t> VectorEngine::run(const std::vector<std::uint64_t>& a,
-                                             const std::vector<std::uint64_t>& b,
-                                             std::size_t per_op, bool mult_layout, PerMacroOp op,
-                                             Extract extract) {
-  BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
-  mem_.reset_counters();
-
-  std::vector<std::uint64_t> out;
-  out.reserve(a.size());
-  const std::size_t macros = mem_.macro_count();
-  const std::size_t chunk = per_op;  // elements per macro op (one row pair)
-
-  std::size_t pos = 0;
-  std::size_t row_pair = 0;
-  while (pos < a.size()) {
-    // One lock-step layer: every macro gets (up to) one row-pair of work.
-    for (std::size_t m = 0; m < macros && pos < a.size(); ++m) {
-      auto& mac = mem_.macro(m);
-      const std::size_t r_a = 2 * row_pair;
-      const std::size_t r_b = 2 * row_pair + 1;
-      BPIM_REQUIRE(r_b < mac.rows(), "vector exceeds memory capacity");
-      const std::size_t n = std::min(chunk, a.size() - pos);
-      for (std::size_t i = 0; i < n; ++i) {
-        if (mult_layout) {
-          mac.poke_mult_operand(r_a, i, bits_, a[pos + i]);
-          mac.poke_mult_operand(r_b, i, bits_, b[pos + i]);
-        } else {
-          mac.poke_word(r_a, i, bits_, a[pos + i]);
-          mac.poke_word(r_b, i, bits_, b[pos + i]);
-        }
-      }
-      const BitVector result = op(mac, RowRef::main(r_a), RowRef::main(r_b));
-      for (std::size_t i = 0; i < n; ++i) out.push_back(extract(mac, result, i));
-      pos += n;
-    }
-    ++row_pair;
-  }
-
-  last_ = RunStats{};
-  last_.elements = a.size();
-  last_.elapsed_cycles = mem_.elapsed_cycles();
-  last_.energy = mem_.total_energy();
-  last_.elapsed_time = Second(static_cast<double>(last_.elapsed_cycles) *
-                              mem_.macro(0).cycle_time().si());
-  return out;
+std::vector<std::uint64_t> VectorEngine::run_op(engine::OpKind kind, periph::LogicFn fn,
+                                                const std::vector<std::uint64_t>& a,
+                                                const std::vector<std::uint64_t>& b) {
+  engine::VecOp op;
+  op.kind = kind;
+  op.bits = bits_;
+  op.fn = fn;
+  op.a = a;
+  op.b = b;
+  engine::OpResult res = engine_->run(op);
+  last_ = res.stats;
+  return std::move(res.values);
 }
 
 std::vector<std::uint64_t> VectorEngine::add(const std::vector<std::uint64_t>& a,
                                              const std::vector<std::uint64_t>& b) {
-  return run(
-      a, b, words_per_row(), false,
-      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.add_rows(ra, rb, bits_); },
-      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
-        std::uint64_t v = 0;
-        for (unsigned i = 0; i < bits_; ++i)
-          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
-        return v;
-      });
+  return run_op(engine::OpKind::Add, periph::LogicFn::And, a, b);
 }
 
 std::vector<std::uint64_t> VectorEngine::sub(const std::vector<std::uint64_t>& a,
                                              const std::vector<std::uint64_t>& b) {
-  return run(
-      a, b, words_per_row(), false,
-      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.sub_rows(ra, rb, bits_); },
-      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
-        std::uint64_t v = 0;
-        for (unsigned i = 0; i < bits_; ++i)
-          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
-        return v;
-      });
+  return run_op(engine::OpKind::Sub, periph::LogicFn::And, a, b);
 }
 
 std::vector<std::uint64_t> VectorEngine::mult(const std::vector<std::uint64_t>& a,
                                               const std::vector<std::uint64_t>& b) {
-  return run(
-      a, b, mult_units_per_row(), true,
-      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.mult_rows(ra, rb, bits_); },
-      [&](const macro::ImcMacro& m, const BitVector& row, std::size_t u) {
-        return m.peek_mult_product(row, u, bits_);
-      });
+  return run_op(engine::OpKind::Mult, periph::LogicFn::And, a, b);
 }
 
 std::vector<std::uint64_t> VectorEngine::logic(periph::LogicFn fn,
                                                const std::vector<std::uint64_t>& a,
                                                const std::vector<std::uint64_t>& b) {
-  return run(
-      a, b, words_per_row(), false,
-      [&](macro::ImcMacro& m, RowRef ra, RowRef rb) { return m.logic_rows(fn, ra, rb); },
-      [&](const macro::ImcMacro&, const BitVector& row, std::size_t w) {
-        std::uint64_t v = 0;
-        for (unsigned i = 0; i < bits_; ++i)
-          v |= static_cast<std::uint64_t>(row.get(w * bits_ + i)) << i;
-        return v;
-      });
+  return run_op(engine::OpKind::Logic, fn, a, b);
+}
+
+std::vector<engine::OpResult> VectorEngine::mult_batch(
+    const std::vector<std::pair<std::span<const std::uint64_t>,
+                                std::span<const std::uint64_t>>>& pairs) {
+  std::vector<engine::VecOp> ops;
+  ops.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    engine::VecOp op;
+    op.kind = engine::OpKind::Mult;
+    op.bits = bits_;
+    op.a = a;
+    op.b = b;
+    ops.push_back(op);
+  }
+  auto results = engine_->run_batch(ops);
+  // last_run() aggregates the whole batch, as a seed-era caller looping the
+  // ops and summing per-op stats would have seen.
+  last_ = RunStats{};
+  for (const auto& r : results) {
+    last_.elements += r.stats.elements;
+    last_.elapsed_cycles += r.stats.elapsed_cycles;
+    last_.energy += r.stats.energy;
+    last_.elapsed_time += r.stats.elapsed_time;
+  }
+  return results;
 }
 
 }  // namespace bpim::app

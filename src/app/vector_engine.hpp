@@ -10,34 +10,33 @@
 // Layout per chunk: operand A in row 2k, operand B in row 2k+1 of the same
 // macro (dual-WL operands must share columns). MULT uses the 2N-bit unit
 // layout (operands in unit low halves).
+//
+// Execution is delegated to engine::ExecutionEngine, which shards the
+// per-macro chunks over a persistent thread pool. Results and RunStats are
+// bit-identical to a serial walk at any thread count (see the engine
+// header). Construct from an ExecutionEngine to share its pool across
+// precisions and call sites; the (memory, bits) constructor keeps the seed
+// API and owns a private engine.
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "engine/execution_engine.hpp"
 #include "macro/memory.hpp"
 
 namespace bpim::app {
 
-struct RunStats {
-  std::uint64_t elements = 0;
-  std::uint64_t elapsed_cycles = 0;  ///< lock-step across macros (max)
-  Joule energy{0.0};
-  Second elapsed_time{0.0};
-
-  [[nodiscard]] double cycles_per_element() const {
-    return elements == 0 ? 0.0
-                         : static_cast<double>(elapsed_cycles) / static_cast<double>(elements);
-  }
-  [[nodiscard]] Joule energy_per_element() const {
-    return elements == 0 ? Joule(0.0) : Joule(energy.si() / static_cast<double>(elements));
-  }
-};
+using RunStats = engine::RunStats;
 
 class VectorEngine {
  public:
   VectorEngine(macro::ImcMemory& memory, unsigned bits);
+  VectorEngine(engine::ExecutionEngine& engine, unsigned bits);
 
   [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] engine::ExecutionEngine& engine() { return *engine_; }
+  [[nodiscard]] const engine::ExecutionEngine& engine() const { return *engine_; }
   /// Elements processed by one macro op (one row pair).
   [[nodiscard]] std::size_t words_per_row() const;
   [[nodiscard]] std::size_t mult_units_per_row() const;
@@ -56,15 +55,25 @@ class VectorEngine {
                                                  const std::vector<std::uint64_t>& a,
                                                  const std::vector<std::uint64_t>& b);
 
+  /// Batched multiply: pairs[k] = (a_k, b_k) run as one double-buffered
+  /// engine batch (per-op stats via the results; overlap via
+  /// engine().last_batch()).
+  [[nodiscard]] std::vector<engine::OpResult> mult_batch(
+      const std::vector<std::pair<std::span<const std::uint64_t>,
+                                  std::span<const std::uint64_t>>>& pairs);
+
+  /// Stats of the last op -- or, after mult_batch(), the sum over the whole
+  /// batch (per-op compute cycles, no load overlap; the pipelined view is
+  /// engine().last_batch()).
   [[nodiscard]] const RunStats& last_run() const { return last_; }
 
  private:
-  template <class PerMacroOp, class Extract>
-  std::vector<std::uint64_t> run(const std::vector<std::uint64_t>& a,
-                                 const std::vector<std::uint64_t>& b, std::size_t per_op,
-                                 bool mult_layout, PerMacroOp op, Extract extract);
+  std::vector<std::uint64_t> run_op(engine::OpKind kind, periph::LogicFn fn,
+                                    const std::vector<std::uint64_t>& a,
+                                    const std::vector<std::uint64_t>& b);
 
-  macro::ImcMemory& mem_;
+  std::unique_ptr<engine::ExecutionEngine> owned_;  ///< set by the (memory, bits) ctor
+  engine::ExecutionEngine* engine_;
   unsigned bits_;
   RunStats last_{};
 };

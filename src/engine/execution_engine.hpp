@@ -1,0 +1,97 @@
+#pragma once
+// ExecutionEngine: sharded, multi-threaded dispatch of vector workloads
+// across the macros of an ImcMemory.
+//
+// The unit of parallelism is the macro. A vector op is cut into chunks of
+// one row pair each; chunk c goes to macro c % M at row pair c / M --
+// exactly the layer-by-layer round-robin the serial VectorEngine used, so
+// every macro sees the same chunk sequence in the same order regardless of
+// thread count. Each macro is an independent object (its own SRAM state,
+// RNG stream and energy ledger), so per-macro execution on a thread pool is
+// bit-identical to the serial walk; RunStats are merged after the join as
+// lock-step max (cycles) and fixed-order sum (energy).
+//
+// run_batch() executes several independent ops as one batch and models a
+// double-buffered schedule in the cycle model: operands of op k+1 are
+// written to ping-pong row pairs while op k computes, so the batch costs
+// load(0) + sum max(compute(k), load(k+1)) + compute(last) instead of the
+// serial sum of both. Overlap is only credited when consecutive ops fit in
+// the array together (their layer counts sum to at most rows/2 pairs) --
+// a full-capacity op leaves no rows to ping-pong into. Per-op RunStats
+// stay compute-only (seed semantics); the overlap shows up in BatchStats.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "engine/run_stats.hpp"
+#include "engine/thread_pool.hpp"
+#include "macro/memory.hpp"
+#include "periph/falogics.hpp"
+
+namespace bpim::engine {
+
+enum class OpKind { Add, Sub, Mult, Logic };
+
+[[nodiscard]] const char* to_string(OpKind kind);
+
+/// One element-wise vector operation. Operand storage is borrowed: spans
+/// must stay valid until the run()/run_batch() call returns.
+struct VecOp {
+  OpKind kind = OpKind::Add;
+  unsigned bits = 8;
+  periph::LogicFn fn = periph::LogicFn::And;  ///< Logic ops only
+  std::span<const std::uint64_t> a;
+  std::span<const std::uint64_t> b;
+};
+
+struct OpResult {
+  std::vector<std::uint64_t> values;
+  RunStats stats;
+};
+
+struct EngineConfig {
+  /// Worker parallelism including the submitting thread; 0 means
+  /// std::thread::hardware_concurrency(). Capped at the memory's macro
+  /// count (the unit of parallelism). Results and stats are identical at
+  /// every value -- this only changes host wall-clock.
+  std::size_t threads = 0;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(macro::ImcMemory& mem, EngineConfig cfg = {});
+
+  [[nodiscard]] macro::ImcMemory& memory() { return mem_; }
+  [[nodiscard]] std::size_t thread_count() const { return pool_.thread_count(); }
+
+  /// Elements one macro op processes at a given precision.
+  [[nodiscard]] std::size_t words_per_row(unsigned bits) const;
+  [[nodiscard]] std::size_t mult_units_per_row(unsigned bits) const;
+  /// Elements per op for `op`'s kind and precision.
+  [[nodiscard]] std::size_t elements_per_chunk(const VecOp& op) const;
+  /// Max elements resident at once across all macros (one row-pair layer).
+  [[nodiscard]] std::size_t layer_capacity(unsigned bits) const;
+
+  /// Execute one vector op, sharded across macros on the thread pool.
+  [[nodiscard]] OpResult run(const VecOp& op);
+
+  /// Execute a batch of independent ops (double-buffered in the cycle
+  /// model, see file header). Results are in submission order.
+  [[nodiscard]] std::vector<OpResult> run_batch(std::span<const VecOp> ops);
+
+  /// Accounting of the last run_batch() (a lone run() counts as a batch
+  /// of one).
+  [[nodiscard]] const BatchStats& last_batch() const { return batch_; }
+
+ private:
+  /// Execute one op; also reports its operand-load cost in lock-step cycles
+  /// and the row-pair layers it occupied (for the overlap-feasibility check).
+  OpResult run_one(const VecOp& op, std::uint64_t& load_cycles, std::size_t& layers_used);
+
+  macro::ImcMemory& mem_;
+  ThreadPool pool_;
+  BatchStats batch_{};
+};
+
+}  // namespace bpim::engine

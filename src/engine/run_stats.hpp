@@ -1,0 +1,52 @@
+#pragma once
+// Run-level accounting shared by the ExecutionEngine and the app layer.
+//
+// RunStats describes one vector operation in modelled-silicon terms:
+// elapsed_cycles is the lock-step maximum across macros (all macros of a
+// layer fire together), energy is the sum over every macro's ledger. Both
+// are merged deterministically after the parallel workers join, so the
+// numbers are bit-identical to a serial execution at any thread count.
+
+#include <cstdint>
+
+#include "common/units.hpp"
+
+namespace bpim::engine {
+
+struct RunStats {
+  std::uint64_t elements = 0;
+  std::uint64_t elapsed_cycles = 0;  ///< lock-step across macros (max)
+  Joule energy{0.0};
+  Second elapsed_time{0.0};
+
+  [[nodiscard]] double cycles_per_element() const {
+    return elements == 0 ? 0.0
+                         : static_cast<double>(elapsed_cycles) / static_cast<double>(elements);
+  }
+  [[nodiscard]] Joule energy_per_element() const {
+    return elements == 0 ? Joule(0.0) : Joule(energy.si() / static_cast<double>(elements));
+  }
+};
+
+/// Accounting for a run_batch() call. Per-op RunStats stay compute-only (the
+/// seed semantics); the batch view adds the operand-load traffic and models
+/// the double-buffered schedule where the load of batch k+1 overlaps the
+/// compute of batch k on ping-pong row pairs.
+struct BatchStats {
+  std::size_t ops = 0;
+  std::uint64_t elements = 0;
+  std::uint64_t load_cycles = 0;       ///< total operand-load (row write) cycles
+  std::uint64_t compute_cycles = 0;    ///< total in-array compute cycles
+  std::uint64_t serial_cycles = 0;     ///< load + compute with no overlap
+  std::uint64_t pipelined_cycles = 0;  ///< double-buffered: load(k+1) || compute(k)
+  Joule energy{0.0};
+  Second elapsed_time{0.0};  ///< pipelined_cycles at the macro cycle time
+
+  [[nodiscard]] double overlap_speedup() const {
+    return pipelined_cycles == 0 ? 1.0
+                                 : static_cast<double>(serial_cycles) /
+                                       static_cast<double>(pipelined_cycles);
+  }
+};
+
+}  // namespace bpim::engine

@@ -1,0 +1,89 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace bpim::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  target_threads_ = threads;
+}
+
+void ThreadPool::start_workers() {
+  workers_.reserve(target_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < target_threads_; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      ++busy_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --busy_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    std::size_t i;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_index_ >= job_size_) return;
+      i = next_index_++;
+    }
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!error_) error_ = std::current_exception();
+      next_index_ = job_size_;  // abandon remaining indices
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (target_threads_ == 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (workers_.empty()) start_workers();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fn_ = &fn;
+    job_size_ = n;
+    next_index_ = 0;
+    error_ = nullptr;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  drain();  // the caller works too
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return busy_ == 0; });
+  fn_ = nullptr;
+  job_size_ = 0;
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+}  // namespace bpim::engine

@@ -1,0 +1,233 @@
+// ExecutionEngine: sharded parallel dispatch must be bit-identical to the
+// serial walk -- values AND RunStats -- at every thread count, including
+// odd-sized vectors whose last chunk only partially fills a row pair.
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "app/vector_engine.hpp"
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+
+namespace bpim::engine {
+namespace {
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+/// Run `op` on a fresh memory with `threads` total workers.
+OpResult run_fresh(const VecOp& op, std::size_t threads) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{threads});
+  return eng.run(op);
+}
+
+void expect_identical(const OpResult& want, const OpResult& got, const char* what) {
+  EXPECT_EQ(want.values, got.values) << what;
+  EXPECT_EQ(want.stats.elements, got.stats.elements) << what;
+  EXPECT_EQ(want.stats.elapsed_cycles, got.stats.elapsed_cycles) << what;
+  // Bit-identical doubles, not approximately equal: the merge order is fixed.
+  EXPECT_EQ(want.stats.energy.si(), got.stats.energy.si()) << what;
+  EXPECT_EQ(want.stats.elapsed_time.si(), got.stats.elapsed_time.si()) << what;
+}
+
+class EngineDeterminismP : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EngineDeterminismP, AllOpsMatchSerialExactly) {
+  const std::size_t threads = GetParam();
+  const unsigned bits = 8;
+  // Sizes chosen to hit: sub-chunk, partial last chunk, exact layer,
+  // multi-layer with a partial tail.
+  const std::vector<std::size_t> sizes = {1, 7, 64, 300, 1023};
+  const std::vector<VecOp> protos = {
+      {OpKind::Add, bits, periph::LogicFn::And, {}, {}},
+      {OpKind::Sub, bits, periph::LogicFn::And, {}, {}},
+      {OpKind::Mult, bits, periph::LogicFn::And, {}, {}},
+      {OpKind::Logic, bits, periph::LogicFn::Xor, {}, {}},
+  };
+  for (const std::size_t n : sizes) {
+    const auto a = random_vec(n, bits, 0xA0 + n);
+    const auto b = random_vec(n, bits, 0xB0 + n);
+    for (VecOp op : protos) {
+      op.a = a;
+      op.b = b;
+      const OpResult serial = run_fresh(op, 1);
+      const OpResult parallel = run_fresh(op, threads);
+      expect_identical(serial, parallel,
+                       (std::string(to_string(op.kind)) + " n=" + std::to_string(n)).c_str());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, EngineDeterminismP, ::testing::Values(2u, 8u));
+
+TEST(ExecutionEngine, MatchesScalarReference) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{4});
+  const unsigned bits = 8;
+  const auto a = random_vec(333, bits, 1);
+  const auto b = random_vec(333, bits, 2);
+
+  VecOp op{OpKind::Add, bits, periph::LogicFn::And, a, b};
+  auto add = eng.run(op);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(add.values[i], (a[i] + b[i]) & 0xFF);
+
+  op.kind = OpKind::Mult;
+  auto mul = eng.run(op);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(mul.values[i], a[i] * b[i]);
+}
+
+TEST(ExecutionEngine, BatchMatchesIndividualRuns) {
+  const unsigned bits = 8;
+  const auto a0 = random_vec(100, bits, 3);
+  const auto b0 = random_vec(100, bits, 4);
+  const auto a1 = random_vec(37, bits, 5);
+  const auto b1 = random_vec(37, bits, 6);
+  std::vector<VecOp> ops = {
+      {OpKind::Mult, bits, periph::LogicFn::And, a0, b0},
+      {OpKind::Add, bits, periph::LogicFn::And, a1, b1},
+  };
+
+  macro::ImcMemory mem_batch(tiny_memory());
+  ExecutionEngine eng_batch(mem_batch, EngineConfig{4});
+  const auto results = eng_batch.run_batch(ops);
+  ASSERT_EQ(results.size(), 2u);
+
+  for (std::size_t k = 0; k < ops.size(); ++k) {
+    const OpResult one = run_fresh(ops[k], 1);
+    expect_identical(one, results[k], "batch op");
+  }
+
+  const BatchStats& bs = eng_batch.last_batch();
+  EXPECT_EQ(bs.ops, 2u);
+  EXPECT_EQ(bs.elements, 137u);
+  EXPECT_EQ(bs.compute_cycles,
+            results[0].stats.elapsed_cycles + results[1].stats.elapsed_cycles);
+  EXPECT_EQ(bs.serial_cycles, bs.load_cycles + bs.compute_cycles);
+  // Double buffering can only help, and never beats pure compute + first load.
+  EXPECT_LE(bs.pipelined_cycles, bs.serial_cycles);
+  EXPECT_GE(bs.pipelined_cycles, bs.compute_cycles);
+  EXPECT_EQ(bs.energy.si(),
+            (results[0].stats.energy + results[1].stats.energy).si());
+}
+
+TEST(ExecutionEngine, BatchOverlapHidesLoadBehindCompute) {
+  // MULT at 8 bits runs N+2 = 10 cycles per layer vs 2 load cycles, so in a
+  // long same-shape batch every load after the first hides completely.
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  const unsigned bits = 8;
+  const auto a = random_vec(32, bits, 7);  // one layer (4 macros x 8 units)
+  const auto b = random_vec(32, bits, 8);
+  std::vector<VecOp> ops(5, VecOp{OpKind::Mult, bits, periph::LogicFn::And, a, b});
+  (void)eng.run_batch(ops);
+  const BatchStats& bs = eng.last_batch();
+  EXPECT_EQ(bs.load_cycles, 5u * 2u);
+  EXPECT_EQ(bs.pipelined_cycles, 2u + bs.compute_cycles);  // only load 0 exposed
+  EXPECT_GT(bs.overlap_speedup(), 1.0);
+}
+
+TEST(ExecutionEngine, NoOverlapCreditAtFullCapacity) {
+  // Two full-capacity ops (64 layers each on 64 row pairs) cannot be
+  // co-resident, so the batch model must not hide the second load.
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  const unsigned bits = 8;
+  const std::size_t full = eng.mult_units_per_row(bits) * mem.macro_count() * 64;
+  const auto a = random_vec(full, bits, 16);
+  const auto b = random_vec(full, bits, 17);
+  std::vector<VecOp> ops(2, VecOp{OpKind::Mult, bits, periph::LogicFn::And, a, b});
+  (void)eng.run_batch(ops);
+  EXPECT_EQ(eng.last_batch().pipelined_cycles, eng.last_batch().serial_cycles);
+
+  // Half-capacity ops can ping-pong, so overlap is credited again.
+  const auto ha = random_vec(full / 2, bits, 18);
+  const auto hb = random_vec(full / 2, bits, 19);
+  std::vector<VecOp> half_ops(2, VecOp{OpKind::Mult, bits, periph::LogicFn::And, ha, hb});
+  (void)eng.run_batch(half_ops);
+  EXPECT_LT(eng.last_batch().pipelined_cycles, eng.last_batch().serial_cycles);
+}
+
+TEST(ExecutionEngine, EmptyAndErrorCases) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{4});
+  const std::vector<std::uint64_t> empty;
+  VecOp op{OpKind::Add, 8, periph::LogicFn::And, empty, empty};
+  const auto res = eng.run(op);
+  EXPECT_TRUE(res.values.empty());
+  EXPECT_EQ(res.stats.elapsed_cycles, 0u);
+
+  const auto a = random_vec(4, 8, 9);
+  const auto b = random_vec(3, 8, 10);
+  op.a = a;
+  op.b = b;
+  EXPECT_THROW((void)eng.run(op), std::invalid_argument);  // propagates off the pool
+
+  op.b = a;
+  op.bits = 3;
+  EXPECT_THROW((void)eng.run(op), std::invalid_argument);
+}
+
+TEST(ExecutionEngine, VectorEngineRoutesThroughSharedEngine) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  app::VectorEngine ve(eng, 8);
+  EXPECT_EQ(&ve.engine(), &eng);
+
+  const auto a = random_vec(200, 8, 11);
+  const auto b = random_vec(200, 8, 12);
+  const auto c = ve.add(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(c[i], (a[i] + b[i]) & 0xFF);
+
+  // Serial seed semantics preserved: 200 adds on 64 words/layer -> 4 layers.
+  EXPECT_EQ(ve.last_run().elapsed_cycles, 4u);
+  EXPECT_EQ(ve.last_run().elements, 200u);
+}
+
+TEST(ExecutionEngine, VectorEngineBatchAggregatesLastRun) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  app::VectorEngine ve(eng, 8);
+  const auto a = random_vec(40, 8, 14);
+  const auto b = random_vec(40, 8, 15);
+  std::vector<std::pair<std::span<const std::uint64_t>, std::span<const std::uint64_t>>> pairs =
+      {{a, b}, {a, b}, {a, b}};
+  const auto results = ve.mult_batch(pairs);
+  ASSERT_EQ(results.size(), 3u);
+  // last_run() is the sum over the batch, as a loop over ops would report.
+  std::uint64_t cycles = 0;
+  Joule energy{0.0};
+  for (const auto& r : results) {
+    cycles += r.stats.elapsed_cycles;
+    energy += r.stats.energy;
+  }
+  EXPECT_EQ(ve.last_run().elements, 120u);
+  EXPECT_EQ(ve.last_run().elapsed_cycles, cycles);
+  EXPECT_EQ(ve.last_run().energy.si(), energy.si());
+}
+
+TEST(ExecutionEngine, CapacityOverflowRejected) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  // 4 macros x 64 row pairs x 16 words = 4096 elements max at 8 bits.
+  const auto a = random_vec(4097, 8, 13);
+  VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, a};
+  EXPECT_THROW((void)eng.run(op), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim::engine
