@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/bitvec.hpp"
 #include "common/require.hpp"
 
 namespace bpim::app {
@@ -15,7 +16,7 @@ std::uint64_t encode_signed(std::int64_t v, unsigned bits) {
 
 std::int64_t decode_signed(std::uint64_t code, unsigned bits) {
   BPIM_REQUIRE(bits >= 2 && bits <= 63, "signed width out of range");
-  BPIM_REQUIRE(code < (1ull << bits), "code wider than the word");
+  BPIM_REQUIRE(BitVector::fits_u64(code, bits), "code wider than the word");
   const std::uint64_t sign_bit = 1ull << (bits - 1);
   if (code & sign_bit) return static_cast<std::int64_t>(code) - (1ll << bits);
   return static_cast<std::int64_t>(code);

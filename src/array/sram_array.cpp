@@ -37,6 +37,18 @@ void SramArray::set(RowRef r, std::size_t col, bool v) {
   target[r.index].set(col, v);
 }
 
+std::uint64_t SramArray::extract_bits(RowRef r, std::size_t col, std::size_t len) const {
+  BPIM_REQUIRE(len <= 64 && col + len <= geom_.cols, "column range out of range");
+  return row(r).extract_bits(col, len);
+}
+
+void SramArray::deposit_bits(RowRef r, std::size_t col, std::size_t len, std::uint64_t value) {
+  BPIM_REQUIRE(len <= 64 && col + len <= geom_.cols, "column range out of range");
+  auto& target = (r.kind == RowRef::Kind::Main) ? main_ : dummy_;
+  BPIM_REQUIRE(r.index < target.size(), "row out of range");
+  target[r.index].deposit_bits(col, len, value);
+}
+
 void SramArray::check_access(RowRef r) const {
   // While the separator is open, only same-segment WL pairs share a BL; a
   // cross-segment dual access cannot produce a valid wired-AND result.

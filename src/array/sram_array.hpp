@@ -62,6 +62,11 @@ class SramArray {
   void write_row(RowRef r, const BitVector& data);
   [[nodiscard]] bool get(RowRef r, std::size_t col) const { return row(r).get(col); }
   void set(RowRef r, std::size_t col, bool v);
+  /// Columns [col, col+len) of a row as a u64 (len <= 64).
+  [[nodiscard]] std::uint64_t extract_bits(RowRef r, std::size_t col, std::size_t len) const;
+  /// Overwrite columns [col, col+len) of a row with the low len bits of
+  /// `value` (uncharged -- the macro's poke path).
+  void deposit_bits(RowRef r, std::size_t col, std::size_t len, std::uint64_t value);
 
   // ---- BL separator -----------------------------------------------------
   /// Separated = dummy segment disconnected from the main-array BLs.

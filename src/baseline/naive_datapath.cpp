@@ -1,0 +1,81 @@
+#include "baseline/naive_datapath.hpp"
+
+namespace bpim::baseline {
+
+using array::BlReadout;
+using periph::AddResult;
+using periph::FaLogics;
+
+AddResult naive_add(const BlReadout& r, unsigned precision, bool carry_in) {
+  const std::size_t width = r.bl_and.size();
+  BPIM_REQUIRE(precision >= 1, "precision must be at least 1 bit");
+  BPIM_REQUIRE(width % precision == 0, "precision must divide the row width");
+
+  const BitVector x = FaLogics::xor_bits(r);
+  const BitVector n = FaLogics::xnor_bits(r);
+  const BitVector& a_and = r.bl_and;
+  const BitVector a_or = ~r.bl_nor;
+
+  AddResult out{BitVector(width), BitVector(width), BitVector(width)};
+  bool c = carry_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    if (i % precision == 0) c = carry_in;  // MX3 cuts the chain at boundaries
+    // Carry-select: both candidates precomputed, carry picks one.
+    const bool s = c ? n.get(i) : x.get(i);
+    const bool c_next = c ? a_or.get(i) : a_and.get(i);
+    out.sum.set(i, s);
+    out.carry.set(i, c_next);
+    if ((i + 1) % precision == 0) out.word_carry.set(i, c_next);
+    c = c_next;
+  }
+  return out;
+}
+
+BitVector naive_mult_datapath(const BitVector& row_a, const BitVector& row_b, unsigned bits) {
+  const std::size_t cols = row_a.size();
+  BPIM_REQUIRE(row_b.size() == cols, "operand rows must have equal width");
+  BPIM_REQUIRE(bits >= 1 && cols % (2 * static_cast<std::size_t>(bits)) == 0,
+               "2N-bit units must divide the row width");
+  const std::size_t units = cols / (2 * static_cast<std::size_t>(bits));
+  const unsigned unit_bits = 2 * bits;
+
+  // FF load (MSB-first release order) from the multiplier row's low halves.
+  std::vector<std::uint64_t> ff(units, 0);
+  for (std::size_t u = 0; u < units; ++u) {
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < bits; ++i)
+      v |= static_cast<std::uint64_t>(row_b.get(u * unit_bits + i)) << i;
+    ff[u] = v;
+  }
+
+  // Multiplicand copy into the (conceptual) dummy operand row: low halves.
+  BitVector a_copy(cols);
+  for (std::size_t u = 0; u < units; ++u)
+    for (unsigned i = 0; i < bits; ++i)
+      a_copy.set(u * unit_bits + i, row_a.get(u * unit_bits + i));
+
+  // Add-and-shift iterations: acc <- (ff_bit ? acc + A : acc), shifted left
+  // except on the last cycle.
+  BitVector acc(cols);
+  for (unsigned k = 0; k < bits; ++k) {
+    const bool last = (k + 1 == bits);
+    const BlReadout r{a_copy & acc, ~(a_copy | acc)};
+    const AddResult res = naive_add(r, unit_bits, false);
+    BitVector next(cols);
+    for (std::size_t u = 0; u < units; ++u) {
+      const bool take_sum = (ff[u] >> (bits - 1 - k)) & 1u;  // MSB-first
+      const std::size_t base = u * unit_bits;
+      for (unsigned i = 0; i < unit_bits; ++i) {
+        const bool bit = take_sum ? res.sum.get(base + i) : acc.get(base + i);
+        if (last)
+          next.set(base + i, bit);
+        else if (i + 1 < unit_bits)
+          next.set(base + i + 1, bit);  // <<1 via the propagation path
+      }
+    }
+    acc = next;
+  }
+  return acc;
+}
+
+}  // namespace bpim::baseline

@@ -1,0 +1,32 @@
+#pragma once
+// The seed's per-bit functional datapath, preserved verbatim as a reference.
+//
+// The production path (periph/falogics, macro/imc_macro) evaluates every
+// cycle word-parallel over BitVector's packed words; these functions keep
+// the original one-bool-at-a-time loops so that
+//   * tests/test_hot_path_diff can check the SWAR rewrite bit-identical
+//     across precisions and odd row widths, and
+//   * bench/hot_path_bench can measure the speedup against the pre-PR
+//     implementation on the same inputs.
+// Nothing here is called from the simulator's hot path.
+
+#include "array/sram_array.hpp"
+#include "common/bitvec.hpp"
+#include "periph/falogics.hpp"
+
+namespace bpim::baseline {
+
+/// The seed's FaLogics::add: per-bit carry-select ripple with the MX3 cut
+/// at every `precision` boundary.
+[[nodiscard]] periph::AddResult naive_add(const array::BlReadout& r, unsigned precision,
+                                          bool carry_in);
+
+/// The seed's ImcMacro::mult_rows datapath (FF load, multiplicand copy,
+/// add-and-shift iterations) on plain row values: row_a holds the
+/// multiplicands and row_b the multipliers in the low halves of each
+/// 2*bits-wide unit; returns the row of 2*bits-wide products. Pure
+/// datapath -- no array traffic, energy or cycle accounting.
+[[nodiscard]] BitVector naive_mult_datapath(const BitVector& row_a, const BitVector& row_b,
+                                            unsigned bits);
+
+}  // namespace bpim::baseline

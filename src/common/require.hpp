@@ -23,3 +23,14 @@ namespace bpim::detail {
   do {                                                                   \
     if (!(expr)) ::bpim::detail::require_failed(#expr, __FILE__, __LINE__, (msg)); \
   } while (false)
+
+// BPIM_DCHECK guards the word-level hot accessors (BitVector::word,
+// extract_bits, deposit_bits, ...): same contract as BPIM_REQUIRE in debug
+// builds, compiled out under NDEBUG so the SWAR datapath reduces to
+// straight-line word arithmetic. Public entry points that promise to throw
+// on caller errors keep BPIM_REQUIRE.
+#ifdef NDEBUG
+#define BPIM_DCHECK(expr, msg) ((void)0)
+#else
+#define BPIM_DCHECK(expr, msg) BPIM_REQUIRE(expr, msg)
+#endif

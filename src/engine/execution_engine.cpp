@@ -12,13 +12,6 @@ using array::RowRef;
 
 namespace {
 
-std::uint64_t extract_word(const BitVector& row, std::size_t word, unsigned bits) {
-  std::uint64_t v = 0;
-  for (unsigned i = 0; i < bits; ++i)
-    v |= static_cast<std::uint64_t>(row.get(word * bits + i)) << i;
-  return v;
-}
-
 BitVector exec_chunk(macro::ImcMacro& mac, const VecOp& op, RowRef ra, RowRef rb) {
   switch (op.kind) {
     case OpKind::Add:
@@ -112,14 +105,12 @@ OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
       const std::size_t r_b = 2 * row_pair + 1;
       const std::size_t pos = c * per_op;
       const std::size_t len = std::min(per_op, n - pos);
-      for (std::size_t i = 0; i < len; ++i) {
-        if (mult_layout) {
-          mac.poke_mult_operand(r_a, i, op.bits, a[pos + i]);
-          mac.poke_mult_operand(r_b, i, op.bits, b[pos + i]);
-        } else {
-          mac.poke_word(r_a, i, op.bits, a[pos + i]);
-          mac.poke_word(r_b, i, op.bits, b[pos + i]);
-        }
+      if (mult_layout) {
+        mac.poke_mult_operands(r_a, 0, op.bits, a.subspan(pos, len));
+        mac.poke_mult_operands(r_b, 0, op.bits, b.subspan(pos, len));
+      } else {
+        mac.poke_words(r_a, 0, op.bits, a.subspan(pos, len));
+        mac.poke_words(r_b, 0, op.bits, b.subspan(pos, len));
       }
       const BitVector result = exec_chunk(mac, op, RowRef::main(r_a), RowRef::main(r_b));
       if (mult_layout) {
@@ -127,7 +118,7 @@ OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
           res.values[pos + i] = mac.peek_mult_product(result, i, op.bits);
       } else {
         for (std::size_t i = 0; i < len; ++i)
-          res.values[pos + i] = extract_word(result, i, op.bits);
+          res.values[pos + i] = result.extract_bits(i * op.bits, op.bits);
       }
     }
   });

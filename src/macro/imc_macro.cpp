@@ -62,36 +62,47 @@ const BitVector& ImcMacro::peek_row(std::size_t r) const { return array_.row(Row
 
 void ImcMacro::poke_word(std::size_t r, std::size_t word, unsigned bits, std::uint64_t value) {
   BPIM_REQUIRE(word < words_per_row(bits), "word index out of range");
-  BPIM_REQUIRE(bits >= 64 || value < (1ull << bits), "value does not fit precision");
-  for (unsigned i = 0; i < bits; ++i)
-    array_.set(RowRef::main(r), word * bits + i, (value >> i) & 1u);
+  BPIM_REQUIRE(BitVector::fits_u64(value, bits), "value does not fit precision");
+  array_.deposit_bits(RowRef::main(r), word * bits, bits, value);
 }
 
 std::uint64_t ImcMacro::peek_word(std::size_t r, std::size_t word, unsigned bits) const {
   BPIM_REQUIRE(word < words_per_row(bits), "word index out of range");
-  std::uint64_t v = 0;
-  for (unsigned i = 0; i < bits; ++i)
-    v |= static_cast<std::uint64_t>(array_.get(RowRef::main(r), word * bits + i)) << i;
-  return v;
+  return array_.extract_bits(RowRef::main(r), word * bits, bits);
+}
+
+void ImcMacro::poke_words(std::size_t r, std::size_t first_word, unsigned bits,
+                          std::span<const std::uint64_t> values) {
+  BPIM_REQUIRE(first_word + values.size() <= words_per_row(bits), "word range out of range");
+  const RowRef row = RowRef::main(r);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    BPIM_REQUIRE(BitVector::fits_u64(values[i], bits), "value does not fit precision");
+    array_.deposit_bits(row, (first_word + i) * bits, bits, values[i]);
+  }
 }
 
 void ImcMacro::poke_mult_operand(std::size_t r, std::size_t unit, unsigned bits,
                                  std::uint64_t value) {
   BPIM_REQUIRE(unit < mult_units_per_row(bits), "unit index out of range");
-  BPIM_REQUIRE(bits >= 64 || value < (1ull << bits), "value does not fit precision");
-  const std::size_t base = unit * 2 * bits;
-  for (unsigned i = 0; i < 2 * bits; ++i)
-    array_.set(RowRef::main(r), base + i, i < bits ? ((value >> i) & 1u) : false);
+  BPIM_REQUIRE(BitVector::fits_u64(value, bits), "value does not fit precision");
+  // One deposit covers the whole unit: operand in the low half, zeros above.
+  array_.deposit_bits(RowRef::main(r), unit * 2 * bits, 2 * bits, value);
+}
+
+void ImcMacro::poke_mult_operands(std::size_t r, std::size_t first_unit, unsigned bits,
+                                  std::span<const std::uint64_t> values) {
+  BPIM_REQUIRE(first_unit + values.size() <= mult_units_per_row(bits), "unit range out of range");
+  const RowRef row = RowRef::main(r);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    BPIM_REQUIRE(BitVector::fits_u64(values[i], bits), "value does not fit precision");
+    array_.deposit_bits(row, (first_unit + i) * 2 * bits, 2 * bits, values[i]);
+  }
 }
 
 std::uint64_t ImcMacro::peek_mult_product(const BitVector& row, std::size_t unit,
                                           unsigned bits) const {
   BPIM_REQUIRE(unit < mult_units_per_row(bits), "unit index out of range");
-  const std::size_t base = unit * 2 * bits;
-  std::uint64_t v = 0;
-  for (unsigned i = 0; i < 2 * bits; ++i)
-    v |= static_cast<std::uint64_t>(row.get(base + i)) << i;
-  return v;
+  return row.extract_bits(unit * 2 * bits, 2 * bits);
 }
 
 // ---- accounting helpers -----------------------------------------------------
@@ -147,19 +158,30 @@ void ImcMacro::maybe_disturb(RowRef a, RowRef b) {
   if (!cfg_.inject_disturb || disturb_.flip_probability <= 0.0) return;
   // Vulnerable columns hold complementary data: one cell discharges a BL and
   // the other cell's node on that BL sags toward it (paper Fig 1).
-  const BitVector& ra = array_.row(a);
-  const BitVector& rb = array_.row(b);
-  const BitVector vulnerable = ra ^ rb;
-  for (std::size_t c = 0; c < vulnerable.size(); ++c) {
-    if (!vulnerable.get(c)) continue;
-    if (rng_.bernoulli(disturb_.flip_probability)) {
-      array_.set(a, c, !ra.get(c));
-      ++disturb_flips_;
-    }
-    if (rng_.bernoulli(disturb_.flip_probability)) {
-      array_.set(b, c, !rb.get(c));
-      ++disturb_flips_;
-    }
+  const BitVector vulnerable = array_.row(a) ^ array_.row(b);
+  const std::size_t slots = 2 * vulnerable.popcount();  // cell in a, cell in b per column
+  if (slots == 0) return;
+  // Geometric-skip sampling: instead of one Bernoulli draw per vulnerable
+  // cell, draw the gap to the next flip directly -- Geometric(p) -- so the
+  // common no-flip compute costs one draw, not 2V. The flipped-cell
+  // marginals are identical to the per-cell scan.
+  const double denom = std::log1p(-disturb_.flip_probability);  // -inf at p == 1: every slot flips
+  double gap = std::floor(std::log1p(-rng_.uniform()) / denom);
+  if (!(gap < static_cast<double>(slots))) return;
+  // At least one flip: materialize the vulnerable column list once.
+  std::vector<std::size_t> cols;
+  cols.reserve(slots / 2);
+  vulnerable.for_each_set_bit([&](std::size_t c) { cols.push_back(c); });
+  std::size_t j = 0;
+  for (;;) {
+    j += static_cast<std::size_t>(gap);
+    const std::size_t c = cols[j / 2];
+    const RowRef victim = (j % 2 == 0) ? a : b;
+    array_.set(victim, c, !array_.get(victim, c));
+    ++disturb_flips_;
+    ++j;
+    gap = std::floor(std::log1p(-rng_.uniform()) / denom);
+    if (!(gap < static_cast<double>(slots - j))) return;
   }
 }
 
@@ -228,14 +250,12 @@ BitVector ImcMacro::unary_row(Op op, RowRef src, RowRef dest, unsigned bits) {
   switch (op) {
     case Op::Not: out = r.bl_nor; break;
     case Op::Copy: out = r.bl_and; break;
-    case Op::Shift: {
+    case Op::Shift:
       // <<1 within every precision word via the carry-propagation path.
-      const std::size_t words = words_per_row(bits);
-      for (std::size_t w = 0; w < words; ++w)
-        for (unsigned i = 1; i < bits; ++i)
-          out.set(w * bits + i, r.bl_and.get(w * bits + i - 1));
+      (void)words_per_row(bits);  // precision validation, as the seed path had
+      out = r.bl_and;
+      out.shl1_in_fields(bits);
       break;
-    }
     default: break;
   }
   const double n = static_cast<double>(cols());
@@ -262,12 +282,11 @@ BitVector ImcMacro::add_rows(RowRef a, RowRef b, unsigned bits, std::optional<Ro
 BitVector ImcMacro::add_shift_rows(RowRef a, RowRef b, unsigned bits, RowRef dest) {
   BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
   const BlReadout r = sense_dual(a, b);
-  const periph::AddResult res = FaLogics::add(r, bits, false);
+  periph::AddResult res = FaLogics::add(r, bits, false);
   // The propagated-sum path writes S[n-1] into column n (MX0 + Y-path FF).
-  BitVector out(cols());
   const std::size_t words = words_per_row(bits);
-  for (std::size_t w = 0; w < words; ++w)
-    for (unsigned i = 1; i < bits; ++i) out.set(w * bits + i, res.sum.get(w * bits + i - 1));
+  BitVector out = std::move(res.sum);
+  out.shl1_in_fields(bits);
   const double n = static_cast<double>(cols());
   charge(compute_price(a, b), n);
   charge(Component::FaLogic, n);
@@ -312,41 +331,42 @@ BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
   charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
   charge(Component::FlipFlop, static_cast<double>(bits) * n_units);
   std::vector<std::uint64_t> ff(units, 0);
-  for (std::size_t u = 0; u < units; ++u) {
-    std::uint64_t v = 0;
-    for (unsigned i = 0; i < bits; ++i)
-      v |= static_cast<std::uint64_t>(rb.bl_and.get(u * unit_bits + i)) << i;
-    ff[u] = v;
-  }
-
-  // Cycle 2: copy the multiplicand into the dummy operand row (low halves).
-  const BlReadout ra = array_.read_single(a);
-  BitVector a_copy(cols());
   for (std::size_t u = 0; u < units; ++u)
-    for (unsigned i = 0; i < bits; ++i)
-      a_copy.set(u * unit_bits + i, ra.bl_and.get(u * unit_bits + i));
+    ff[u] = rb.bl_and.extract_bits(u * unit_bits, bits);
+
+  // Cycle 2: copy the multiplicand into the dummy operand row (low halves):
+  // mask off the high half of every unit in one word-parallel AND.
+  const BlReadout ra = array_.read_single(a);
+  std::uint64_t low_halves = 0;  // low `bits` of each unit set (unit_bits divides 64)
+  for (std::size_t i = 0; i < 64; i += unit_bits) low_halves |= ((1ull << bits) - 1) << i;
+  BitVector a_copy = ra.bl_and;
+  for (std::size_t w = 0; w < a_copy.word_count(); ++w)
+    a_copy.set_word(w, a_copy.word(w) & low_halves);
   charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
   write_back(d1, a_copy, static_cast<double>(bits) * n_units);
 
   // Cycles 3..N+2: (N-1) add-and-shift iterations plus the final ADD.
   // acc <- (ff_bit ? acc + A : acc), shifted left except on the last cycle.
+  // The per-unit FF bit selects between sum and accumulator through a
+  // broadcast field mask; the <<1 is the word-parallel in-field shift. All
+  // scratch (AddResult, select mask, next row) is reused across iterations.
+  periph::AddResult res;
+  BitVector sel(cols());
+  BitVector next(cols());
   for (unsigned k = 0; k < bits; ++k) {
     const bool last = (k + 1 == bits);
     const BlReadout r = sense_dual(d1, d2);
-    const periph::AddResult res = FaLogics::add(r, unit_bits, false);
+    FaLogics::add_into(r, unit_bits, false, res);
     const BitVector& acc = array_.row(d2);
-    BitVector next(cols());
     for (std::size_t u = 0; u < units; ++u) {
       const bool take_sum = (ff[u] >> (bits - 1 - k)) & 1u;  // MSB-first
-      const std::size_t base = u * unit_bits;
-      for (unsigned i = 0; i < unit_bits; ++i) {
-        const bool bit = take_sum ? res.sum.get(base + i) : acc.get(base + i);
-        if (last)
-          next.set(base + i, bit);
-        else if (i + 1 < unit_bits)
-          next.set(base + i + 1, bit);  // <<1 via the propagation path
-      }
+      sel.deposit_bits(u * unit_bits, unit_bits, take_sum ? ~0ull : 0);
     }
+    for (std::size_t w = 0; w < next.word_count(); ++w) {
+      const std::uint64_t s = sel.word(w);
+      next.set_word(w, (res.sum.word(w) & s) | (acc.word(w) & ~s));
+    }
+    if (!last) next.shl1_in_fields(unit_bits);  // <<1 via the propagation path
     charge(compute_price(d1, d2), static_cast<double>(cols()));
     charge(Component::FaLogic, static_cast<double>(cols()));
     charge(Component::FlipFlop, n_units);

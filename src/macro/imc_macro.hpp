@@ -21,6 +21,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "array/sram_array.hpp"
 #include "common/bitvec.hpp"
@@ -77,8 +78,15 @@ class ImcMacro {
   [[nodiscard]] const BitVector& peek_row(std::size_t r) const;
   void poke_word(std::size_t r, std::size_t word, unsigned bits, std::uint64_t value);
   [[nodiscard]] std::uint64_t peek_word(std::size_t r, std::size_t word, unsigned bits) const;
+  /// Bulk poke: values[i] goes to word `first_word + i`. One range/precision
+  /// validation for the whole span (the engine's operand-load path).
+  void poke_words(std::size_t r, std::size_t first_word, unsigned bits,
+                  std::span<const std::uint64_t> values);
   /// Low half of MULT unit `u` (operand slot).
   void poke_mult_operand(std::size_t r, std::size_t unit, unsigned bits, std::uint64_t value);
+  /// Bulk poke of MULT operands: values[i] goes to unit `first_unit + i`.
+  void poke_mult_operands(std::size_t r, std::size_t first_unit, unsigned bits,
+                          std::span<const std::uint64_t> values);
   [[nodiscard]] std::uint64_t peek_mult_product(const BitVector& row, std::size_t unit,
                                                 unsigned bits) const;
   [[nodiscard]] const array::SramArray& sram() const { return array_; }

@@ -20,6 +20,15 @@
 // The carry chain spans the whole row of peripheral units; MX3 switches cut
 // it at every `precision` boundary so the row computes cols/precision
 // independent words per cycle (the reconfigurable bit-precision of Fig 6).
+//
+// The model evaluates the whole chain word-parallel (SWAR): the carry-select
+// recurrence above is exactly binary addition of P = bl_and and Q = ~bl_nor
+// (P+Q = A+B with the identical carry chain, since P^Q = A^B and P&Q = A&B),
+// so one partitioned 64-bit add per storage word -- field-MSB masks cut the
+// carries at precision boundaries exactly like the MX3 mux -- replaces the
+// seed's per-bit ripple loop. The per-bit carry vector is recovered from the
+// adder identity carries_in = a ^ b ^ sum. Bit-identical to the per-bit
+// reference (baseline/naive_datapath, checked by tests/test_hot_path_diff).
 
 #include "array/sram_array.hpp"
 #include "common/bitvec.hpp"
@@ -48,6 +57,11 @@ class FaLogics {
   /// +1 of two's-complement subtraction).
   [[nodiscard]] static AddResult add(const array::BlReadout& r, unsigned precision,
                                      bool carry_in);
+
+  /// As add(), but reuses `out`'s storage -- the MULT sequencer calls this
+  /// once per iteration and must not allocate three fresh vectors each time.
+  static void add_into(const array::BlReadout& r, unsigned precision, bool carry_in,
+                       AddResult& out);
 
   /// XOR derived from the two SA outputs: ~(bl_and | bl_nor).
   [[nodiscard]] static BitVector xor_bits(const array::BlReadout& r);

@@ -34,6 +34,16 @@ TEST(BitVector, ValueMustFit) {
   EXPECT_NO_THROW(BitVector(3, 7));
 }
 
+TEST(BitVector, ValueFitCheckIsShiftSafeAtWordWidth) {
+  // The check must hold at size == 64 too (any u64 fits; `1ull << 64` is UB
+  // and must not be evaluated) and keep rejecting just below it.
+  EXPECT_NO_THROW(BitVector(64, ~0ull));
+  EXPECT_THROW(BitVector(63, ~0ull), std::invalid_argument);
+  EXPECT_NO_THROW(BitVector(63, ~0ull >> 1));
+  EXPECT_TRUE(BitVector::fits_u64(~0ull, 64));
+  EXPECT_FALSE(BitVector::fits_u64(~0ull, 63));
+}
+
 TEST(BitVector, SetGetAcrossWordBoundary) {
   BitVector v(128);
   v.set(63, true);
@@ -106,6 +116,103 @@ TEST(BitVector, EqualityIncludesSize) {
   EXPECT_EQ(BitVector(8, 5), BitVector(8, 5));
   EXPECT_FALSE(BitVector(8, 5) == BitVector(9, 5));
   EXPECT_FALSE(BitVector(8, 5) == BitVector(8, 6));
+}
+
+TEST(BitVector, WordAccessMasksPastSize) {
+  BitVector v(70);
+  EXPECT_EQ(v.word_count(), 2u);
+  v.set_word(0, ~0ull);
+  v.set_word(1, ~0ull);  // only bits 64..69 stick
+  EXPECT_EQ(v.word(0), ~0ull);
+  EXPECT_EQ(v.word(1), 0x3Full);
+  EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVector, ExtractDepositRoundTripAcrossWordBoundary) {
+  Rng rng(42);
+  BitVector v(200);
+  v.randomize(rng);
+  for (const std::size_t pos : {0u, 7u, 40u, 60u, 63u, 64u, 120u, 136u}) {
+    for (const std::size_t len : {1u, 8u, 17u, 33u, 64u}) {
+      if (pos + len > v.size()) continue;
+      // extract agrees with per-bit reads
+      std::uint64_t ref = 0;
+      for (std::size_t i = 0; i < len; ++i)
+        ref |= static_cast<std::uint64_t>(v.get(pos + i)) << i;
+      EXPECT_EQ(v.extract_bits(pos, len), ref) << pos << "," << len;
+      // deposit followed by extract round-trips and touches nothing else
+      BitVector w = v;
+      const std::uint64_t value = rng.next_u64() & (len == 64 ? ~0ull : (1ull << len) - 1);
+      w.deposit_bits(pos, len, value);
+      EXPECT_EQ(w.extract_bits(pos, len), value) << pos << "," << len;
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        if (i < pos || i >= pos + len) {
+          ASSERT_EQ(w.get(i), v.get(i)) << pos << "," << len;
+        }
+      }
+    }
+  }
+}
+
+TEST(BitVector, DepositIgnoresHighBitsOfValue) {
+  BitVector v(32);
+  v.deposit_bits(4, 4, 0xFFull);
+  EXPECT_EQ(v.to_u64(), 0xF0ull);
+}
+
+TEST(BitVector, SlicePatchMatchPerBitAcrossWordBoundaries) {
+  Rng rng(9);
+  BitVector v(170);
+  v.randomize(rng);
+  const BitVector s = v.slice(59, 90);
+  for (std::size_t i = 0; i < 90; ++i) ASSERT_EQ(s.get(i), v.get(59 + i));
+  BitVector w(170);
+  w.randomize(rng);
+  BitVector patched = w;
+  patched.patch(33, s);
+  for (std::size_t i = 0; i < 170; ++i)
+    ASSERT_EQ(patched.get(i), (i >= 33 && i < 123) ? s.get(i - 33) : w.get(i));
+}
+
+TEST(BitVector, Shl1InFieldsMatchesPerBitReference) {
+  Rng rng(11);
+  for (const std::size_t width : {64u, 96u, 128u, 130u}) {
+    for (const std::size_t field : {1u, 2u, 8u, 16u, 64u, 5u, 13u, 65u}) {
+      if (width % field != 0) continue;
+      BitVector v(width);
+      v.randomize(rng);
+      BitVector ref(width);
+      for (std::size_t p = 0; p < width; ++p)
+        if (p % field != 0) ref.set(p, v.get(p - 1));
+      BitVector fast = v;
+      fast.shl1_in_fields(field);
+      EXPECT_EQ(fast, ref) << "width=" << width << " field=" << field;
+    }
+  }
+}
+
+TEST(BitVector, Shl1InFieldsRejectsNonDividingField) {
+  BitVector v(96);
+  EXPECT_THROW(v.shl1_in_fields(7), std::invalid_argument);
+}
+
+TEST(BitVector, ForEachSetBitVisitsAscending) {
+  BitVector v(140);
+  for (const std::size_t i : {0u, 5u, 63u, 64u, 100u, 139u}) v.set(i, true);
+  std::vector<std::size_t> seen;
+  v.for_each_set_bit([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 5, 63, 64, 100, 139}));
+}
+
+TEST(BitVector, ResetReusesStorageAndZeroes) {
+  BitVector v(128);
+  v.fill(true);
+  v.reset(70);
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_EQ(v.popcount(), 0u);
+  v.reset(256);
+  EXPECT_EQ(v.size(), 256u);
+  EXPECT_EQ(v.popcount(), 0u);
 }
 
 TEST(BitVector, RandomizeIsDeterministicPerSeed) {

@@ -1,0 +1,194 @@
+// Differential tests: the word-parallel (SWAR) datapath against the seed's
+// per-bit reference (baseline/naive_datapath), randomized across precisions
+// and row widths -- including widths that are not a multiple of the 64-bit
+// storage word and precisions that do not divide 64 (the chunked fallback).
+
+#include <gtest/gtest.h>
+
+#include "baseline/naive_datapath.hpp"
+#include "common/rng.hpp"
+#include "macro/imc_macro.hpp"
+#include "periph/falogics.hpp"
+
+namespace bpim {
+namespace {
+
+using array::BlReadout;
+using array::RowRef;
+using baseline::naive_add;
+using baseline::naive_mult_datapath;
+using periph::AddResult;
+using periph::FaLogics;
+
+BlReadout random_readout(std::size_t width, Rng& rng) {
+  BitVector a(width), b(width);
+  a.randomize(rng);
+  b.randomize(rng);
+  return BlReadout{a & b, ~(a | b)};
+}
+
+void expect_add_matches(std::size_t width, unsigned precision, bool carry_in, Rng& rng) {
+  const BlReadout r = random_readout(width, rng);
+  const AddResult fast = FaLogics::add(r, precision, carry_in);
+  const AddResult ref = naive_add(r, precision, carry_in);
+  EXPECT_EQ(fast.sum, ref.sum) << "sum w=" << width << " p=" << precision << " cin=" << carry_in;
+  EXPECT_EQ(fast.carry, ref.carry)
+      << "carry w=" << width << " p=" << precision << " cin=" << carry_in;
+  EXPECT_EQ(fast.word_carry, ref.word_carry)
+      << "word_carry w=" << width << " p=" << precision << " cin=" << carry_in;
+}
+
+TEST(HotPathDiff, AddMatchesReferenceAtSupportedPrecisions) {
+  Rng rng(0xADD);
+  for (const std::size_t width : {64u, 128u, 256u}) {
+    for (const unsigned precision : {2u, 4u, 8u, 16u, 32u}) {
+      for (const bool cin : {false, true})
+        for (int rep = 0; rep < 25; ++rep) expect_add_matches(width, precision, cin, rng);
+    }
+  }
+}
+
+TEST(HotPathDiff, AddMatchesReferenceAtOddWordBoundaries) {
+  // Row widths that are not a multiple of 64: the top storage word is
+  // partial, and ~bl_nor has garbage above the row that must not leak in.
+  Rng rng(0x0DD);
+  struct Case {
+    std::size_t width;
+    unsigned precision;
+  };
+  for (const Case c : {Case{96, 4}, Case{96, 8}, Case{96, 16}, Case{80, 8}, Case{80, 16},
+                       Case{72, 8}, Case{200, 8}, Case{120, 4}}) {
+    for (const bool cin : {false, true})
+      for (int rep = 0; rep < 25; ++rep) expect_add_matches(c.width, c.precision, cin, rng);
+  }
+}
+
+TEST(HotPathDiff, AddMatchesReferenceOnChunkedFallback) {
+  // Precisions that do not divide 64 (or exceed it) take the chunked path:
+  // fields straddle storage words and carries propagate between chunks.
+  Rng rng(0xC44);
+  struct Case {
+    std::size_t width;
+    unsigned precision;
+  };
+  for (const Case c : {Case{96, 3}, Case{96, 12}, Case{96, 24}, Case{96, 96}, Case{90, 5},
+                       Case{128, 128}, Case{192, 96}, Case{256, 128}, Case{130, 65}}) {
+    for (const bool cin : {false, true})
+      for (int rep = 0; rep < 25; ++rep) expect_add_matches(c.width, c.precision, cin, rng);
+  }
+}
+
+TEST(HotPathDiff, AddChainSpansFullField) {
+  // All-ones + 1 ripples the carry through an entire >64-bit field.
+  const std::size_t width = 128;
+  BitVector a(width), b(width);
+  a.fill(true);
+  const BlReadout r{a & b, ~(a | b)};
+  const AddResult fast = FaLogics::add(r, 128, true);
+  const AddResult ref = naive_add(r, 128, true);
+  EXPECT_EQ(fast.sum, ref.sum);
+  EXPECT_EQ(fast.carry, ref.carry);
+  EXPECT_EQ(fast.word_carry, ref.word_carry);
+  EXPECT_EQ(fast.sum.popcount(), 0u);  // ...1111 + 1 == 0 with carry-out
+  EXPECT_TRUE(fast.word_carry.get(127));
+}
+
+macro::MacroConfig geometry_cfg(std::size_t cols) {
+  macro::MacroConfig cfg;
+  cfg.geometry.cols = cols;
+  return cfg;
+}
+
+TEST(HotPathDiff, MultRowsMatchesReferenceAndHostProducts) {
+  Rng rng(0x3117);
+  for (const std::size_t cols : {128u, 96u, 256u}) {
+    for (const unsigned bits : {4u, 8u, 16u}) {
+      if (cols % (2 * bits) != 0) continue;
+      macro::ImcMacro m{geometry_cfg(cols)};
+      const std::size_t units = m.mult_units_per_row(bits);
+      for (int rep = 0; rep < 10; ++rep) {
+        std::vector<std::uint64_t> va(units), vb(units);
+        for (std::size_t u = 0; u < units; ++u) {
+          va[u] = rng.next_u64() & ((1ull << bits) - 1);
+          vb[u] = rng.next_u64() & ((1ull << bits) - 1);
+          m.poke_mult_operand(0, u, bits, va[u]);
+          m.poke_mult_operand(1, u, bits, vb[u]);
+        }
+        const BitVector row_a = m.peek_row(0);
+        const BitVector row_b = m.peek_row(1);
+        const BitVector product = m.mult_rows(RowRef::main(0), RowRef::main(1), bits);
+        EXPECT_EQ(product, naive_mult_datapath(row_a, row_b, bits))
+            << "cols=" << cols << " bits=" << bits;
+        for (std::size_t u = 0; u < units; ++u)
+          EXPECT_EQ(m.peek_mult_product(product, u, bits), va[u] * vb[u])
+              << "cols=" << cols << " bits=" << bits << " unit=" << u;
+      }
+    }
+  }
+}
+
+TEST(HotPathDiff, ShiftAndAddShiftMatchPerBitSemantics) {
+  Rng rng(0x5417);
+  macro::ImcMacro m{geometry_cfg(96)};
+  const unsigned bits = 8;
+  for (int rep = 0; rep < 10; ++rep) {
+    BitVector a(96), b(96);
+    a.randomize(rng);
+    b.randomize(rng);
+    m.poke_row(0, a);
+    m.poke_row(1, b);
+
+    // Shift: out[w*bits + i] = src[w*bits + i - 1], field LSBs cleared.
+    const BitVector shifted =
+        m.unary_row(macro::Op::Shift, RowRef::main(0), RowRef::main(2), bits);
+    for (std::size_t w = 0; w < 96 / bits; ++w)
+      for (unsigned i = 0; i < bits; ++i)
+        EXPECT_EQ(shifted.get(w * bits + i), i == 0 ? false : a.get(w * bits + i - 1));
+
+    // AddShift: the propagated-sum path writes S[n-1] into column n.
+    const AddResult ref = naive_add({a & b, ~(a | b)}, bits, false);
+    const BitVector as = m.add_shift_rows(RowRef::main(0), RowRef::main(1), bits,
+                                          RowRef::dummy(macro::ImcMacro::kDummyAccum));
+    for (std::size_t w = 0; w < 96 / bits; ++w)
+      for (unsigned i = 0; i < bits; ++i)
+        EXPECT_EQ(as.get(w * bits + i), i == 0 ? false : ref.sum.get(w * bits + i - 1));
+  }
+}
+
+TEST(HotPathDiff, PokePeekRoundTripAcrossWordBoundaries) {
+  // 16-bit words at 96 cols put word 3 at columns 48..64 -- straddling the
+  // storage-word boundary.
+  macro::ImcMacro m{geometry_cfg(96)};
+  Rng rng(0x9011);
+  const unsigned bits = 16;
+  for (std::size_t w = 0; w < m.words_per_row(bits); ++w) {
+    const std::uint64_t v = rng.next_u64() & 0xFFFFu;
+    m.poke_word(3, w, bits, v);
+    EXPECT_EQ(m.peek_word(3, w, bits), v);
+  }
+}
+
+TEST(HotPathDiff, BulkPokeMatchesPerWordPokes) {
+  macro::ImcMacro one{geometry_cfg(128)};
+  macro::ImcMacro bulk{geometry_cfg(128)};
+  Rng rng(0xB01C);
+  const unsigned bits = 8;
+  std::vector<std::uint64_t> vals(one.words_per_row(bits));
+  for (auto& v : vals) v = rng.next_u64() & 0xFFu;
+  for (std::size_t w = 0; w < vals.size(); ++w) one.poke_word(4, w, bits, vals[w]);
+  bulk.poke_words(4, 0, bits, vals);
+  EXPECT_EQ(one.peek_row(4), bulk.peek_row(4));
+
+  std::vector<std::uint64_t> ops(one.mult_units_per_row(bits));
+  for (auto& v : ops) v = rng.next_u64() & 0xFFu;
+  for (std::size_t u = 0; u < ops.size(); ++u) one.poke_mult_operand(5, u, bits, ops[u]);
+  bulk.poke_mult_operands(5, 0, bits, ops);
+  EXPECT_EQ(one.peek_row(5), bulk.peek_row(5));
+
+  EXPECT_THROW(bulk.poke_words(4, 16, bits, vals), std::invalid_argument);
+  EXPECT_THROW(bulk.poke_words(4, 0, bits, std::vector<std::uint64_t>{1ull << bits}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bpim
