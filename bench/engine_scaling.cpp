@@ -5,12 +5,21 @@
 // RunStats) against the 1-thread execution of the same workload, which is
 // exactly the seed's serial macro walk.
 //
-// Usage: engine_scaling [elements] [repeats]
-//   elements  vector length per op        (default 4096)
-//   repeats   timed repetitions per cell  (default 5)
+// Usage: engine_scaling [--elements N] [--repeats R] [--bits B]
+//                       [--threads t1,t2,...] [--macros m1,m2,...]
+//                       [--ops b1,b2,...]
+//   --elements  vector length per op               (default 4096)
+//   --repeats   timed repetitions per cell         (default 5)
+//   --bits      operand precision                  (default 8)
+//   --threads   thread-count sweep                 (default 1,2,4,8)
+//   --macros    macro-count sweep (weak scaling)   (default 1,2,4,8,16,32)
+//   --ops       batch-size sweep (double buffering)(default 1,4,16,64)
+// Shorter lists make shorter runs -- CI smoke passes e.g.
+// `--threads 1,2 --macros 1,4 --ops 1,8 --repeats 2`.
 
 #include <chrono>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +27,7 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
+#include "macro/isa.hpp"
 
 using namespace bpim;
 using engine::EngineConfig;
@@ -71,29 +81,75 @@ bool identical(const OpResult& a, const OpResult& b) {
          a.stats.elapsed_time.si() == b.stats.elapsed_time.si();
 }
 
+std::vector<std::size_t> parse_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t v = std::stoul(item);
+    if (v == 0) throw std::invalid_argument("list entries must be positive");
+    out.push_back(v);
+  }
+  if (out.empty()) throw std::invalid_argument("empty list");
+  return out;
+}
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: engine_scaling [--elements N] [--repeats R] [--bits B]\n"
+               "                      [--threads t1,t2,...] [--macros m1,m2,...]\n"
+               "                      [--ops b1,b2,...]\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::size_t elements = 4096;
   int repeats = 5;
+  unsigned bits = 8;
+  std::vector<std::size_t> thread_sweep = {1, 2, 4, 8};
+  std::vector<std::size_t> macro_sweep = {1, 2, 4, 8, 16, 32};
+  std::vector<std::size_t> batch_sweep = {1, 4, 16, 64};
   try {
-    if (argc > 1) elements = std::stoul(argv[1]);
-    if (argc > 2) repeats = std::stoi(argv[2]);
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage();
+        return argv[++i];
+      };
+      if (arg == "--elements")
+        elements = std::stoul(value());
+      else if (arg == "--repeats")
+        repeats = std::stoi(value());
+      else if (arg == "--bits")
+        bits = static_cast<unsigned>(std::stoul(value()));
+      else if (arg == "--threads")
+        thread_sweep = parse_list(value());
+      else if (arg == "--macros")
+        macro_sweep = parse_list(value());
+      else if (arg == "--ops")
+        batch_sweep = parse_list(value());
+      else
+        usage();
+    }
   } catch (const std::exception&) {
-    std::cerr << "usage: engine_scaling [elements] [repeats]\n";
+    usage();
+  }
+  if (elements == 0 || repeats < 1) usage();
+  if (!macro::is_supported_precision(bits)) {
+    std::cerr << "error: --bits must be one of 2/4/8/16/32\n";
     return 2;
   }
-  if (elements == 0 || repeats < 1) {
-    std::cerr << "usage: engine_scaling [elements] [repeats]  (both must be positive)\n";
-    return 2;
+  {
+    // 16 macros x mult units x 64 row pairs caps the first sweep's residency.
+    macro::ImcMemory probe(memory_of(1));
+    const std::size_t cap = 16 * probe.macro(0).mult_units_per_row(bits) * 64;
+    if (elements > cap) {
+      std::cerr << "error: elements > " << cap << " exceeds the 16-macro layer capacity for "
+                << bits << "-bit MULT\n";
+      return 2;
+    }
   }
-  // 16 macros x 8 MULT units x 64 row pairs caps one run's residency.
-  if (elements > 16 * 8 * 64) {
-    std::cerr << "error: elements > " << 16 * 8 * 64
-              << " exceeds the 16-macro layer capacity for 8-bit MULT\n";
-    return 2;
-  }
-  const unsigned bits = 8;
 
   const auto a = random_vec(elements, bits, 1);
   const auto b = random_vec(elements, bits, 2);
@@ -112,7 +168,7 @@ int main(int argc, char** argv) {
   {
     TextTable table({"threads", "time_ms", "speedup", "bit-identical"});
     const Timed serial = time_run(op, 16, 1, repeats);
-    for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    for (const std::size_t threads : thread_sweep) {
       const Timed t = time_run(op, 16, threads, repeats);
       table.add_row({std::to_string(threads), TextTable::num(t.seconds * 1e3, 3),
                      TextTable::ratio(serial.seconds / t.seconds),
@@ -127,7 +183,7 @@ int main(int argc, char** argv) {
     // cell runs the same per-macro work and the sweep isolates dispatch cost.
     TextTable table({"macros", "elements", "serial_ms", "parallel_ms", "speedup",
                      "bit-identical"});
-    for (const std::size_t macros : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    for (const std::size_t macros : macro_sweep) {
       macro::ImcMemory probe(memory_of(1));
       const std::size_t units = probe.macro(0).mult_units_per_row(bits);
       const std::size_t n = macros * units * 32;
@@ -149,7 +205,7 @@ int main(int argc, char** argv) {
   {
     // A batch of independent ops: loads of op k+1 overlap compute of op k.
     TextTable table({"batch_ops", "serial_cycles", "pipelined_cycles", "overlap_speedup"});
-    for (const std::size_t batch : {1u, 4u, 16u, 64u}) {
+    for (const std::size_t batch : batch_sweep) {
       macro::ImcMemory mem(memory_of(16));
       ExecutionEngine eng(mem, EngineConfig{4});
       std::vector<VecOp> ops(batch, op);

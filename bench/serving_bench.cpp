@@ -1,0 +1,324 @@
+// Serving benchmark: closed-loop multi-client load against the macro pool,
+// batched (serve::Server coalescing) vs one-op-at-a-time (clients sharing
+// the raw engine behind a mutex). Each client submits its next op as soon
+// as the previous one completes.
+//
+// The headline metric is modeled cycles per op: one-op-at-a-time pays
+// load + compute for every op, the coalescing scheduler hides the loads of
+// batch riders behind the compute of the op ahead of them (the engine's
+// double-buffered cycle model). Host wall-clock and p50/p99 client latency
+// are reported for both modes; every result is verified against the scalar
+// reference.
+//
+// Results land in BENCH_serving.json (schema bpim.serving.v1). The bench
+// exits non-zero when >= 4 clients fail to beat one-op-at-a-time on modeled
+// cycles per op -- the acceptance gate CI smoke runs check.
+//
+// Usage: serving_bench [--threads C] [--ops K] [--bits B] [--elements N]
+//                      [--window US] [--smoke] [--out <path>]
+//   --threads   concurrent closed-loop clients      (default 8)
+//   --ops       ops per client                      (default 64; smoke 12)
+//   --bits      operand precision                   (default 8)
+//   --elements  vector length per op                (default one MULT layer)
+//   --window    scheduler coalesce window, us       (default 200)
+//   --smoke     CI-sized run; same JSON shape
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "engine/execution_engine.hpp"
+#include "macro/isa.hpp"
+#include "serve/server.hpp"
+
+using namespace bpim;
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OpKind;
+using engine::OpResult;
+using engine::VecOp;
+
+namespace {
+
+constexpr std::size_t kMacros = 16;
+constexpr std::size_t kEngineThreads = 4;
+
+struct Options {
+  std::size_t clients = 8;
+  std::size_t ops_per_client = 64;
+  unsigned bits = 8;
+  std::size_t elements = 0;  ///< 0 = one MULT layer, resolved after parsing
+  std::chrono::microseconds window{200};
+  bool smoke = false;
+  std::string out_path = "BENCH_serving.json";
+};
+
+/// One client's scripted workload: operand storage plus the ops over it.
+struct ClientLoad {
+  std::vector<std::vector<std::uint64_t>> a, b;
+  std::vector<VecOp> ops;
+};
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, Rng& rng) {
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+std::vector<ClientLoad> make_loads(const Options& opt) {
+  std::vector<ClientLoad> loads(opt.clients);
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    Rng rng(0x5E7FE + c);
+    ClientLoad& load = loads[c];
+    for (std::size_t i = 0; i < opt.ops_per_client; ++i) {
+      load.a.push_back(random_vec(opt.elements, opt.bits, rng));
+      load.b.push_back(random_vec(opt.elements, opt.bits, rng));
+      load.ops.push_back(VecOp{OpKind::Mult, opt.bits, periph::LogicFn::And,
+                               load.a.back(), load.b.back()});
+    }
+  }
+  return loads;
+}
+
+void verify(const VecOp& op, const std::vector<std::uint64_t>& got) {
+  for (std::size_t i = 0; i < op.a.size(); ++i)
+    if (got[i] != op.a[i] * op.b[i]) {
+      std::cerr << "FATAL: result mismatch at element " << i << "\n";
+      std::exit(1);
+    }
+}
+
+struct ModeResult {
+  double wall_s = 0.0;
+  std::uint64_t ops = 0;
+  std::uint64_t modeled_pipelined = 0;
+  std::uint64_t modeled_serial = 0;
+  std::uint64_t batches = 0;
+  double p50_us = 0.0, p99_us = 0.0;
+  [[nodiscard]] double ops_per_s() const { return ops == 0 ? 0.0 : ops / wall_s; }
+  [[nodiscard]] double cycles_per_op() const {
+    return ops == 0 ? 0.0
+                    : static_cast<double>(modeled_pipelined) / static_cast<double>(ops);
+  }
+  [[nodiscard]] double occupancy() const {
+    return batches == 0 ? 0.0 : static_cast<double>(ops) / static_cast<double>(batches);
+  }
+};
+
+/// One-op-at-a-time baseline: clients contend for the raw engine behind a
+/// mutex; every op is its own batch (no load ever hides behind compute).
+ModeResult run_one_at_a_time(const std::vector<ClientLoad>& loads, ExecutionEngine& eng) {
+  ModeResult r;
+  std::mutex engine_mutex;
+  std::vector<std::vector<double>> latencies(loads.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < loads.size(); ++c) {
+    clients.emplace_back([&, c] {
+      for (const VecOp& op : loads[c].ops) {
+        const auto q0 = std::chrono::steady_clock::now();
+        OpResult res;
+        std::uint64_t cycles = 0;
+        {
+          std::lock_guard lk(engine_mutex);
+          res = eng.run(op);
+          cycles = eng.last_batch().pipelined_cycles;  // == serial: batch of one
+        }
+        const auto q1 = std::chrono::steady_clock::now();
+        verify(op, res.values);
+        latencies[c].push_back(
+            std::chrono::duration<double, std::micro>(q1 - q0).count());
+        {
+          std::lock_guard lk(engine_mutex);
+          r.modeled_pipelined += cycles;
+          r.modeled_serial += cycles;
+          ++r.batches;
+          ++r.ops;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  SampleSet all;  // same quantile semantics as ServeStats (common/stats.hpp)
+  for (const auto& v : latencies)
+    for (const double us : v) all.add(us);
+  r.p50_us = all.percentile(0.50);
+  r.p99_us = all.percentile(0.99);
+  return r;
+}
+
+/// Batched serving: the same clients submit through the Server's admission
+/// queue and the scheduler coalesces compatible requests into run_batch.
+ModeResult run_served(const std::vector<ClientLoad>& loads, ExecutionEngine& eng,
+                      const Options& opt) {
+  serve::ServerConfig cfg;
+  cfg.queue_capacity = std::max<std::size_t>(16, 4 * loads.size());
+  cfg.max_batch_ops = 64;
+  cfg.coalesce_window = opt.window;
+  serve::Server server(eng, cfg);
+
+  ModeResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < loads.size(); ++c) {
+    clients.emplace_back([&, c] {
+      for (const VecOp& op : loads[c].ops) {
+        OpResult res = server.submit(op).get();
+        verify(op, res.values);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  r.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  server.stop();
+
+  const serve::ServeStats s = server.stats();
+  r.ops = s.completed;
+  r.modeled_pipelined = s.modeled_pipelined_cycles;
+  r.modeled_serial = s.modeled_serial_cycles;
+  r.batches = s.batches;
+  r.p50_us = s.host_us.p50;
+  r.p99_us = s.host_us.p99;
+  return r;
+}
+
+void write_json(const Options& opt, const ModeResult& direct, const ModeResult& served) {
+  std::ofstream f(opt.out_path);
+  f << std::setprecision(6) << std::fixed;
+  const auto mode_json = [&](const char* name, const ModeResult& m, bool last) {
+    f << "  \"" << name << "\": {\"ops\": " << m.ops << ", \"wall_s\": " << m.wall_s
+      << ", \"ops_per_s\": " << m.ops_per_s() << ", \"modeled_cycles\": " << m.modeled_pipelined
+      << ", \"modeled_cycles_per_op\": " << m.cycles_per_op()
+      << ", \"batches\": " << m.batches
+      << ", \"mean_batch_occupancy\": " << m.occupancy()
+      << ", \"p50_host_us\": " << m.p50_us << ", \"p99_host_us\": " << m.p99_us << "}"
+      << (last ? "" : ",") << "\n";
+  };
+  f << "{\n";
+  f << "  \"schema\": \"bpim.serving.v1\",\n";
+  f << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
+  f << "  \"clients\": " << opt.clients << ",\n";
+  f << "  \"ops_per_client\": " << opt.ops_per_client << ",\n";
+  f << "  \"bits\": " << opt.bits << ",\n";
+  f << "  \"elements\": " << opt.elements << ",\n";
+  f << "  \"window_us\": " << opt.window.count() << ",\n";
+  f << "  \"macros\": " << kMacros << ",\n";
+  mode_json("one_at_a_time", direct, false);
+  mode_json("served", served, false);
+  f << "  \"modeled_speedup\": " << direct.cycles_per_op() / served.cycles_per_op() << "\n";
+  f << "}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool ops_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    try {
+      if (arg == "--threads") {
+        opt.clients = std::stoul(value());
+      } else if (arg == "--ops") {
+        opt.ops_per_client = std::stoul(value());
+        ops_given = true;
+      } else if (arg == "--bits") {
+        opt.bits = static_cast<unsigned>(std::stoul(value()));
+      } else if (arg == "--elements") {
+        opt.elements = std::stoul(value());
+      } else if (arg == "--window") {
+        opt.window = std::chrono::microseconds(std::stoul(value()));
+      } else if (arg == "--smoke") {
+        opt.smoke = true;
+      } else if (arg == "--out") {
+        opt.out_path = value();
+      } else {
+        std::cerr << "usage: serving_bench [--threads C] [--ops K] [--bits B] "
+                     "[--elements N] [--window US] [--smoke] [--out <path>]\n";
+        return 2;
+      }
+    } catch (const std::exception&) {
+      std::cerr << "bad value for " << arg << "\n";
+      return 2;
+    }
+  }
+  if (opt.smoke && !ops_given) opt.ops_per_client = 12;
+  if (opt.clients == 0 || opt.ops_per_client == 0) {
+    std::cerr << "--threads and --ops must be positive\n";
+    return 2;
+  }
+  if (!macro::is_supported_precision(opt.bits)) {
+    std::cerr << "--bits must be one of 2/4/8/16/32\n";
+    return 2;
+  }
+
+  macro::MemoryConfig mcfg;
+  mcfg.banks = 1;
+  mcfg.macros_per_bank = kMacros;
+  macro::ImcMemory mem(mcfg);
+  ExecutionEngine eng(mem, EngineConfig{kEngineThreads});
+  if (opt.elements == 0)  // one MULT layer across the pool
+    opt.elements = eng.mult_units_per_row(opt.bits) * kMacros;
+  const std::size_t max_elems = eng.mult_units_per_row(opt.bits) * kMacros * 64;
+  if (opt.elements > max_elems) {
+    std::cerr << "--elements exceeds the " << kMacros << "-macro capacity of " << max_elems
+              << " at " << opt.bits << "-bit MULT\n";
+    return 2;
+  }
+
+  const auto loads = make_loads(opt);
+  std::cout << opt.clients << " closed-loop clients x " << opt.ops_per_client << " ops, "
+            << opt.elements << " x " << opt.bits << "-bit MULT each, " << kMacros
+            << " macros, coalesce window " << opt.window.count() << " us\n";
+
+  const ModeResult direct = run_one_at_a_time(loads, eng);
+  const ModeResult served = run_served(loads, eng, opt);
+
+  print_banner(std::cout, "Batched serving vs one-op-at-a-time");
+  TextTable table({"mode", "ops", "batches", "occupancy", "cycles/op", "ops/s",
+                   "p50_us", "p99_us"});
+  const auto row = [&](const char* name, const ModeResult& m) {
+    table.add_row({name, std::to_string(m.ops), std::to_string(m.batches),
+                   TextTable::num(m.occupancy(), 2), TextTable::num(m.cycles_per_op(), 2),
+                   TextTable::num(m.ops_per_s(), 0), TextTable::num(m.p50_us, 1),
+                   TextTable::num(m.p99_us, 1)});
+  };
+  row("one-at-a-time", direct);
+  row("served", served);
+  table.print(std::cout);
+
+  const double speedup = direct.cycles_per_op() / served.cycles_per_op();
+  std::cout << "modeled cycles/op speedup from coalescing: " << TextTable::ratio(speedup)
+            << "\n";
+
+  write_json(opt, direct, served);
+  std::cout << "wrote " << opt.out_path << "\n";
+
+  // Acceptance gate: with enough concurrency to coalesce, batching must win
+  // the cycle model.
+  if (opt.clients >= 4 && speedup < 1.02) {
+    std::cerr << "WARNING: coalesced serving did not beat one-op-at-a-time ("
+              << speedup << "x) at " << opt.clients << " clients\n";
+    return 1;
+  }
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "common/require.hpp"
 #include "macro/isa.hpp"
+#include "serve/server.hpp"
 
 namespace bpim::app {
 
@@ -14,6 +15,11 @@ VectorEngine::VectorEngine(macro::ImcMemory& memory, unsigned bits)
 
 VectorEngine::VectorEngine(engine::ExecutionEngine& engine, unsigned bits)
     : engine_(&engine), bits_(bits) {
+  BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
+}
+
+VectorEngine::VectorEngine(serve::Server& server, unsigned bits)
+    : engine_(&server.engine()), server_(&server), bits_(bits) {
   BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
 }
 
@@ -34,7 +40,7 @@ std::vector<std::uint64_t> VectorEngine::run_op(engine::OpKind kind, periph::Log
   op.fn = fn;
   op.a = a;
   op.b = b;
-  engine::OpResult res = engine_->run(op);
+  engine::OpResult res = server_ ? server_->submit(op).get() : engine_->run(op);
   last_ = res.stats;
   return std::move(res.values);
 }
@@ -73,7 +79,18 @@ std::vector<engine::OpResult> VectorEngine::mult_batch(
     op.b = b;
     ops.push_back(op);
   }
-  auto results = engine_->run_batch(ops);
+  std::vector<engine::OpResult> results;
+  if (server_) {
+    // Submit every op before waiting on any, so the scheduler can coalesce
+    // them (with each other and with other clients' work).
+    std::vector<std::future<engine::OpResult>> futs;
+    futs.reserve(ops.size());
+    for (const auto& op : ops) futs.push_back(server_->submit(op));
+    results.reserve(futs.size());
+    for (auto& f : futs) results.push_back(f.get());
+  } else {
+    results = engine_->run_batch(ops);
+  }
   // last_run() aggregates the whole batch, as a seed-era caller looping the
   // ops and summing per-op stats would have seen.
   last_ = RunStats{};

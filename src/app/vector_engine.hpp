@@ -16,7 +16,9 @@
 // bit-identical to a serial walk at any thread count (see the engine
 // header). Construct from an ExecutionEngine to share its pool across
 // precisions and call sites; the (memory, bits) constructor keeps the seed
-// API and owns a private engine.
+// API and owns a private engine. Construct from a serve::Server to submit
+// through its admission queue instead -- same results, but the op may
+// coalesce with other clients' work (serve/server.hpp).
 
 #include <cstdint>
 #include <memory>
@@ -24,6 +26,10 @@
 
 #include "engine/execution_engine.hpp"
 #include "macro/memory.hpp"
+
+namespace bpim::serve {
+class Server;
+}
 
 namespace bpim::app {
 
@@ -33,6 +39,9 @@ class VectorEngine {
  public:
   VectorEngine(macro::ImcMemory& memory, unsigned bits);
   VectorEngine(engine::ExecutionEngine& engine, unsigned bits);
+  /// Route every op through a serving frontend: ops are submitted to the
+  /// server's admission queue and may coalesce with other clients' work.
+  VectorEngine(serve::Server& server, unsigned bits);
 
   [[nodiscard]] unsigned bits() const { return bits_; }
   [[nodiscard]] engine::ExecutionEngine& engine() { return *engine_; }
@@ -74,6 +83,7 @@ class VectorEngine {
 
   std::unique_ptr<engine::ExecutionEngine> owned_;  ///< set by the (memory, bits) ctor
   engine::ExecutionEngine* engine_;
+  serve::Server* server_ = nullptr;  ///< when set, ops go through the server
   unsigned bits_;
   RunStats last_{};
 };

@@ -74,6 +74,14 @@ std::size_t ExecutionEngine::layer_capacity(unsigned bits) const {
   return words_per_row(bits) * mem_.macro_count();
 }
 
+std::size_t ExecutionEngine::layers_for(const VecOp& op) const {
+  const std::size_t per_op = elements_per_chunk(op);
+  const std::size_t chunks = (op.a.size() + per_op - 1) / per_op;
+  return (chunks + mem_.macro_count() - 1) / mem_.macro_count();
+}
+
+std::size_t ExecutionEngine::row_pair_capacity() const { return mem_.macro(0).rows() / 2; }
+
 OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
                                   std::size_t& layers_used) {
   BPIM_REQUIRE(op.a.size() == op.b.size(), "operand vectors must have equal length");
@@ -84,7 +92,8 @@ OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
   const std::size_t per_op = elements_per_chunk(op);
   const std::size_t macros = mem_.macro_count();
   const std::size_t chunks = (n + per_op - 1) / per_op;
-  const std::size_t layers = (chunks + macros - 1) / macros;
+  // Single source of truth with the serve scheduler's residency budget.
+  const std::size_t layers = layers_for(op);
   const bool mult_layout = op.kind == OpKind::Mult;
   if (layers > 0)
     BPIM_REQUIRE(2 * (layers - 1) + 1 < mem_.macro(0).rows(), "vector exceeds memory capacity");
@@ -144,6 +153,12 @@ OpResult ExecutionEngine::run(const VecOp& op) {
 }
 
 std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
+  if (ops.empty()) {
+    // An empty batch never touches the pool or the memory's counters.
+    batch_ = BatchStats{};
+    return {};
+  }
+
   std::vector<OpResult> results;
   results.reserve(ops.size());
 
@@ -174,9 +189,8 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
   }
   batch_.pipelined_cycles += prev_compute;  // last compute has nothing to hide behind
   batch_.serial_cycles = batch_.load_cycles + batch_.compute_cycles;
-  if (!ops.empty())
-    batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) *
-                                 mem_.macro(0).cycle_time().si());
+  batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) *
+                               mem_.macro(0).cycle_time().si());
   return results;
 }
 

@@ -72,6 +72,11 @@ class ExecutionEngine {
   [[nodiscard]] std::size_t elements_per_chunk(const VecOp& op) const;
   /// Max elements resident at once across all macros (one row-pair layer).
   [[nodiscard]] std::size_t layer_capacity(unsigned bits) const;
+  /// Row-pair layers `op` occupies per macro (the residency unit the batch
+  /// scheduler packs against row_pair_capacity()).
+  [[nodiscard]] std::size_t layers_for(const VecOp& op) const;
+  /// Row pairs available per macro -- the residency budget of one batch.
+  [[nodiscard]] std::size_t row_pair_capacity() const;
 
   /// Execute one vector op, sharded across macros on the thread pool.
   [[nodiscard]] OpResult run(const VecOp& op);

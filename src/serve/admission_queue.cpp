@@ -1,0 +1,103 @@
+#include "serve/admission_queue.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace bpim::serve {
+
+AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
+  BPIM_REQUIRE(capacity > 0, "admission queue capacity must be positive");
+}
+
+bool AdmissionQueue::push(detail::Ticket&& t) {
+  std::unique_lock lk(mutex_);
+  not_full_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+  if (closed_) return false;
+  queue_.push_back(std::move(t));
+  peak_depth_ = std::max(peak_depth_, queue_.size());
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::try_push(detail::Ticket&& t) {
+  {
+    std::lock_guard lk(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(t));
+    peak_depth_ = std::max(peak_depth_, queue_.size());
+  }
+  not_empty_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::wait_pop_all(std::vector<detail::Ticket>& out,
+                                  std::chrono::microseconds coalesce_window,
+                                  std::size_t fill_target) {
+  std::unique_lock lk(mutex_);
+  for (;;) {
+    // Closed overrides pause: shutdown must drain even a paused queue.
+    not_empty_.wait(lk, [&] { return closed_ || (!paused_ && !queue_.empty()); });
+    if (queue_.empty()) return false;  // closed and fully drained
+    if (coalesce_window.count() > 0 && !closed_ && queue_.size() < fill_target) {
+      const auto until = Clock::now() + coalesce_window;
+      not_empty_.wait_until(lk, until, [&] {
+        return closed_ || paused_ || queue_.size() >= fill_target;
+      });
+    }
+    // A pause landing mid-linger freezes the drain too: back to the outer
+    // wait so the stage-then-release contract holds.
+    if (paused_ && !closed_) continue;
+    drain_locked(out);
+    return true;
+  }
+}
+
+void AdmissionQueue::try_pop_all(std::vector<detail::Ticket>& out) {
+  std::lock_guard lk(mutex_);
+  if (paused_ && !closed_) return;
+  drain_locked(out);
+}
+
+void AdmissionQueue::drain_locked(std::vector<detail::Ticket>& out) {
+  if (queue_.empty()) return;
+  out.reserve(out.size() + queue_.size());
+  for (auto& t : queue_) out.push_back(std::move(t));
+  queue_.clear();
+  not_full_.notify_all();
+}
+
+void AdmissionQueue::close() {
+  {
+    std::lock_guard lk(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard lk(mutex_);
+  return closed_;
+}
+
+void AdmissionQueue::set_paused(bool paused) {
+  {
+    std::lock_guard lk(mutex_);
+    paused_ = paused;
+  }
+  if (!paused) not_empty_.notify_all();
+}
+
+std::size_t AdmissionQueue::depth() const {
+  std::lock_guard lk(mutex_);
+  return queue_.size();
+}
+
+std::size_t AdmissionQueue::peak_depth() const {
+  std::lock_guard lk(mutex_);
+  return peak_depth_;
+}
+
+}  // namespace bpim::serve

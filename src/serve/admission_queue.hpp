@@ -1,0 +1,81 @@
+#pragma once
+// Bounded MPSC admission queue between client threads and the scheduler.
+//
+// Producers (any thread): push() blocks while the queue is full -- that is
+// the server's backpressure -- and try_push() fails fast instead. Both fail
+// once the queue is closed.
+//
+// Consumer (the scheduler thread): wait_pop_all() parks until work is
+// admitted, optionally lingers for a coalesce window so near-simultaneous
+// requests land in one batch, then moves *everything* out in one swap;
+// try_pop_all() is the non-blocking top-up between batches. Closing wakes
+// everyone; the consumer keeps draining until the queue is empty, so
+// accepted work is never dropped.
+//
+// pause() freezes the consumer side only (admission stays open). It exists
+// so tests and diagnostics can stage a known set of requests and then
+// release them as one deterministic coalescing decision.
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace bpim::serve {
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity);
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  /// Block until there is room, then admit. Returns false (ticket left
+  /// untouched) if the queue is or becomes closed.
+  [[nodiscard]] bool push(detail::Ticket&& t);
+  /// Admit only if there is room right now. Returns false (ticket left
+  /// untouched) when full or closed.
+  [[nodiscard]] bool try_push(detail::Ticket&& t);
+
+  /// Consumer: block until at least one ticket is available (and the queue
+  /// is not paused), linger up to `coalesce_window` for the depth to reach
+  /// `fill_target`, then append every queued ticket to `out`. Returns false
+  /// -- with nothing appended -- only when the queue is closed and empty:
+  /// the drain is complete.
+  [[nodiscard]] bool wait_pop_all(std::vector<detail::Ticket>& out,
+                                  std::chrono::microseconds coalesce_window,
+                                  std::size_t fill_target);
+  /// Consumer: append whatever is queued right now (nothing while paused).
+  void try_pop_all(std::vector<detail::Ticket>& out);
+
+  /// Stop admitting; wakes blocked producers (push fails) and the consumer
+  /// (which drains the remainder). Idempotent.
+  void close();
+  [[nodiscard]] bool closed() const;
+
+  /// Freeze/unfreeze the consumer side; a close() overrides pause.
+  void set_paused(bool paused);
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t peak_depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  /// Move every queued ticket to `out` and wake blocked producers.
+  /// Caller holds mutex_.
+  void drain_locked(std::vector<detail::Ticket>& out);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;   ///< producers park here
+  std::condition_variable not_empty_;  ///< the consumer parks here
+  std::deque<detail::Ticket> queue_;
+  std::size_t peak_depth_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace bpim::serve

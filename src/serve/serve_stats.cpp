@@ -1,0 +1,73 @@
+#include "serve/serve_stats.hpp"
+
+namespace bpim::serve {
+
+namespace {
+
+LatencySummary summarize(const SampleSet& samples) {
+  LatencySummary s;
+  s.count = samples.count();
+  if (s.count == 0) return s;
+  s.mean = samples.mean();
+  s.p50 = samples.percentile(0.50);
+  s.p99 = samples.percentile(0.99);
+  s.max = samples.max();
+  return s;
+}
+
+}  // namespace
+
+void ServeLedger::on_submitted() {
+  std::lock_guard lk(mutex_);
+  ++totals_.submitted;
+}
+
+void ServeLedger::on_submit_rescinded() {
+  std::lock_guard lk(mutex_);
+  --totals_.submitted;
+}
+
+void ServeLedger::on_rejected() {
+  std::lock_guard lk(mutex_);
+  ++totals_.rejected;
+}
+
+void ServeLedger::on_expired(std::size_t n) {
+  std::lock_guard lk(mutex_);
+  totals_.expired += n;
+}
+
+void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
+                           const std::vector<double>& host_us_samples) {
+  std::lock_guard lk(mutex_);
+  ++totals_.batches;
+  totals_.completed += rec.ops;
+  totals_.modeled_pipelined_cycles += bs.pipelined_cycles;
+  totals_.modeled_serial_cycles += bs.serial_cycles;
+  totals_.energy += bs.energy;
+  for (const double us : host_us_samples) host_us_.add(us);
+  for (std::size_t i = 0; i < rec.ops; ++i)
+    modeled_cycles_.add(static_cast<double>(bs.pipelined_cycles));
+  if (recent_.size() < kRecentBatches) {
+    recent_.push_back(rec);
+  } else {
+    recent_[recent_begin_] = rec;
+    recent_begin_ = (recent_begin_ + 1) % kRecentBatches;
+  }
+}
+
+ServeStats ServeLedger::snapshot(std::size_t queue_depth,
+                                 std::size_t peak_queue_depth) const {
+  std::lock_guard lk(mutex_);
+  ServeStats s = totals_;
+  s.queue_depth = queue_depth;
+  s.peak_queue_depth = peak_queue_depth;
+  s.host_us = summarize(host_us_);
+  s.modeled_cycles = summarize(modeled_cycles_);
+  s.recent_batches.reserve(recent_.size());
+  for (std::size_t i = 0; i < recent_.size(); ++i)
+    s.recent_batches.push_back(recent_[(recent_begin_ + i) % recent_.size()]);
+  return s;
+}
+
+}  // namespace bpim::serve

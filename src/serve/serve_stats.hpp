@@ -1,0 +1,112 @@
+#pragma once
+// Serving-side accounting: what the macro pool did on behalf of clients.
+//
+// ServeStats is an immutable snapshot (Server::stats()); ServeLedger is the
+// mutex-guarded accumulator the server writes to. Latency is recorded per
+// request on two clocks:
+//   host      submit() to result-ready, microseconds of wall time -- queueing
+//             plus simulator execution, what a client actually waited;
+//   modeled   the pipelined cycle count of the batch the request rode in --
+//             how long the modeled silicon was busy producing its batch.
+// Every sample is kept (~8 bytes per completed request at model scale);
+// quantiles come from the common SampleSet helper, linearly interpolated
+// between order statistics.
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/units.hpp"
+#include "engine/execution_engine.hpp"
+
+namespace bpim::serve {
+
+/// Quantile summary of one latency distribution (SampleSet semantics:
+/// linear interpolation between order statistics).
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// One executed batch, as the scheduler shaped it.
+struct BatchRecord {
+  engine::OpKind kind = engine::OpKind::Add;
+  unsigned bits = 0;
+  std::size_t ops = 0;     ///< requests coalesced into the batch
+  std::size_t layers = 0;  ///< summed row-pair layers (residency)
+  std::uint64_t pipelined_cycles = 0;
+  std::uint64_t serial_cycles = 0;
+};
+
+struct ServeStats {
+  std::uint64_t submitted = 0;  ///< admitted into the queue
+  std::uint64_t rejected = 0;   ///< try_submit() refused: queue full
+  std::uint64_t expired = 0;    ///< failed with DeadlineExceeded
+  std::uint64_t completed = 0;  ///< futures fulfilled with a result
+  std::uint64_t batches = 0;    ///< run_batch calls issued
+
+  std::size_t queue_depth = 0;       ///< at snapshot time
+  std::size_t peak_queue_depth = 0;  ///< high-water mark since construction
+
+  /// Modeled-cycle totals over every batch: pipelined is what the coalesced
+  /// schedule cost, serial what one-op-at-a-time submission would have.
+  std::uint64_t modeled_pipelined_cycles = 0;
+  std::uint64_t modeled_serial_cycles = 0;
+  Joule energy{0.0};
+
+  LatencySummary host_us;         ///< per request, microseconds of wall time
+  LatencySummary modeled_cycles;  ///< per request, its batch's pipelined cycles
+
+  /// The most recent batches, oldest first (bounded ring; see kRecentBatches).
+  std::vector<BatchRecord> recent_batches;
+
+  [[nodiscard]] double mean_batch_occupancy() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(completed) / static_cast<double>(batches);
+  }
+  [[nodiscard]] double modeled_cycles_per_op() const {
+    return completed == 0 ? 0.0
+                          : static_cast<double>(modeled_pipelined_cycles) /
+                                static_cast<double>(completed);
+  }
+  /// Cycle-model win of coalescing over one-op-at-a-time submission.
+  [[nodiscard]] double coalescing_speedup() const {
+    return modeled_pipelined_cycles == 0
+               ? 1.0
+               : static_cast<double>(modeled_serial_cycles) /
+                     static_cast<double>(modeled_pipelined_cycles);
+  }
+};
+
+/// Thread-safe accumulator behind Server::stats().
+class ServeLedger {
+ public:
+  static constexpr std::size_t kRecentBatches = 64;
+
+  void on_submitted();
+  /// Undo one on_submitted(): the push raced a close and was never admitted.
+  void on_submit_rescinded();
+  void on_rejected();
+  void on_expired(std::size_t n);
+  /// Record one executed batch: its shape, the engine's BatchStats, and the
+  /// per-request latency samples (host microseconds, one per request).
+  void on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
+                const std::vector<double>& host_us_samples);
+
+  [[nodiscard]] ServeStats snapshot(std::size_t queue_depth,
+                                    std::size_t peak_queue_depth) const;
+
+ private:
+  mutable std::mutex mutex_;
+  ServeStats totals_;                ///< counter/cycle fields only
+  SampleSet host_us_;                ///< per-request samples
+  SampleSet modeled_cycles_;         ///< per-request samples
+  std::vector<BatchRecord> recent_;  ///< ring, oldest at recent_begin_
+  std::size_t recent_begin_ = 0;
+};
+
+}  // namespace bpim::serve

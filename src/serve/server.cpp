@@ -1,0 +1,197 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/require.hpp"
+#include "macro/isa.hpp"
+
+namespace bpim::serve {
+
+using engine::OpKind;
+using engine::OpResult;
+using engine::VecOp;
+
+Server::Server(engine::ExecutionEngine& eng, ServerConfig cfg)
+    : eng_(eng), cfg_(cfg), queue_(cfg.queue_capacity) {
+  BPIM_REQUIRE(cfg_.max_batch_ops > 0, "max_batch_ops must be positive");
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
+  // Validate at admission so malformed ops throw on the client's thread,
+  // not inside the scheduler.
+  BPIM_REQUIRE(op.a.size() == op.b.size(), "operand vectors must have equal length");
+  BPIM_REQUIRE(macro::is_supported_precision(op.bits), "unsupported precision");
+
+  detail::Ticket t;
+  t.a.assign(op.a.begin(), op.a.end());
+  t.b.assign(op.b.begin(), op.b.end());
+  t.op = op;
+  t.op.a = t.a;
+  t.op.b = t.b;
+  t.layers = eng_.layers_for(t.op);
+  BPIM_REQUIRE(t.layers <= eng_.row_pair_capacity(), "vector exceeds memory capacity");
+  t.priority = opts.priority;
+  t.deadline = opts.deadline;
+  t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  t.submit_time = Clock::now();
+  return t;
+}
+
+std::future<OpResult> Server::submit(const VecOp& op, SubmitOptions opts) {
+  if (stopped()) throw ServerStopped();
+  detail::Ticket t = make_ticket(op, opts);
+  std::future<OpResult> fut = t.promise.get_future();
+  // Count before the push: once the ticket is in the queue the scheduler may
+  // complete it, and a stats() snapshot must never show completed > submitted.
+  ledger_.on_submitted();
+  if (!queue_.push(std::move(t))) {
+    // The queue closed while we were blocked on backpressure: the request
+    // was never accepted, so its future carries the stop.
+    ledger_.on_submit_rescinded();
+    t.promise.set_exception(std::make_exception_ptr(ServerStopped()));
+  }
+  return fut;
+}
+
+std::optional<std::future<OpResult>> Server::try_submit(const VecOp& op, SubmitOptions opts) {
+  if (stopped()) throw ServerStopped();
+  // Fail fast before the operand deep-copy; try_push below stays the
+  // authoritative full/closed check.
+  if (queue_.depth() >= queue_.capacity()) {
+    ledger_.on_rejected();
+    return std::nullopt;
+  }
+  detail::Ticket t = make_ticket(op, opts);
+  std::future<OpResult> fut = t.promise.get_future();
+  ledger_.on_submitted();
+  if (!queue_.try_push(std::move(t))) {
+    ledger_.on_submit_rescinded();
+    if (queue_.closed()) throw ServerStopped();
+    ledger_.on_rejected();
+    return std::nullopt;
+  }
+  return fut;
+}
+
+void Server::stop() {
+  std::lock_guard lk(stop_mutex_);
+  stopping_.store(true, std::memory_order_release);
+  queue_.close();
+  queue_.set_paused(false);  // a paused scheduler must still drain and exit
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void Server::pause() { queue_.set_paused(true); }
+void Server::resume() { queue_.set_paused(false); }
+
+ServeStats Server::stats() const {
+  return ledger_.snapshot(queue_.depth(), queue_.peak_depth());
+}
+
+void Server::scheduler_loop() {
+  std::vector<detail::Ticket> backlog;
+  std::vector<detail::Ticket> incoming;
+  for (;;) {
+    // Top up the backlog: block only when there is nothing left to run.
+    incoming.clear();
+    if (backlog.empty()) {
+      if (!queue_.wait_pop_all(incoming, cfg_.coalesce_window, cfg_.max_batch_ops))
+        break;  // closed and fully drained
+    } else {
+      queue_.try_pop_all(incoming);
+    }
+    for (auto& t : incoming) backlog.push_back(std::move(t));
+
+    // Serve order: priority desc, admission order within a priority level.
+    std::sort(backlog.begin(), backlog.end(),
+              [](const detail::Ticket& x, const detail::Ticket& y) {
+                return x.priority != y.priority ? x.priority > y.priority : x.seq < y.seq;
+              });
+
+    // Deadlines are checked when the scheduler considers the backlog: a
+    // request whose deadline lapsed while queued fails instead of running.
+    const auto now = Clock::now();
+    std::size_t expired = 0;
+    std::erase_if(backlog, [&](detail::Ticket& t) {
+      if (!t.deadline || now <= *t.deadline) return false;
+      t.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+      ++expired;
+      return true;
+    });
+    if (expired > 0) ledger_.on_expired(expired);
+    if (backlog.empty()) continue;
+
+    // Coalesce from the head: every compatible request (same kind and
+    // precision, same logic fn) that still fits the array's row-pair
+    // residency budget rides along; the rest wait for a later batch. The
+    // head itself always fits (validated at admission).
+    const OpKind kind = backlog.front().op.kind;
+    const unsigned bits = backlog.front().op.bits;
+    const periph::LogicFn fn = backlog.front().op.fn;
+    const std::size_t capacity = eng_.row_pair_capacity();
+    std::vector<detail::Ticket> batch;
+    std::vector<detail::Ticket> rest;
+    std::size_t layers = 0;
+    for (auto& t : backlog) {
+      const bool compatible = t.op.kind == kind && t.op.bits == bits &&
+                              (kind != OpKind::Logic || t.op.fn == fn);
+      if (compatible && batch.size() < cfg_.max_batch_ops &&
+          layers + t.layers <= capacity) {
+        layers += t.layers;
+        batch.push_back(std::move(t));
+      } else {
+        rest.push_back(std::move(t));
+      }
+    }
+    backlog = std::move(rest);
+    execute_batch(batch);
+  }
+}
+
+void Server::execute_batch(std::vector<detail::Ticket>& batch) {
+  std::vector<VecOp> ops;
+  ops.reserve(batch.size());
+  std::size_t layers = 0;
+  for (const auto& t : batch) {
+    ops.push_back(t.op);
+    layers += t.layers;
+  }
+
+  std::vector<OpResult> results;
+  try {
+    results = eng_.run_batch(ops);
+  } catch (...) {
+    // Validation happens at submit, so this is a defect; surface it on
+    // every rider's future rather than killing the scheduler.
+    const std::exception_ptr err = std::current_exception();
+    for (auto& t : batch) t.promise.set_exception(err);
+    return;
+  }
+
+  const engine::BatchStats bs = eng_.last_batch();
+  const auto done = Clock::now();
+  std::vector<double> host_us;
+  host_us.reserve(batch.size());
+  for (const auto& t : batch)
+    host_us.push_back(std::chrono::duration<double, std::micro>(done - t.submit_time).count());
+
+  BatchRecord rec;
+  rec.kind = batch.front().op.kind;
+  rec.bits = batch.front().op.bits;
+  rec.ops = batch.size();
+  rec.layers = layers;
+  rec.pipelined_cycles = bs.pipelined_cycles;
+  rec.serial_cycles = bs.serial_cycles;
+  // Ledger before promises: a client that wakes on its future and asks for
+  // stats() must already see its own batch.
+  ledger_.on_batch(rec, bs, host_us);
+
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    batch[i].promise.set_value(std::move(results[i]));
+}
+
+}  // namespace bpim::serve

@@ -1,0 +1,98 @@
+#pragma once
+// Batched request serving in front of the ExecutionEngine.
+//
+//   clients --submit()--> [bounded admission queue] --> scheduler thread
+//                                                          |  coalesce
+//                                                          v
+//                                            ExecutionEngine::run_batch
+//
+// Many client threads submit vector ops; a single scheduler thread drains
+// the admission queue and coalesces *compatible* requests -- same kind and
+// precision (and logic function), summed row-pair layers within the array's
+// residency budget -- into one run_batch call, so unrelated clients' operand
+// loads ping-pong-overlap each other's compute in the cycle model. Within
+// the backlog the scheduler serves strictly by (priority desc, admission
+// order); requests whose deadline lapsed while queued fail with
+// DeadlineExceeded instead of executing.
+//
+// Results are bit-identical to submitting each op alone through a serial
+// engine: run_batch executes ops one after another with the same per-op
+// chunk walk, and per-op results do not depend on what ran before (the
+// engine's batch tests assert this). Coalescing changes only the batch-level
+// cycle account, never a client's values or RunStats.
+//
+// Exactly one thread (the scheduler) touches the engine and its memory;
+// clients only rendezvous through the queue and their futures. stop() (and
+// the destructor) closes admission, drains everything already accepted, and
+// joins -- no accepted future is ever abandoned.
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "engine/execution_engine.hpp"
+#include "serve/admission_queue.hpp"
+#include "serve/request.hpp"
+#include "serve/serve_stats.hpp"
+
+namespace bpim::serve {
+
+class Server {
+ public:
+  /// The engine (and its memory) must outlive the server. The server is the
+  /// engine's only user while running.
+  explicit Server(engine::ExecutionEngine& eng, ServerConfig cfg = {});
+  ~Server();  ///< stop()s: drains accepted work, then joins.
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admit one op; blocks while the queue is full (backpressure). Operands
+  /// are copied, so the caller's buffers may be freed on return. The future
+  /// yields the op's OpResult, or throws DeadlineExceeded / ServerStopped.
+  /// Throws std::invalid_argument on malformed ops (mismatched lengths,
+  /// unsupported precision, vector exceeding memory capacity) and
+  /// ServerStopped after stop().
+  [[nodiscard]] std::future<engine::OpResult> submit(const engine::VecOp& op,
+                                                     SubmitOptions opts = {});
+  /// Like submit() but never blocks: nullopt when the queue is full (the
+  /// rejection is counted in ServeStats).
+  [[nodiscard]] std::optional<std::future<engine::OpResult>> try_submit(
+      const engine::VecOp& op, SubmitOptions opts = {});
+
+  /// Close admission, drain every accepted request, join the scheduler.
+  /// Idempotent; implied by the destructor.
+  void stop();
+  [[nodiscard]] bool stopped() const { return stopping_.load(std::memory_order_acquire); }
+
+  /// Freeze/release the scheduler (admission stays open): stage a set of
+  /// requests, then release them as one deterministic coalescing decision.
+  /// Intended for tests and diagnostics.
+  void pause();
+  void resume();
+
+  [[nodiscard]] ServeStats stats() const;
+  [[nodiscard]] engine::ExecutionEngine& engine() { return eng_; }
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+ private:
+  /// Validate + package one request (throws std::invalid_argument).
+  detail::Ticket make_ticket(const engine::VecOp& op, SubmitOptions opts);
+  void scheduler_loop();
+  /// Run one coalesced batch and fulfill its promises.
+  void execute_batch(std::vector<detail::Ticket>& batch);
+
+  engine::ExecutionEngine& eng_;
+  const ServerConfig cfg_;
+  AdmissionQueue queue_;
+  mutable ServeLedger ledger_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<bool> stopping_{false};
+  std::mutex stop_mutex_;  ///< serialises concurrent stop() calls
+  std::thread scheduler_;
+};
+
+}  // namespace bpim::serve

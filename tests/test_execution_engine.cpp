@@ -162,6 +162,35 @@ TEST(ExecutionEngine, NoOverlapCreditAtFullCapacity) {
   EXPECT_LT(eng.last_batch().pipelined_cycles, eng.last_batch().serial_cycles);
 }
 
+TEST(ExecutionEngine, EmptyBatchIsANoOp) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  const auto results = eng.run_batch({});
+  EXPECT_TRUE(results.empty());
+  const BatchStats& bs = eng.last_batch();
+  EXPECT_EQ(bs.ops, 0u);
+  EXPECT_EQ(bs.elements, 0u);
+  EXPECT_EQ(bs.load_cycles, 0u);
+  EXPECT_EQ(bs.compute_cycles, 0u);
+  EXPECT_EQ(bs.serial_cycles, 0u);
+  EXPECT_EQ(bs.pipelined_cycles, 0u);
+  EXPECT_EQ(bs.energy.si(), 0.0);
+  EXPECT_EQ(bs.elapsed_time.si(), 0.0);
+  // The pool and the memory's counters were never touched.
+  EXPECT_EQ(mem.elapsed_cycles(), 0u);
+}
+
+TEST(ExecutionEngine, LayersForAndCapacityHooks) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  EXPECT_EQ(eng.row_pair_capacity(), 64u);  // 128 rows -> 64 ping-pong pairs
+  const auto a = random_vec(65, 8, 20);     // 16 words/row x 4 macros = 64/layer
+  VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, a};
+  EXPECT_EQ(eng.layers_for(op), 2u);
+  op.kind = OpKind::Mult;  // 8 units/row x 4 macros = 32/layer
+  EXPECT_EQ(eng.layers_for(op), 3u);
+}
+
 TEST(ExecutionEngine, EmptyAndErrorCases) {
   macro::ImcMemory mem(tiny_memory());
   ExecutionEngine eng(mem, EngineConfig{4});

@@ -1,0 +1,364 @@
+// serve::Server: concurrent clients through the admission queue must get
+// results bit-identical to running each op alone through a serial engine;
+// coalescing, priorities, deadlines, backpressure and shutdown must behave
+// as the header promises. The stress test here is the one the TSan CI job
+// leans on.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "app/vector_engine.hpp"
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+#include "serve/server.hpp"
+
+namespace bpim::serve {
+namespace {
+
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OpKind;
+using engine::OpResult;
+using engine::VecOp;
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+/// The op alone on a fresh memory through a serial engine: the reference
+/// every served result must match bit-for-bit.
+OpResult run_serial_reference(const VecOp& op) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{1});
+  return eng.run(op);
+}
+
+void expect_identical(const OpResult& want, const OpResult& got, const std::string& what) {
+  EXPECT_EQ(want.values, got.values) << what;
+  EXPECT_EQ(want.stats.elements, got.stats.elements) << what;
+  EXPECT_EQ(want.stats.elapsed_cycles, got.stats.elapsed_cycles) << what;
+  EXPECT_EQ(want.stats.energy.si(), got.stats.energy.si()) << what;
+  EXPECT_EQ(want.stats.elapsed_time.si(), got.stats.elapsed_time.si()) << what;
+}
+
+/// Server over its own memory/engine, kept alive together.
+struct Harness {
+  explicit Harness(ServerConfig cfg = {}, std::size_t threads = 2)
+      : mem(tiny_memory()), eng(mem, EngineConfig{threads}), server(eng, cfg) {}
+  macro::ImcMemory mem;
+  ExecutionEngine eng;
+  Server server;
+};
+
+TEST(Server, SingleOpMatchesSerialEngine) {
+  Harness h;
+  const auto a = random_vec(200, 8, 1);
+  const auto b = random_vec(200, 8, 2);
+  const VecOp op{OpKind::Mult, 8, periph::LogicFn::And, a, b};
+  OpResult got = h.server.submit(op).get();
+  expect_identical(run_serial_reference(op), got, "single mult");
+
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.submitted, 1u);
+  EXPECT_EQ(s.completed, 1u);
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.host_us.count, 1u);
+  EXPECT_GE(s.host_us.p99, s.host_us.p50);
+}
+
+TEST(Server, OperandsMayBeFreedAfterSubmit) {
+  Harness h;
+  h.server.pause();  // hold the op in the queue while the operands die
+  std::future<OpResult> fut;
+  std::vector<std::uint64_t> expect;
+  {
+    const auto a = random_vec(40, 8, 3);
+    const auto b = random_vec(40, 8, 4);
+    for (std::size_t i = 0; i < a.size(); ++i) expect.push_back((a[i] + b[i]) & 0xFF);
+    fut = h.server.submit(VecOp{OpKind::Add, 8, periph::LogicFn::And, a, b});
+  }  // a/b destroyed before the op runs; the server owns copies
+  h.server.resume();
+  EXPECT_EQ(fut.get().values, expect);
+}
+
+TEST(Server, StressManyClientsBitIdenticalToSerial) {
+  Harness h(ServerConfig{/*queue_capacity=*/32, /*max_batch_ops=*/8,
+                         /*coalesce_window=*/std::chrono::microseconds(50)},
+            /*threads=*/2);
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kOpsPerClient = 12;
+
+  struct ClientLog {
+    std::vector<VecOp> ops;
+    std::vector<std::vector<std::uint64_t>> a, b;  ///< keep operands for the replay
+    std::vector<OpResult> results;
+  };
+  std::vector<ClientLog> logs(kClients);
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      bpim::Rng rng(0x5EED + c);
+      ClientLog& log = logs[c];
+      for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+        const unsigned bits = std::array<unsigned, 3>{4, 8, 16}[rng.next_u64() % 3];
+        const OpKind kind =
+            std::array<OpKind, 4>{OpKind::Add, OpKind::Sub, OpKind::Mult,
+                                  OpKind::Logic}[rng.next_u64() % 4];
+        const std::size_t n = 1 + rng.next_u64() % 300;
+        log.a.push_back(random_vec(n, bits, rng.next_u64()));
+        log.b.push_back(random_vec(n, bits, rng.next_u64()));
+        VecOp op{kind, bits, periph::LogicFn::Xor, log.a.back(), log.b.back()};
+        const int priority = static_cast<int>(rng.next_u64() % 3);
+        log.ops.push_back(op);
+        log.results.push_back(h.server.submit(op, SubmitOptions{priority, {}}).get());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  // Replay every op alone through a serial engine on a fresh memory.
+  for (std::size_t c = 0; c < kClients; ++c)
+    for (std::size_t i = 0; i < logs[c].ops.size(); ++i)
+      expect_identical(run_serial_reference(logs[c].ops[i]), logs[c].results[i],
+                       "client " + std::to_string(c) + " op " + std::to_string(i));
+
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.submitted, kClients * kOpsPerClient);
+  EXPECT_EQ(s.completed, kClients * kOpsPerClient);
+  EXPECT_EQ(s.expired, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.host_us.count, kClients * kOpsPerClient);
+  // Coalescing can only save modeled cycles, never add them.
+  EXPECT_LE(s.modeled_pipelined_cycles, s.modeled_serial_cycles);
+}
+
+TEST(Server, CoalescesCompatibleOpsIntoOneBatch) {
+  Harness h;
+  h.server.pause();  // stage all four, then release as one decision
+  const auto a = random_vec(32, 8, 5);  // one layer at 8-bit MULT on 4 macros
+  const auto b = random_vec(32, 8, 6);
+  const VecOp op{OpKind::Mult, 8, periph::LogicFn::And, a, b};
+  std::vector<std::future<OpResult>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(h.server.submit(op));
+  h.server.resume();
+  for (auto& f : futs) expect_identical(run_serial_reference(op), f.get(), "coalesced op");
+
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_occupancy(), 4.0);
+  ASSERT_EQ(s.recent_batches.size(), 1u);
+  EXPECT_EQ(s.recent_batches[0].ops, 4u);
+  EXPECT_EQ(s.recent_batches[0].layers, 4u);
+  // The whole point: three of the four loads hide behind compute.
+  EXPECT_LT(s.modeled_pipelined_cycles, s.modeled_serial_cycles);
+  EXPECT_GT(s.coalescing_speedup(), 1.0);
+}
+
+TEST(Server, IncompatibleOpsSplitIntoSeparateBatches) {
+  Harness h;
+  h.server.pause();
+  const auto a = random_vec(16, 8, 7);
+  const auto b = random_vec(16, 8, 8);
+  const auto a4 = random_vec(16, 4, 9);
+  const auto b4 = random_vec(16, 4, 10);
+  std::vector<std::future<OpResult>> futs;
+  futs.push_back(h.server.submit(VecOp{OpKind::Mult, 8, periph::LogicFn::And, a, b}));
+  futs.push_back(h.server.submit(VecOp{OpKind::Add, 8, periph::LogicFn::And, a, b}));
+  futs.push_back(h.server.submit(VecOp{OpKind::Mult, 4, periph::LogicFn::And, a4, b4}));
+  // Same kind/bits as the first: rides its batch despite being submitted last.
+  futs.push_back(h.server.submit(VecOp{OpKind::Mult, 8, periph::LogicFn::And, a, b}));
+  h.server.resume();
+  for (auto& f : futs) (void)f.get();
+
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.batches, 3u);
+  ASSERT_EQ(s.recent_batches.size(), 3u);
+  EXPECT_EQ(s.recent_batches[0].ops, 2u);  // the two 8-bit MULTs coalesce
+  EXPECT_EQ(s.recent_batches[0].kind, OpKind::Mult);
+  EXPECT_EQ(s.recent_batches[0].bits, 8u);
+}
+
+TEST(Server, HigherPriorityBatchRunsFirst) {
+  Harness h;
+  h.server.pause();
+  const auto a = random_vec(16, 8, 11);
+  const auto b = random_vec(16, 8, 12);
+  const auto a4 = random_vec(16, 4, 13);
+  const auto b4 = random_vec(16, 4, 14);
+  auto low = h.server.submit(VecOp{OpKind::Add, 8, periph::LogicFn::And, a, b},
+                             SubmitOptions{/*priority=*/0, {}});
+  auto high = h.server.submit(VecOp{OpKind::Mult, 4, periph::LogicFn::And, a4, b4},
+                              SubmitOptions{/*priority=*/5, {}});
+  h.server.resume();
+  (void)low.get();
+  (void)high.get();
+
+  const ServeStats s = h.server.stats();
+  ASSERT_EQ(s.recent_batches.size(), 2u);
+  // Submitted second, scheduled first.
+  EXPECT_EQ(s.recent_batches[0].kind, OpKind::Mult);
+  EXPECT_EQ(s.recent_batches[0].bits, 4u);
+  EXPECT_EQ(s.recent_batches[1].kind, OpKind::Add);
+}
+
+TEST(Server, LapsedDeadlineFailsInsteadOfRunning) {
+  Harness h;
+  h.server.pause();
+  const auto a = random_vec(16, 8, 15);
+  const auto b = random_vec(16, 8, 16);
+  const VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, b};
+  auto dead = h.server.submit(
+      op, SubmitOptions{0, Clock::now() - std::chrono::milliseconds(1)});
+  auto live = h.server.submit(
+      op, SubmitOptions{0, Clock::now() + std::chrono::hours(1)});
+  h.server.resume();
+
+  EXPECT_THROW((void)dead.get(), DeadlineExceeded);
+  expect_identical(run_serial_reference(op), live.get(), "live deadline op");
+
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(Server, QueueFullBackpressure) {
+  Harness h(ServerConfig{/*queue_capacity=*/2, /*max_batch_ops=*/64, {}});
+  h.server.pause();  // nothing drains: the queue must fill
+  const auto a = random_vec(8, 8, 17);
+  const auto b = random_vec(8, 8, 18);
+  const VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, b};
+
+  std::vector<std::future<OpResult>> futs;
+  futs.push_back(h.server.submit(op));
+  futs.push_back(h.server.submit(op));
+  EXPECT_FALSE(h.server.try_submit(op).has_value());  // full: fail fast
+  EXPECT_EQ(h.server.stats().rejected, 1u);
+  EXPECT_EQ(h.server.stats().queue_depth, 2u);
+
+  // A blocking submit must park until the scheduler makes room.
+  std::atomic<bool> admitted{false};
+  std::future<OpResult> blocked_fut;
+  std::thread blocked([&] {
+    blocked_fut = h.server.submit(op);
+    admitted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(admitted.load());
+
+  h.server.resume();
+  blocked.join();
+  EXPECT_TRUE(admitted.load());
+  futs.push_back(std::move(blocked_fut));
+  for (auto& f : futs) expect_identical(run_serial_reference(op), f.get(), "backpressure op");
+  EXPECT_EQ(h.server.stats().peak_queue_depth, 2u);
+}
+
+TEST(Server, StopDrainsAcceptedWorkThenRefuses) {
+  auto h = std::make_unique<Harness>(ServerConfig{/*queue_capacity=*/128, 8, {}});
+  const auto a = random_vec(32, 8, 19);
+  const auto b = random_vec(32, 8, 20);
+  const VecOp op{OpKind::Mult, 8, periph::LogicFn::And, a, b};
+
+  h->server.pause();  // pile up a loaded queue before stopping
+  std::vector<std::future<OpResult>> futs;
+  for (int i = 0; i < 50; ++i) futs.push_back(h->server.submit(op));
+  h->server.stop();  // close admission, drain all 50, join
+
+  const OpResult want = run_serial_reference(op);
+  for (auto& f : futs) expect_identical(want, f.get(), "drained op");
+  EXPECT_EQ(h->server.stats().completed, 50u);
+  EXPECT_TRUE(h->server.stopped());
+  EXPECT_THROW((void)h->server.submit(op), ServerStopped);
+  EXPECT_THROW((void)h->server.try_submit(op), ServerStopped);
+  h.reset();  // double-stop via the destructor must be harmless
+}
+
+TEST(Server, StopWhileClientsAreSubmitting) {
+  Harness h(ServerConfig{/*queue_capacity=*/8, 8, {}});
+  const auto a = random_vec(16, 8, 21);
+  const auto b = random_vec(16, 8, 22);
+  const VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, b};
+  const OpResult want = run_serial_reference(op);
+
+  std::atomic<std::uint64_t> completed{0}, stopped{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        try {
+          OpResult r = h.server.submit(op).get();
+          EXPECT_EQ(r.values, want.values);
+          ++completed;
+        } catch (const ServerStopped&) {
+          ++stopped;  // raced the shutdown: acceptable, but never lost work
+          return;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  h.server.stop();
+  for (auto& t : clients) t.join();
+
+  // Every accepted request completed; only post-stop submissions failed.
+  EXPECT_EQ(h.server.stats().completed, completed.load());
+  EXPECT_GT(completed.load(), 0u);
+}
+
+TEST(Server, MalformedOpsThrowAtSubmit) {
+  Harness h;
+  const auto a = random_vec(4, 8, 23);
+  const auto b = random_vec(3, 8, 24);
+  EXPECT_THROW((void)h.server.submit(VecOp{OpKind::Add, 8, periph::LogicFn::And, a, b}),
+               std::invalid_argument);
+  EXPECT_THROW((void)h.server.submit(VecOp{OpKind::Add, 3, periph::LogicFn::And, a, a}),
+               std::invalid_argument);
+  const auto big = random_vec(5000, 8, 25);  // 4 macros x 64 pairs x 16 words = 4096 max
+  EXPECT_THROW((void)h.server.submit(VecOp{OpKind::Add, 8, periph::LogicFn::And, big, big}),
+               std::invalid_argument);
+  EXPECT_EQ(h.server.stats().submitted, 0u);
+}
+
+TEST(Server, VectorEngineRoutesThroughServer) {
+  Harness h;
+  app::VectorEngine ve(h.server, 8);
+  EXPECT_EQ(&ve.engine(), &h.eng);
+
+  const auto a = random_vec(200, 8, 26);
+  const auto b = random_vec(200, 8, 27);
+  const auto sum = ve.add(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(sum[i], (a[i] + b[i]) & 0xFF);
+  // Serial seed semantics survive the queue: 200 adds on 64 words/layer.
+  EXPECT_EQ(ve.last_run().elapsed_cycles, 4u);
+
+  std::vector<std::pair<std::span<const std::uint64_t>, std::span<const std::uint64_t>>>
+      pairs = {{a, b}, {a, b}, {a, b}};
+  const auto results = ve.mult_batch(pairs);
+  ASSERT_EQ(results.size(), 3u);
+  for (const auto& r : results)
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(r.values[i], a[i] * b[i]);
+  EXPECT_EQ(ve.last_run().elements, 600u);
+}
+
+}  // namespace
+}  // namespace bpim::serve
