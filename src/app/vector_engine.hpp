@@ -18,7 +18,10 @@
 // precisions and call sites; the (memory, bits) constructor keeps the seed
 // API and owns a private engine. Construct from a serve::Server to submit
 // through its admission queue instead -- same results, but the op may
-// coalesce with other clients' work (serve/server.hpp).
+// coalesce with other clients' work (serve/server.hpp), and on a
+// multi-memory server it may run on any memory of the serve::MemoryPool
+// (placement never changes values or RunStats; geometry queries below use
+// the pool's first engine, which is shape-identical to the rest).
 
 #include <cstdint>
 #include <memory>
@@ -46,6 +49,8 @@ class VectorEngine {
   [[nodiscard]] unsigned bits() const { return bits_; }
   [[nodiscard]] engine::ExecutionEngine& engine() { return *engine_; }
   [[nodiscard]] const engine::ExecutionEngine& engine() const { return *engine_; }
+  /// The serving frontend ops route through, or nullptr on a direct engine.
+  [[nodiscard]] serve::Server* server() const { return server_; }
   /// Elements processed by one macro op (one row pair).
   [[nodiscard]] std::size_t words_per_row() const;
   [[nodiscard]] std::size_t mult_units_per_row() const;

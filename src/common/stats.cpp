@@ -46,8 +46,8 @@ void SampleSet::ensure_sorted() const {
 }
 
 double SampleSet::percentile(double p) const {
-  BPIM_REQUIRE(!samples_.empty(), "percentile of empty sample set");
   BPIM_REQUIRE(p >= 0.0 && p <= 1.0, "percentile p must be in [0,1]");
+  if (samples_.empty()) return 0.0;
   ensure_sorted();
   const double pos = p * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);

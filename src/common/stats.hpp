@@ -38,7 +38,9 @@ class SampleSet {
   [[nodiscard]] std::size_t count() const { return samples_.size(); }
   [[nodiscard]] double mean() const;
   [[nodiscard]] double stddev() const;
-  /// p in [0,1]; linear interpolation between order statistics.
+  /// p in [0,1]; linear interpolation between order statistics. Degenerate
+  /// sets are well-defined: an empty set yields 0.0 for any p (matching
+  /// mean()), a single sample is every percentile of itself.
   [[nodiscard]] double percentile(double p) const;
   [[nodiscard]] double min() const { return percentile(0.0); }
   [[nodiscard]] double max() const { return percentile(1.0); }

@@ -47,6 +47,22 @@ struct BatchStats {
                                  : static_cast<double>(serial_cycles) /
                                        static_cast<double>(pipelined_cycles);
   }
+
+  /// Serial concatenation: the account of running this batch after `o` on
+  /// the same memory. Parallel composition across memories is NOT a sum --
+  /// the serving ledger keeps per-memory totals and takes their max as the
+  /// scale-out makespan instead.
+  BatchStats& operator+=(const BatchStats& o) {
+    ops += o.ops;
+    elements += o.elements;
+    load_cycles += o.load_cycles;
+    compute_cycles += o.compute_cycles;
+    serial_cycles += o.serial_cycles;
+    pipelined_cycles += o.pipelined_cycles;
+    energy += o.energy;
+    elapsed_time += o.elapsed_time;
+    return *this;
+  }
 };
 
 }  // namespace bpim::engine

@@ -46,8 +46,8 @@ ImcMemory::ImcMemory(const MemoryConfig& cfg) : cfg_(cfg) {
   BPIM_REQUIRE(cfg.banks > 0, "memory needs at least one bank");
   banks_.reserve(cfg.banks);
   for (std::size_t b = 0; b < cfg.banks; ++b)
-    banks_.push_back(
-        std::make_unique<Bank>(cfg.macro, cfg.macros_per_bank, cfg.macro.seed + b * 1000));
+    banks_.push_back(std::make_unique<Bank>(
+        cfg.macro, cfg.macros_per_bank, cfg.macro.seed + cfg.seed_offset + b * 1000));
 }
 
 Bank& ImcMemory::bank(std::size_t b) {

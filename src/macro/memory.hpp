@@ -18,6 +18,11 @@ struct MemoryConfig {
   MacroConfig macro{};
   std::size_t banks = 4;
   std::size_t macros_per_bank = 16;
+  /// Added to every macro's RNG seed. Lets a multi-memory deployment give
+  /// each ImcMemory instance (NUMA node) a decorrelated disturb-injection
+  /// stream while sharing one MacroConfig. Op results and RunStats do not
+  /// depend on it unless `macro.inject_disturb` is enabled.
+  std::uint64_t seed_offset = 0;
 };
 
 class Bank {

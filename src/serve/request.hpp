@@ -39,7 +39,9 @@ struct ServerConfig {
   /// Bounded admission queue: submit() blocks when full (backpressure),
   /// try_submit() returns nullopt.
   std::size_t queue_capacity = 256;
-  /// Max requests coalesced into one ExecutionEngine::run_batch call.
+  /// Max requests coalesced into one ExecutionEngine::run_batch call. With a
+  /// memory pool this is the per-memory sub-batch cap; one dispatch group
+  /// may select up to max_batch_ops x pool-size requests.
   std::size_t max_batch_ops = 64;
   /// When > 0, the scheduler waits up to this long after finding the queue
   /// non-empty for more arrivals to coalesce (it stops waiting early once
@@ -70,7 +72,8 @@ struct Ticket {
   std::optional<Clock::time_point> deadline;
   std::uint64_t seq = 0;  ///< admission order, the FIFO tiebreak
   Clock::time_point submit_time{};
-  std::size_t layers = 0;  ///< row-pair layers, precomputed at submit
+  std::size_t layers = 0;         ///< row-pair layers, precomputed at submit
+  std::uint64_t operand_hash = 0;  ///< FNV-1a over kind/bits/operands (sticky placement)
   std::promise<engine::OpResult> promise;
 };
 

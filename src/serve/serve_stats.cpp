@@ -1,13 +1,18 @@
 #include "serve/serve_stats.hpp"
 
+#include <algorithm>
+
+#include "common/require.hpp"
+
 namespace bpim::serve {
 
 namespace {
 
 LatencySummary summarize(const SampleSet& samples) {
+  // SampleSet is total on degenerate sets (empty -> 0.0, one sample -> that
+  // sample), so no count guard is needed here.
   LatencySummary s;
   s.count = samples.count();
-  if (s.count == 0) return s;
   s.mean = samples.mean();
   s.p50 = samples.percentile(0.50);
   s.p99 = samples.percentile(0.99);
@@ -16,6 +21,11 @@ LatencySummary summarize(const SampleSet& samples) {
 }
 
 }  // namespace
+
+ServeLedger::ServeLedger(std::size_t memories) {
+  BPIM_REQUIRE(memories > 0, "ledger needs at least one memory lane");
+  totals_.per_memory.resize(memories);
+}
 
 void ServeLedger::on_submitted() {
   std::lock_guard lk(mutex_);
@@ -38,16 +48,36 @@ void ServeLedger::on_expired(std::size_t n) {
 }
 
 void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
-                           const std::vector<double>& host_us_samples) {
+                           const std::vector<double>& host_us_samples,
+                           const std::vector<std::size_t>& op_layers) {
   std::lock_guard lk(mutex_);
+  BPIM_REQUIRE(rec.memory < totals_.per_memory.size(), "batch memory out of range");
   ++totals_.batches;
   totals_.completed += rec.ops;
-  totals_.modeled_pipelined_cycles += bs.pipelined_cycles;
-  totals_.modeled_serial_cycles += bs.serial_cycles;
-  totals_.energy += bs.energy;
+  // Per-memory BatchStats merge into the aggregate serial account; the
+  // parallel (makespan) view comes from the per-memory lanes at snapshot.
+  aggregate_ += bs;
+  MemoryLaneStats& lane = totals_.per_memory[rec.memory];
+  ++lane.batches;
+  lane.ops += rec.ops;
+  lane.layers += rec.layers;
+  lane.modeled_pipelined_cycles += bs.pipelined_cycles;
   for (const double us : host_us_samples) host_us_.add(us);
-  for (std::size_t i = 0; i < rec.ops; ++i)
-    modeled_cycles_.add(static_cast<double>(bs.pipelined_cycles));
+  // Attribute the batch cost once across its riders: each op's modeled
+  // latency is its layer-weighted share, so the samples of a batch sum to
+  // its cost and p50/p99 neither overcount under coalescing nor charge a
+  // one-layer rider for a 32-layer neighbour. Equal split when per-op
+  // layers are unknown.
+  std::size_t layer_sum = 0;
+  if (op_layers.size() == rec.ops)
+    for (const std::size_t l : op_layers) layer_sum += l;
+  const double pipelined = static_cast<double>(bs.pipelined_cycles);
+  for (std::size_t i = 0; i < rec.ops; ++i) {
+    const double weight = layer_sum > 0 ? static_cast<double>(op_layers[i]) /
+                                              static_cast<double>(layer_sum)
+                                        : 1.0 / static_cast<double>(rec.ops);
+    modeled_cycles_.add(pipelined * weight);
+  }
   if (recent_.size() < kRecentBatches) {
     recent_.push_back(rec);
   } else {
@@ -62,6 +92,13 @@ ServeStats ServeLedger::snapshot(std::size_t queue_depth,
   ServeStats s = totals_;
   s.queue_depth = queue_depth;
   s.peak_queue_depth = peak_queue_depth;
+  s.modeled_pipelined_cycles = aggregate_.pipelined_cycles;
+  s.modeled_serial_cycles = aggregate_.serial_cycles;
+  s.energy = aggregate_.energy;
+  s.modeled_makespan_cycles = 0;
+  for (const MemoryLaneStats& lane : s.per_memory)
+    s.modeled_makespan_cycles =
+        std::max(s.modeled_makespan_cycles, lane.modeled_pipelined_cycles);
   s.host_us = summarize(host_us_);
   s.modeled_cycles = summarize(modeled_cycles_);
   s.recent_batches.reserve(recent_.size());

@@ -6,11 +6,18 @@
 // request on two clocks:
 //   host      submit() to result-ready, microseconds of wall time -- queueing
 //             plus simulator execution, what a client actually waited;
-//   modeled   the pipelined cycle count of the batch the request rode in --
-//             how long the modeled silicon was busy producing its batch.
+//   modeled   the request's share of its batch's pipelined cycles, weighted
+//             by its row-pair layers (layers_i / sum layers): the batch cost
+//             is attributed once across its riders, so per-op p50/p99 do not
+//             overcount under coalescing and the samples of a batch sum to
+//             its cost.
 // Every sample is kept (~8 bytes per completed request at model scale);
 // quantiles come from the common SampleSet helper, linearly interpolated
 // between order statistics.
+//
+// With a multi-memory pool the ledger also keeps one lane per memory
+// (NUMA node). Memories run in parallel in the cycle model, so the
+// aggregate makespan is the busiest lane's total, not the sum.
 
 #include <cstdint>
 #include <mutex>
@@ -32,14 +39,24 @@ struct LatencySummary {
   double max = 0.0;
 };
 
-/// One executed batch, as the scheduler shaped it.
+/// One executed batch, as the scheduler shaped it. With a memory pool this
+/// is one per-memory sub-batch of a dispatch group.
 struct BatchRecord {
   engine::OpKind kind = engine::OpKind::Add;
   unsigned bits = 0;
-  std::size_t ops = 0;     ///< requests coalesced into the batch
-  std::size_t layers = 0;  ///< summed row-pair layers (residency)
+  std::size_t ops = 0;      ///< requests coalesced into the batch
+  std::size_t layers = 0;   ///< summed row-pair layers (residency)
+  std::size_t memory = 0;   ///< pool memory (NUMA node) it ran on
   std::uint64_t pipelined_cycles = 0;
   std::uint64_t serial_cycles = 0;
+};
+
+/// Aggregate account of one pool memory (NUMA node).
+struct MemoryLaneStats {
+  std::uint64_t batches = 0;  ///< sub-batches dispatched to this memory
+  std::uint64_t ops = 0;
+  std::uint64_t layers = 0;
+  std::uint64_t modeled_pipelined_cycles = 0;  ///< this memory's busy cycles
 };
 
 struct ServeStats {
@@ -56,10 +73,17 @@ struct ServeStats {
   /// schedule cost, serial what one-op-at-a-time submission would have.
   std::uint64_t modeled_pipelined_cycles = 0;
   std::uint64_t modeled_serial_cycles = 0;
+  /// Busiest memory's pipelined total: the modeled finish line when the
+  /// pool's memories run in parallel. Equals modeled_pipelined_cycles on a
+  /// single-memory server.
+  std::uint64_t modeled_makespan_cycles = 0;
   Joule energy{0.0};
 
   LatencySummary host_us;         ///< per request, microseconds of wall time
-  LatencySummary modeled_cycles;  ///< per request, its batch's pipelined cycles
+  LatencySummary modeled_cycles;  ///< per request, its share of its batch's cycles
+
+  /// One lane per pool memory, index == memory id.
+  std::vector<MemoryLaneStats> per_memory;
 
   /// The most recent batches, oldest first (bounded ring; see kRecentBatches).
   std::vector<BatchRecord> recent_batches;
@@ -80,6 +104,20 @@ struct ServeStats {
                : static_cast<double>(modeled_serial_cycles) /
                      static_cast<double>(modeled_pipelined_cycles);
   }
+  /// Cycle-model win of spreading batches across parallel memories: total
+  /// pipelined work over the busiest memory's share. 1.0 on a pool of one.
+  [[nodiscard]] double scaleout_speedup() const {
+    return modeled_makespan_cycles == 0
+               ? 1.0
+               : static_cast<double>(modeled_pipelined_cycles) /
+                     static_cast<double>(modeled_makespan_cycles);
+  }
+  /// Fraction of the makespan memory `m` was busy, in [0,1].
+  [[nodiscard]] double memory_occupancy(std::size_t m) const {
+    if (m >= per_memory.size() || modeled_makespan_cycles == 0) return 0.0;
+    return static_cast<double>(per_memory[m].modeled_pipelined_cycles) /
+           static_cast<double>(modeled_makespan_cycles);
+  }
 };
 
 /// Thread-safe accumulator behind Server::stats().
@@ -87,22 +125,34 @@ class ServeLedger {
  public:
   static constexpr std::size_t kRecentBatches = 64;
 
+  /// `memories` sizes the per-memory lanes (>= 1).
+  explicit ServeLedger(std::size_t memories = 1);
+
   void on_submitted();
   /// Undo one on_submitted(): the push raced a close and was never admitted.
   void on_submit_rescinded();
   void on_rejected();
   void on_expired(std::size_t n);
-  /// Record one executed batch: its shape, the engine's BatchStats, and the
-  /// per-request latency samples (host microseconds, one per request).
+  /// Record one executed batch: its shape (rec.memory selects the lane), the
+  /// engine's BatchStats, the per-request latency samples (host
+  /// microseconds, one per request) and per-request row-pair layers. Each
+  /// request's modeled latency sample is its layer-weighted share of the
+  /// batch's pipelined cycles (equal split when the layers are unknown or
+  /// sum to zero).
   void on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
-                const std::vector<double>& host_us_samples);
+                const std::vector<double>& host_us_samples,
+                const std::vector<std::size_t>& op_layers = {});
 
   [[nodiscard]] ServeStats snapshot(std::size_t queue_depth,
                                     std::size_t peak_queue_depth) const;
 
  private:
   mutable std::mutex mutex_;
-  ServeStats totals_;                ///< counter/cycle fields only
+  /// Counter and lane fields only: the cycle/energy aggregates
+  /// (modeled_pipelined/serial/makespan, energy) are derived from
+  /// aggregate_ and the lanes at snapshot() and stay zero in here.
+  ServeStats totals_;
+  engine::BatchStats aggregate_;     ///< every sub-batch's BatchStats, merged
   SampleSet host_us_;                ///< per-request samples
   SampleSet modeled_cycles_;         ///< per-request samples
   std::vector<BatchRecord> recent_;  ///< ring, oldest at recent_begin_

@@ -12,8 +12,46 @@ using engine::OpKind;
 using engine::OpResult;
 using engine::VecOp;
 
+namespace {
+
+/// FNV-1a over the op's identity and operand bytes: the sticky placement
+/// key. Repeated weight rows hash identically, so they land on the same
+/// pool memory every time.
+std::uint64_t hash_operands(const VecOp& op) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(op.kind));
+  mix(op.bits);
+  for (const std::uint64_t x : op.a) mix(x);
+  for (const std::uint64_t x : op.b) mix(x);
+  return h;
+}
+
+}  // namespace
+
 Server::Server(engine::ExecutionEngine& eng, ServerConfig cfg)
-    : eng_(eng), cfg_(cfg), queue_(cfg.queue_capacity) {
+    : owned_pool_(std::in_place, std::vector<engine::ExecutionEngine*>{&eng},
+                  Placement::RoundRobin),
+      pool_(&*owned_pool_),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      ledger_(pool_->size()),
+      lane_pool_(pool_->size()) {
+  BPIM_REQUIRE(cfg_.max_batch_ops > 0, "max_batch_ops must be positive");
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+}
+
+Server::Server(MemoryPool& pool, ServerConfig cfg)
+    : pool_(&pool),
+      cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      ledger_(pool.size()),
+      lane_pool_(pool.size()) {
   BPIM_REQUIRE(cfg_.max_batch_ops > 0, "max_batch_ops must be positive");
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
@@ -32,8 +70,14 @@ detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
   t.op = op;
   t.op.a = t.a;
   t.op.b = t.b;
-  t.layers = eng_.layers_for(t.op);
-  BPIM_REQUIRE(t.layers <= eng_.row_pair_capacity(), "vector exceeds memory capacity");
+  t.layers = pool_->layers_for(t.op);
+  // One op never splits across memories (its chunk walk is per-memory), so
+  // it must fit a single array whatever the pool size.
+  BPIM_REQUIRE(t.layers <= pool_->row_pair_capacity(), "vector exceeds memory capacity");
+  // Only sticky placement reads the hash; spare the other policies the
+  // extra operand pass on the client's critical path.
+  if (pool_->placement() == Placement::StickyByOperand)
+    t.operand_hash = hash_operands(t.op);
   t.priority = opts.priority;
   t.deadline = opts.deadline;
   t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
@@ -93,18 +137,25 @@ ServeStats Server::stats() const {
 }
 
 void Server::scheduler_loop() {
+  // One dispatch group spans the whole pool: up to max_batch_ops requests
+  // and one array's worth of layers per memory.
+  const std::size_t per_memory_layers = pool_->row_pair_capacity();
+  const std::size_t group_layer_budget = per_memory_layers * pool_->size();
+  const std::size_t group_op_budget = cfg_.max_batch_ops * pool_->size();
+
   std::vector<detail::Ticket> backlog;
   std::vector<detail::Ticket> incoming;
   for (;;) {
     // Top up the backlog: block only when there is nothing left to run.
     incoming.clear();
     if (backlog.empty()) {
-      if (!queue_.wait_pop_all(incoming, cfg_.coalesce_window, cfg_.max_batch_ops))
+      if (!queue_.wait_pop_all(incoming, cfg_.coalesce_window, group_op_budget))
         break;  // closed and fully drained
     } else {
       queue_.try_pop_all(incoming);
     }
     for (auto& t : incoming) backlog.push_back(std::move(t));
+    if (backlog.empty()) continue;
 
     // Serve order: priority desc, admission order within a priority level.
     std::sort(backlog.begin(), backlog.end(),
@@ -112,86 +163,135 @@ void Server::scheduler_loop() {
                 return x.priority != y.priority ? x.priority > y.priority : x.seq < y.seq;
               });
 
-    // Deadlines are checked when the scheduler considers the backlog: a
-    // request whose deadline lapsed while queued fails instead of running.
+    // Deadlines are (re-)checked at batch-build time with a fresh clock: a
+    // request that expired while queued, while held in the coalesce window,
+    // or while an earlier batch ran fails here instead of executing. Ledger
+    // before promises: a client that wakes on its future must already see
+    // its expiry in stats().
     const auto now = Clock::now();
-    std::size_t expired = 0;
+    std::vector<detail::Ticket> lapsed;
     std::erase_if(backlog, [&](detail::Ticket& t) {
       if (!t.deadline || now <= *t.deadline) return false;
-      t.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
-      ++expired;
+      lapsed.push_back(std::move(t));
       return true;
     });
-    if (expired > 0) ledger_.on_expired(expired);
+    if (!lapsed.empty()) {
+      ledger_.on_expired(lapsed.size());
+      for (auto& t : lapsed)
+        t.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+    }
     if (backlog.empty()) continue;
 
     // Coalesce from the head: every compatible request (same kind and
-    // precision, same logic fn) that still fits the array's row-pair
-    // residency budget rides along; the rest wait for a later batch. The
-    // head itself always fits (validated at admission).
+    // precision, same logic fn) that still fits the group budget rides
+    // along; the rest wait for a later group. The head itself always fits
+    // (validated at admission).
     const OpKind kind = backlog.front().op.kind;
     const unsigned bits = backlog.front().op.bits;
     const periph::LogicFn fn = backlog.front().op.fn;
-    const std::size_t capacity = eng_.row_pair_capacity();
-    std::vector<detail::Ticket> batch;
+    std::vector<detail::Ticket> selected;
     std::vector<detail::Ticket> rest;
     std::size_t layers = 0;
     for (auto& t : backlog) {
       const bool compatible = t.op.kind == kind && t.op.bits == bits &&
                               (kind != OpKind::Logic || t.op.fn == fn);
-      if (compatible && batch.size() < cfg_.max_batch_ops &&
-          layers + t.layers <= capacity) {
+      if (compatible && selected.size() < group_op_budget &&
+          layers + t.layers <= group_layer_budget) {
         layers += t.layers;
-        batch.push_back(std::move(t));
+        selected.push_back(std::move(t));
       } else {
         rest.push_back(std::move(t));
       }
     }
     backlog = std::move(rest);
-    execute_batch(batch);
+
+    // Split the selection into per-memory sub-batches: greedy in serve
+    // order, each within one array's residency budget and the per-batch op
+    // cap. On a pool of one this is always a single sub-batch.
+    std::vector<std::vector<detail::Ticket>> subs;
+    std::vector<MemoryPool::Slot> slots;
+    std::size_t sub_layers = 0;
+    for (auto& t : selected) {
+      if (subs.empty() || sub_layers + t.layers > per_memory_layers ||
+          subs.back().size() >= cfg_.max_batch_ops) {
+        subs.emplace_back();
+        slots.emplace_back();
+        sub_layers = 0;
+      }
+      sub_layers += t.layers;
+      slots.back().layers = sub_layers;
+      if (subs.back().empty()) slots.back().operand_hash = t.operand_hash;
+      subs.back().push_back(std::move(t));
+    }
+    execute_group(subs, pool_->place(slots));
   }
 }
 
-void Server::execute_batch(std::vector<detail::Ticket>& batch) {
-  std::vector<VecOp> ops;
-  ops.reserve(batch.size());
-  std::size_t layers = 0;
-  for (const auto& t : batch) {
-    ops.push_back(t.op);
-    layers += t.layers;
-  }
+void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
+                           const std::vector<std::size_t>& where) {
+  // Runs one sub-batch end to end -- engine call, accounting, promises --
+  // so a lane releases its clients the moment it finishes instead of
+  // waiting out the group's slowest lane, and the recorded host latency is
+  // exactly what the client waited. Ledger and pool accounts are
+  // mutex-guarded, so lanes may complete concurrently. Never throws.
+  const auto run_sub = [&](std::size_t i) {
+    auto& batch = subs[i];
+    engine::ExecutionEngine& eng = pool_->engine(where[i]);
+    std::vector<VecOp> ops;
+    ops.reserve(batch.size());
+    for (const auto& t : batch) ops.push_back(t.op);
 
-  std::vector<OpResult> results;
-  try {
-    results = eng_.run_batch(ops);
-  } catch (...) {
-    // Validation happens at submit, so this is a defect; surface it on
-    // every rider's future rather than killing the scheduler.
-    const std::exception_ptr err = std::current_exception();
-    for (auto& t : batch) t.promise.set_exception(err);
-    return;
-  }
+    std::vector<OpResult> results;
+    try {
+      results = eng.run_batch(ops);
+    } catch (...) {
+      // Validation happens at submit, so this is a defect; surface it on
+      // every rider's future rather than killing the scheduler.
+      const std::exception_ptr err = std::current_exception();
+      for (auto& t : batch) t.promise.set_exception(err);
+      return;
+    }
+    const engine::BatchStats bs = eng.last_batch();
+    const auto done = Clock::now();
 
-  const engine::BatchStats bs = eng_.last_batch();
-  const auto done = Clock::now();
-  std::vector<double> host_us;
-  host_us.reserve(batch.size());
-  for (const auto& t : batch)
-    host_us.push_back(std::chrono::duration<double, std::micro>(done - t.submit_time).count());
+    std::vector<double> host_us;
+    std::vector<std::size_t> op_layers;
+    host_us.reserve(batch.size());
+    op_layers.reserve(batch.size());
+    for (const auto& t : batch) {
+      host_us.push_back(
+          std::chrono::duration<double, std::micro>(done - t.submit_time).count());
+      op_layers.push_back(t.layers);
+    }
 
-  BatchRecord rec;
-  rec.kind = batch.front().op.kind;
-  rec.bits = batch.front().op.bits;
-  rec.ops = batch.size();
-  rec.layers = layers;
-  rec.pipelined_cycles = bs.pipelined_cycles;
-  rec.serial_cycles = bs.serial_cycles;
-  // Ledger before promises: a client that wakes on its future and asks for
-  // stats() must already see its own batch.
-  ledger_.on_batch(rec, bs, host_us);
+    BatchRecord rec;
+    rec.kind = batch.front().op.kind;
+    rec.bits = batch.front().op.bits;
+    rec.ops = batch.size();
+    rec.layers = 0;
+    for (const std::size_t l : op_layers) rec.layers += l;
+    rec.memory = where[i];
+    rec.pipelined_cycles = bs.pipelined_cycles;
+    rec.serial_cycles = bs.serial_cycles;
+    pool_->on_batch_done(where[i], rec.layers, bs.pipelined_cycles);
+    // Ledger before promises: a client that wakes on its future and asks for
+    // stats() must already see its own batch.
+    ledger_.on_batch(rec, bs, host_us, op_layers);
 
-  for (std::size_t i = 0; i < batch.size(); ++i)
-    batch[i].promise.set_value(std::move(results[i]));
+    for (std::size_t k = 0; k < batch.size(); ++k)
+      batch[k].promise.set_value(std::move(results[k]));
+  };
+
+  // Distinct memories run concurrently on the persistent lane workers;
+  // sub-batches that share a memory (sticky hash collisions) stay
+  // serialized inside one lane, since an engine admits only one run_batch
+  // at a time.
+  std::vector<std::vector<std::size_t>> by_memory(pool_->size());
+  for (std::size_t i = 0; i < subs.size(); ++i) by_memory[where[i]].push_back(i);
+  std::erase_if(by_memory, [](const std::vector<std::size_t>& lane) { return lane.empty(); });
+  lane_pool_.parallel_for(by_memory.size(), [&](std::size_t l) {
+    for (const std::size_t i : by_memory[l]) run_sub(i);
+  });
 }
 
 }  // namespace bpim::serve

@@ -1,29 +1,36 @@
 #pragma once
-// Batched request serving in front of the ExecutionEngine.
+// Batched request serving in front of the execution tier.
 //
 //   clients --submit()--> [bounded admission queue] --> scheduler thread
 //                                                          |  coalesce
-//                                                          v
-//                                            ExecutionEngine::run_batch
+//                                                          v  + place
+//                                  memory 0 .. memory N-1 (MemoryPool)
+//                                  ExecutionEngine::run_batch on each
 //
 // Many client threads submit vector ops; a single scheduler thread drains
 // the admission queue and coalesces *compatible* requests -- same kind and
-// precision (and logic function), summed row-pair layers within the array's
-// residency budget -- into one run_batch call, so unrelated clients' operand
-// loads ping-pong-overlap each other's compute in the cycle model. Within
-// the backlog the scheduler serves strictly by (priority desc, admission
-// order); requests whose deadline lapsed while queued fail with
-// DeadlineExceeded instead of executing.
+// precision (and logic function) -- into one dispatch group. On a
+// single-memory server the group is one run_batch call, as before. Over a
+// serve::MemoryPool the group's layer budget is N memories' worth: a group
+// whose summed row-pair layers exceed a single array's residency budget is
+// split into per-memory sub-batches, placed by the pool's policy
+// (round-robin / least-loaded / sticky-by-operand-hash), and sub-batches on
+// distinct memories execute concurrently. Within the backlog the scheduler
+// serves strictly by (priority desc, admission order); deadlines are
+// re-checked with a fresh clock at batch-build time, so a request that
+// expired while held in the coalesce window or while an earlier batch ran
+// fails with DeadlineExceeded instead of executing.
 //
 // Results are bit-identical to submitting each op alone through a serial
-// engine: run_batch executes ops one after another with the same per-op
-// chunk walk, and per-op results do not depend on what ran before (the
-// engine's batch tests assert this). Coalescing changes only the batch-level
-// cycle account, never a client's values or RunStats.
+// engine on one memory: run_batch executes ops one after another with the
+// same per-op chunk walk, per-op results do not depend on what ran before,
+// and every pool memory is shape-identical. Coalescing and placement change
+// only the batch-level cycle account, never a client's values or RunStats.
 //
-// Exactly one thread (the scheduler) touches the engine and its memory;
-// clients only rendezvous through the queue and their futures. stop() (and
-// the destructor) closes admission, drains everything already accepted, and
+// Exactly one thread (the scheduler) owns scheduling state; sub-batch
+// worker threads it spawns touch only their own memory's engine. Clients
+// only rendezvous through the queue and their futures. stop() (and the
+// destructor) closes admission, drains everything already accepted, and
 // joins -- no accepted future is ever abandoned.
 
 #include <atomic>
@@ -35,6 +42,7 @@
 
 #include "engine/execution_engine.hpp"
 #include "serve/admission_queue.hpp"
+#include "serve/memory_pool.hpp"
 #include "serve/request.hpp"
 #include "serve/serve_stats.hpp"
 
@@ -42,9 +50,13 @@ namespace bpim::serve {
 
 class Server {
  public:
-  /// The engine (and its memory) must outlive the server. The server is the
+  /// Single-memory server: wraps the engine in a non-owning pool of one.
+  /// The engine (and its memory) must outlive the server; the server is the
   /// engine's only user while running.
   explicit Server(engine::ExecutionEngine& eng, ServerConfig cfg = {});
+  /// Multi-memory server: route dispatch groups across the pool. The pool
+  /// must outlive the server; the server is its only user while running.
+  explicit Server(MemoryPool& pool, ServerConfig cfg = {});
   ~Server();  ///< stop()s: drains accepted work, then joins.
 
   Server(const Server&) = delete;
@@ -75,20 +87,32 @@ class Server {
   void resume();
 
   [[nodiscard]] ServeStats stats() const;
-  [[nodiscard]] engine::ExecutionEngine& engine() { return eng_; }
+  /// The first pool memory's engine (the only one on a single-memory
+  /// server) -- kept for capacity/geometry queries; all pool memories are
+  /// shape-identical.
+  [[nodiscard]] engine::ExecutionEngine& engine() { return pool_->engine(0); }
+  [[nodiscard]] const MemoryPool& pool() const { return *pool_; }
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
  private:
   /// Validate + package one request (throws std::invalid_argument).
   detail::Ticket make_ticket(const engine::VecOp& op, SubmitOptions opts);
   void scheduler_loop();
-  /// Run one coalesced batch and fulfill its promises.
-  void execute_batch(std::vector<detail::Ticket>& batch);
+  /// Run one dispatch group: sub-batch i on pool memory where[i], distinct
+  /// memories concurrently; each lane accounts and fulfills its own
+  /// promises as it finishes (no cross-lane barrier for clients).
+  void execute_group(std::vector<std::vector<detail::Ticket>>& subs,
+                     const std::vector<std::size_t>& where);
 
-  engine::ExecutionEngine& eng_;
+  std::optional<MemoryPool> owned_pool_;  ///< set by the single-engine ctor
+  MemoryPool* pool_;
   const ServerConfig cfg_;
   AdmissionQueue queue_;
   mutable ServeLedger ledger_;
+  /// Persistent lane workers for multi-memory dispatch groups (scheduler
+  /// thread included); workers start lazily, so a pool-of-one server never
+  /// spawns any.
+  engine::ThreadPool lane_pool_;
   std::atomic<std::uint64_t> seq_{0};
   std::atomic<bool> stopping_{false};
   std::mutex stop_mutex_;  ///< serialises concurrent stop() calls

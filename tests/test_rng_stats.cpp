@@ -90,9 +90,41 @@ TEST(SampleSet, PercentilesInterpolate) {
   EXPECT_NEAR(s.percentile(0.99), 99.01, 1e-9);
 }
 
-TEST(SampleSet, GuardsEmptyAndBadP) {
+TEST(SampleSet, EmptySetIsWellDefined) {
+  // Degenerate sets are total at the API level (matching mean()): callers
+  // like the serving ledger need no ad-hoc count guards.
   SampleSet s;
-  EXPECT_THROW((void)s.percentile(0.5), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SampleSet, SingleSampleIsEveryPercentile) {
+  SampleSet s;
+  s.add(42.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 42.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 42.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 42.5);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 42.5);
+}
+
+TEST(SampleSet, TwoSamplesInterpolateLinearly) {
+  SampleSet s;
+  s.add(10.0);
+  s.add(20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.25), 12.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 15.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.99), 19.9);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 20.0);
+}
+
+TEST(SampleSet, GuardsBadP) {
+  SampleSet s;
+  EXPECT_THROW((void)s.percentile(-0.1), std::invalid_argument);
   s.add(1.0);
   EXPECT_THROW((void)s.percentile(1.5), std::invalid_argument);
 }

@@ -241,6 +241,48 @@ TEST(Server, LapsedDeadlineFailsInsteadOfRunning) {
   EXPECT_EQ(s.completed, 1u);
 }
 
+TEST(Server, DeadlineExpiringInsideCoalesceWindowFailsAtBatchBuild) {
+  // The scheduler lingers in the coalesce window before building a batch;
+  // deadlines are re-checked with a fresh clock at batch-build time, so a
+  // request that expires while held in the window fails instead of running.
+  Harness h(ServerConfig{/*queue_capacity=*/16, /*max_batch_ops=*/64,
+                         /*coalesce_window=*/std::chrono::milliseconds(100)});
+  const auto a = random_vec(16, 8, 40);
+  const auto b = random_vec(16, 8, 41);
+  const VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, b};
+  auto fut = h.server.submit(
+      op, SubmitOptions{0, Clock::now() + std::chrono::milliseconds(10)});
+
+  EXPECT_THROW((void)fut.get(), DeadlineExceeded);
+  const ServeStats s = h.server.stats();
+  EXPECT_EQ(s.expired, 1u);
+  EXPECT_EQ(s.completed, 0u);
+  EXPECT_EQ(s.batches, 0u) << "an expired request must never reach the engine";
+}
+
+TEST(Server, ModeledLatencyIsPerOpShareOfItsBatch) {
+  // Four identical riders in one batch: each op's modeled latency sample is
+  // the batch cost / 4, so the per-op summary does not overcount under
+  // coalescing (the samples of a batch sum to its pipelined cycles).
+  Harness h;
+  h.server.pause();
+  const auto a = random_vec(32, 8, 42);
+  const auto b = random_vec(32, 8, 43);
+  const VecOp op{OpKind::Mult, 8, periph::LogicFn::And, a, b};
+  std::vector<std::future<OpResult>> futs;
+  for (int i = 0; i < 4; ++i) futs.push_back(h.server.submit(op));
+  h.server.resume();
+  for (auto& f : futs) (void)f.get();
+
+  const ServeStats s = h.server.stats();
+  ASSERT_EQ(s.batches, 1u);
+  EXPECT_EQ(s.modeled_cycles.count, 4u);
+  const double share = static_cast<double>(s.modeled_pipelined_cycles) / 4.0;
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p50, share);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.max, share);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.mean, share);
+}
+
 TEST(Server, QueueFullBackpressure) {
   Harness h(ServerConfig{/*queue_capacity=*/2, /*max_batch_ops=*/64, {}});
   h.server.pause();  // nothing drains: the queue must fill

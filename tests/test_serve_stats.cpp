@@ -1,0 +1,151 @@
+// ServeLedger semantics: per-op attribution of a batch's modeled cost, the
+// per-memory lanes and makespan behind multi-memory scale-out, and the
+// recent-batch ring's wraparound.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_stats.hpp"
+
+namespace bpim::serve {
+namespace {
+
+using engine::BatchStats;
+using engine::OpKind;
+
+BatchRecord make_record(std::size_t ops, std::size_t layers, std::uint64_t pipelined,
+                        std::size_t memory = 0) {
+  BatchRecord rec;
+  rec.kind = OpKind::Mult;
+  rec.bits = 8;
+  rec.ops = ops;
+  rec.layers = layers;
+  rec.memory = memory;
+  rec.pipelined_cycles = pipelined;
+  rec.serial_cycles = pipelined + 2 * layers;
+  return rec;
+}
+
+BatchStats make_stats(std::size_t ops, std::uint64_t pipelined, std::uint64_t serial) {
+  BatchStats bs;
+  bs.ops = ops;
+  bs.pipelined_cycles = pipelined;
+  bs.serial_cycles = serial;
+  return bs;
+}
+
+void record(ServeLedger& ledger, std::size_t ops, std::uint64_t pipelined,
+            std::size_t layers = 1, std::size_t memory = 0) {
+  const std::vector<double> host_us(ops, 1.0);
+  ledger.on_batch(make_record(ops, layers, pipelined, memory),
+                  make_stats(ops, pipelined, pipelined + 2 * layers), host_us);
+}
+
+TEST(ServeLedger, BatchCostIsAttributedOnceAcrossRiders) {
+  // Four riders of a 400-cycle batch: each op's modeled latency sample is
+  // its share (100), not the whole batch -- the samples sum to the batch
+  // cost instead of overcounting it 4x.
+  ServeLedger ledger;
+  record(ledger, /*ops=*/4, /*pipelined=*/400);
+  const ServeStats s = ledger.snapshot(0, 0);
+  EXPECT_EQ(s.completed, 4u);
+  EXPECT_EQ(s.modeled_pipelined_cycles, 400u);
+  EXPECT_EQ(s.modeled_cycles.count, 4u);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.mean, 100.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p50, 100.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p99, 100.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.max, 100.0);
+}
+
+TEST(ServeLedger, PerOpShareSeparatesSoloFromCoalesced) {
+  // A solo 100-cycle op and a 4-rider 100-cycle batch: under the old
+  // whole-batch attribution all five samples would be 100 and the p50
+  // could not tell the coalesced riders (25 each) from the solo op.
+  ServeLedger ledger;
+  record(ledger, /*ops=*/1, /*pipelined=*/100);
+  record(ledger, /*ops=*/4, /*pipelined=*/100);
+  const ServeStats s = ledger.snapshot(0, 0);
+  EXPECT_EQ(s.modeled_cycles.count, 5u);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p50, 25.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.mean, (4 * 25.0 + 100.0) / 5.0);
+}
+
+TEST(ServeLedger, MixedSizeBatchSharesAreLayerWeighted) {
+  // A 3-layer op and a 1-layer op ride one 400-cycle batch: the big rider
+  // carries 300 cycles, the small one 100 -- the samples still sum to the
+  // batch cost, but a tiny op is no longer charged for a big neighbour.
+  ServeLedger ledger;
+  const std::vector<double> host_us(2, 1.0);
+  ledger.on_batch(make_record(/*ops=*/2, /*layers=*/4, /*pipelined=*/400),
+                  make_stats(2, 400, 408), host_us, /*op_layers=*/{3, 1});
+  const ServeStats s = ledger.snapshot(0, 0);
+  EXPECT_EQ(s.modeled_cycles.count, 2u);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.max, 300.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p50, 200.0);  // midpoint of {100, 300}
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.mean, 200.0);
+}
+
+TEST(ServeLedger, EmptySnapshotHasZeroSummaries) {
+  ServeLedger ledger(3);
+  const ServeStats s = ledger.snapshot(0, 0);
+  EXPECT_EQ(s.host_us.count, 0u);
+  EXPECT_DOUBLE_EQ(s.host_us.p50, 0.0);
+  EXPECT_DOUBLE_EQ(s.modeled_cycles.p99, 0.0);
+  EXPECT_EQ(s.modeled_makespan_cycles, 0u);
+  ASSERT_EQ(s.per_memory.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.scaleout_speedup(), 1.0);
+  EXPECT_DOUBLE_EQ(s.memory_occupancy(0), 0.0);
+}
+
+TEST(ServeLedger, PerMemoryLanesAndMakespan) {
+  // Memories run in parallel in the cycle model: the makespan is the
+  // busiest lane, and the scale-out speedup is total work over it.
+  ServeLedger ledger(2);
+  record(ledger, 2, /*pipelined=*/300, /*layers=*/4, /*memory=*/0);
+  record(ledger, 3, /*pipelined=*/500, /*layers=*/6, /*memory=*/1);
+  record(ledger, 1, /*pipelined=*/200, /*layers=*/2, /*memory=*/0);
+  const ServeStats s = ledger.snapshot(0, 0);
+  ASSERT_EQ(s.per_memory.size(), 2u);
+  EXPECT_EQ(s.per_memory[0].batches, 2u);
+  EXPECT_EQ(s.per_memory[0].ops, 3u);
+  EXPECT_EQ(s.per_memory[0].layers, 6u);
+  EXPECT_EQ(s.per_memory[0].modeled_pipelined_cycles, 500u);
+  EXPECT_EQ(s.per_memory[1].batches, 1u);
+  EXPECT_EQ(s.per_memory[1].modeled_pipelined_cycles, 500u);
+  EXPECT_EQ(s.modeled_pipelined_cycles, 1000u);
+  EXPECT_EQ(s.modeled_makespan_cycles, 500u);
+  EXPECT_DOUBLE_EQ(s.scaleout_speedup(), 2.0);
+  EXPECT_DOUBLE_EQ(s.memory_occupancy(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.memory_occupancy(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.memory_occupancy(7), 0.0);  // out of range: defined as idle
+}
+
+TEST(ServeLedger, RecentRingHoldsExactlyCapacityOldestFirst) {
+  ServeLedger ledger;
+  for (std::size_t i = 0; i < ServeLedger::kRecentBatches; ++i)
+    record(ledger, 1, 100, /*layers=*/i + 1);
+  const ServeStats s = ledger.snapshot(0, 0);
+  ASSERT_EQ(s.recent_batches.size(), ServeLedger::kRecentBatches);
+  for (std::size_t i = 0; i < s.recent_batches.size(); ++i)
+    EXPECT_EQ(s.recent_batches[i].layers, i + 1) << "slot " << i;
+}
+
+TEST(ServeLedger, RecentRingWrapsDroppingOldest) {
+  constexpr std::size_t kExtra = 7;
+  ServeLedger ledger;
+  for (std::size_t i = 0; i < ServeLedger::kRecentBatches + kExtra; ++i)
+    record(ledger, 1, 100, /*layers=*/i + 1);
+  const ServeStats s = ledger.snapshot(0, 0);
+  ASSERT_EQ(s.recent_batches.size(), ServeLedger::kRecentBatches);
+  // The kExtra oldest records fell out; order stays oldest-first.
+  for (std::size_t i = 0; i < s.recent_batches.size(); ++i)
+    EXPECT_EQ(s.recent_batches[i].layers, kExtra + i + 1) << "slot " << i;
+  // Totals keep counting past the ring.
+  EXPECT_EQ(s.batches, ServeLedger::kRecentBatches + kExtra);
+}
+
+}  // namespace
+}  // namespace bpim::serve
