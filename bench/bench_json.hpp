@@ -1,0 +1,139 @@
+#pragma once
+// Shared JSON emission for the bench executables (BENCH_*.json artifacts).
+//
+// Every bench used to hand-roll its ofstream << JSON; this tiny writer
+// keeps the schemas they emit, centralises comma/precision handling, and
+// is dependency-free on purpose (the container has no JSON library, and
+// the artifacts are flat enough that one is not worth vendoring).
+//
+// Usage:
+//   JsonWriter w(path);
+//   w.begin_object();
+//   w.field("schema", "bpim.residency.v1");
+//   w.key("sweep"); w.begin_array();
+//     w.begin_object(); w.field("x", 1); w.end_object();
+//   w.end_array();
+//   w.end_object();   // newline-terminated on the way out
+//
+// Values: strings (escaped), bools, integers, doubles (fixed, default 6
+// digits), and numeric vectors. Layout is pretty-printed, two-space
+// indent, one key or element per line.
+
+#include <fstream>
+#include <iomanip>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace bpim::bench {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path, int precision = 6)
+      : out_(path), precision_(precision) {}
+
+  [[nodiscard]] bool ok() const { return out_.good(); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Key of the next value inside an object.
+  void key(std::string_view k) {
+    separate();
+    out_ << '"';
+    escape(k);
+    out_ << "\": ";
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    out_ << '"';
+    escape(v);
+    out_ << '"';
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    separate();
+    out_ << std::fixed << std::setprecision(precision_) << v;
+  }
+  template <class T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                                      int> = 0>
+  void value(T v) {
+    separate();
+    out_ << v;
+  }
+
+  /// key + scalar value in one go.
+  template <class T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// key + flat numeric array (one line per element).
+  template <class T>
+  void field(std::string_view k, const std::vector<T>& values) {
+    key(k);
+    begin_array();
+    for (const T& v : values) value(v);
+    end_array();
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    out_ << c;
+    ++depth_;
+    first_ = true;
+  }
+
+  void close(char c) {
+    --depth_;
+    if (!first_) newline();
+    out_ << c;
+    first_ = false;
+    if (depth_ == 0) out_ << '\n';
+  }
+
+  /// Comma/newline bookkeeping before a key, value, or container. A value
+  /// directly after its key stays on the key's line.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (depth_ > 0) {
+      if (!first_) out_ << ',';
+      newline();
+    }
+    first_ = false;
+  }
+
+  void newline() {
+    out_ << '\n';
+    for (int i = 0; i < depth_; ++i) out_ << "  ";
+  }
+
+  void escape(std::string_view s) {
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ << '\\';
+      out_ << c;
+    }
+  }
+
+  std::ofstream out_;
+  int precision_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace bpim::bench

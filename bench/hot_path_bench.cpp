@@ -20,13 +20,12 @@
 //   --out     output path (default BENCH_hotpath.json)
 
 #include <chrono>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "app/mlp.hpp"
+#include "bench_json.hpp"
 #include "baseline/naive_datapath.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -168,32 +167,34 @@ MlpResult bench_mlp(std::size_t forwards) {
 
 void write_json(const std::string& path, bool smoke, const std::vector<KernelResult>& kernels,
                 const MlpResult& mlp) {
-  std::ofstream f(path);
-  f << std::setprecision(6) << std::fixed;
-  f << "{\n";
-  f << "  \"schema\": \"bpim.hotpath.v1\",\n";
-  f << "  \"mode\": \"" << (smoke ? "smoke" : "full") << "\",\n";
-  f << "  \"cols\": " << kCols << ",\n";
-  f << "  \"kernels\": [\n";
-  for (std::size_t i = 0; i < kernels.size(); ++i) {
-    const auto& k = kernels[i];
-    f << "    {\"name\": \"" << k.name << "\", \"bits\": " << k.bits
-      << ", \"ns_per_op\": " << k.ns_per_op;
-    if (k.ref_ns_per_op > 0)
-      f << ", \"ref_ns_per_op\": " << k.ref_ns_per_op << ", \"speedup\": " << k.speedup();
-    f << "}" << (i + 1 < kernels.size() ? "," : "") << "\n";
+  bench::JsonWriter w(path);
+  w.begin_object();
+  w.field("schema", "bpim.hotpath.v1");
+  w.field("mode", smoke ? "smoke" : "full");
+  w.field("cols", kCols);
+  w.key("kernels");
+  w.begin_array();
+  for (const auto& k : kernels) {
+    w.begin_object();
+    w.field("name", k.name);
+    w.field("bits", k.bits);
+    w.field("ns_per_op", k.ns_per_op);
+    if (k.ref_ns_per_op > 0) {
+      w.field("ref_ns_per_op", k.ref_ns_per_op);
+      w.field("speedup", k.speedup());
+    }
+    w.end_object();
   }
-  f << "  ],\n";
-  f << "  \"mlp\": {\"sizes\": [";
-  for (std::size_t i = 0; i < mlp.sizes.size(); ++i)
-    f << mlp.sizes[i] << (i + 1 < mlp.sizes.size() ? ", " : "");
-  f << "], \"bits\": [";
-  for (std::size_t i = 0; i < mlp.bits.size(); ++i)
-    f << mlp.bits[i] << (i + 1 < mlp.bits.size() ? ", " : "");
-  f << "], \"ns_per_forward\": " << mlp.ns_per_forward
-    << ", \"forwards_per_sec\": " << mlp.forwards_per_sec
-    << ", \"macs_per_sec\": " << mlp.macs_per_sec << "}\n";
-  f << "}\n";
+  w.end_array();
+  w.key("mlp");
+  w.begin_object();
+  w.field("sizes", mlp.sizes);
+  w.field("bits", mlp.bits);
+  w.field("ns_per_forward", mlp.ns_per_forward);
+  w.field("forwards_per_sec", mlp.forwards_per_sec);
+  w.field("macs_per_sec", mlp.macs_per_sec);
+  w.end_object();
+  w.end_object();
 }
 
 }  // namespace

@@ -28,13 +28,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
@@ -163,35 +162,35 @@ SweepPoint run_pool(const std::vector<ClientLoad>& loads, const Options& opt,
 
 void write_json(const Options& opt, std::size_t elements,
                 const std::vector<SweepPoint>& sweep, double speedup4) {
-  std::ofstream f(opt.out_path);
-  f << std::setprecision(6) << std::fixed;
-  f << "{\n";
-  f << "  \"schema\": \"bpim.multimem.v1\",\n";
-  f << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
-  f << "  \"clients\": " << opt.clients << ",\n";
-  f << "  \"ops_per_client\": " << opt.ops_per_client << ",\n";
-  f << "  \"bits\": " << opt.bits << ",\n";
-  f << "  \"elements\": " << elements << ",\n";
-  f << "  \"layers_per_op\": " << opt.layers_per_op << ",\n";
-  f << "  \"macros_per_memory\": " << kMacrosPerMemory << ",\n";
-  f << "  \"window_us\": " << opt.window.count() << ",\n";
-  f << "  \"placement\": \"" << serve::to_string(opt.placement) << "\",\n";
-  f << "  \"sweep\": [\n";
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const SweepPoint& p = sweep[i];
-    f << "    {\"memories\": " << p.memories << ", \"ops\": " << p.ops
-      << ", \"batches\": " << p.batches
-      << ", \"total_pipelined_cycles\": " << p.total_pipelined
-      << ", \"makespan_cycles\": " << p.makespan
-      << ", \"ops_per_mcycle\": " << p.ops_per_mcycle() << ", \"wall_s\": " << p.wall_s
-      << ", \"occupancy\": [";
-    for (std::size_t m = 0; m < p.occupancy.size(); ++m)
-      f << (m ? ", " : "") << p.occupancy[m];
-    f << "]}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  bench::JsonWriter w(opt.out_path);
+  w.begin_object();
+  w.field("schema", "bpim.multimem.v1");
+  w.field("mode", opt.smoke ? "smoke" : "full");
+  w.field("clients", opt.clients);
+  w.field("ops_per_client", opt.ops_per_client);
+  w.field("bits", opt.bits);
+  w.field("elements", elements);
+  w.field("layers_per_op", opt.layers_per_op);
+  w.field("macros_per_memory", kMacrosPerMemory);
+  w.field("window_us", opt.window.count());
+  w.field("placement", serve::to_string(opt.placement));
+  w.key("sweep");
+  w.begin_array();
+  for (const SweepPoint& p : sweep) {
+    w.begin_object();
+    w.field("memories", p.memories);
+    w.field("ops", p.ops);
+    w.field("batches", p.batches);
+    w.field("total_pipelined_cycles", p.total_pipelined);
+    w.field("makespan_cycles", p.makespan);
+    w.field("ops_per_mcycle", p.ops_per_mcycle());
+    w.field("wall_s", p.wall_s);
+    w.field("occupancy", p.occupancy);
+    w.end_object();
   }
-  f << "  ],\n";
-  f << "  \"throughput_speedup_4_vs_1\": " << speedup4 << "\n";
-  f << "}\n";
+  w.end_array();
+  w.field("throughput_speedup_4_vs_1", speedup4);
+  w.end_object();
 }
 
 }  // namespace

@@ -1,0 +1,249 @@
+// Residency benchmark: repeated 8-bit MLP inference with weights pinned
+// resident (engine/residency.hpp) vs the re-poke path that loads the same
+// weight rows on every forward.
+//
+// Two identical memories run the same forward sequence: one through a
+// plain Mlp (weights re-poked per op, the pre-residency behavior), one
+// through an Mlp that pinned its weights at construction. Outputs must be
+// bit-identical forward for forward; the headline metric is the modeled
+// operand-load cycle win -- re-poking pays 2 row writes per layer per op
+// every forward, the resident net pays the weight side exactly once (the
+// materializing write of the first forward) and only re-loads activations
+// after that. A serve::Server route over a 2-memory pool is spot-checked
+// for the same bit-identity with handle-homed placement.
+//
+// Results land in BENCH_residency.json (schema bpim.residency.v1). The
+// bench exits non-zero when the resident net fails to reach 1.5x fewer
+// modeled load cycles over the run, or when any output diverges -- the
+// acceptance gate CI smoke runs check.
+//
+// Usage: residency_bench [--forwards N] [--smoke] [--out <path>]
+//   --forwards   inference passes per net   (default 16; smoke 8)
+//   --smoke      CI-sized run; same JSON shape
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "app/mlp.hpp"
+#include "bench_json.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "engine/execution_engine.hpp"
+#include "serve/memory_pool.hpp"
+#include "serve/server.hpp"
+
+using namespace bpim;
+
+namespace {
+
+constexpr std::size_t kMacros = 8;
+
+struct Options {
+  std::size_t forwards = 16;
+  bool smoke = false;
+  std::string out_path = "BENCH_residency.json";
+};
+
+/// 64-32-16-10 at uniform 8 bit: 58 one-layer weight handles, all of which
+/// fit a 64-row-pair array at once, so the bench shows the steady state
+/// (eviction churn is covered by tests/test_residency.cpp).
+struct NetShape {
+  std::vector<std::size_t> sizes{64, 32, 16, 10};
+  std::vector<unsigned> bits{8, 8, 8};
+};
+
+std::vector<app::MlpLayerSpec> make_specs(const NetShape& shape) {
+  Rng rng(0x9E51D);
+  std::vector<app::MlpLayerSpec> specs;
+  for (std::size_t l = 0; l + 1 < shape.sizes.size(); ++l) {
+    app::MlpLayerSpec spec;
+    spec.bits = shape.bits[l];
+    spec.weights.assign(shape.sizes[l + 1], std::vector<double>(shape.sizes[l]));
+    for (auto& row : spec.weights)
+      for (auto& w : row) w = rng.uniform();
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<std::vector<double>> make_inputs(std::size_t forwards, std::size_t n) {
+  Rng rng(0x1D0B5);
+  std::vector<std::vector<double>> xs(forwards, std::vector<double>(n));
+  for (auto& x : xs)
+    for (auto& v : x) v = rng.uniform();
+  return xs;
+}
+
+macro::MemoryConfig node_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 1;
+  cfg.macros_per_bank = kMacros;
+  return cfg;
+}
+
+struct ModeTotals {
+  std::uint64_t load_cycles = 0;
+  std::uint64_t load_cycles_saved = 0;
+  std::uint64_t pipelined_cycles = 0;
+  std::uint64_t compute_cycles = 0;
+};
+
+void accumulate(ModeTotals& t, const app::LayerStats& s) {
+  t.load_cycles += s.load_cycles;
+  t.load_cycles_saved += s.load_cycles_saved;
+  t.pipelined_cycles += s.pipelined_cycles;
+  t.compute_cycles += s.cycles;
+}
+
+void require_identical(const std::vector<double>& a, const std::vector<double>& b,
+                       const char* what, std::size_t forward) {
+  if (a == b) return;  // bit-identical doubles, not epsilon-close
+  std::cerr << "FATAL: " << what << " diverged from the re-poke outputs on forward "
+            << forward << "\n";
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool forwards_given = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--forwards" && i + 1 < argc) {
+      try {
+        opt.forwards = std::stoul(argv[++i]);
+      } catch (const std::exception&) {
+        std::cerr << "bad value for --forwards\n";
+        return 2;
+      }
+      forwards_given = true;
+    } else if (arg == "--out" && i + 1 < argc) {
+      opt.out_path = argv[++i];
+    } else {
+      std::cerr << "usage: residency_bench [--forwards N] [--smoke] [--out <path>]\n";
+      return 2;
+    }
+  }
+  if (opt.smoke && !forwards_given) opt.forwards = 8;
+  if (opt.forwards == 0) {
+    std::cerr << "--forwards must be positive\n";
+    return 2;
+  }
+
+  const NetShape shape;
+  const auto specs = make_specs(shape);
+  const auto inputs = make_inputs(opt.forwards, shape.sizes.front());
+
+  // Re-poke baseline: identical weight rows loaded on every forward.
+  macro::ImcMemory repoke_mem(node_memory());
+  engine::ExecutionEngine repoke_eng(repoke_mem);
+  app::Mlp repoke_net(specs);
+  ModeTotals repoke;
+  std::vector<std::vector<double>> expected;
+  expected.reserve(opt.forwards);
+  for (const auto& x : inputs) {
+    expected.push_back(repoke_net.forward(repoke_eng, x));
+    accumulate(repoke, repoke_net.last_stats());
+  }
+
+  // Resident: weights pinned at construction, materialized on the first
+  // forward, referenced by handle ever after.
+  macro::ImcMemory resident_mem(node_memory());
+  engine::ExecutionEngine resident_eng(resident_mem);
+  app::Mlp resident_net(specs, resident_eng);
+  ModeTotals resident;
+  for (std::size_t f = 0; f < inputs.size(); ++f) {
+    const auto y = resident_net.forward(resident_eng, inputs[f]);
+    require_identical(y, expected[f], "resident (direct engine)", f);
+    accumulate(resident, resident_net.last_stats());
+  }
+  const engine::ResidencyStats res_stats = resident_eng.residency_stats();
+
+  // Serve route spot check: pinned weights behind a 2-memory pool; handle
+  // requests must be routed to their home memory and stay bit-identical.
+  std::uint64_t serve_saved = 0;
+  {
+    serve::MemoryPoolConfig pcfg;
+    pcfg.memories = 2;
+    pcfg.memory = node_memory();
+    pcfg.threads_per_memory = 2;
+    serve::MemoryPool pool(pcfg);
+    serve::Server server(pool);
+    app::Mlp served_net(specs, server);
+    const std::size_t checks = std::min<std::size_t>(2, inputs.size());
+    for (std::size_t f = 0; f < checks; ++f) {
+      const auto y = served_net.forward(server, inputs[f]);
+      require_identical(y, expected[f], "resident (serve::Server pool)", f);
+    }
+    server.stop();
+    serve_saved = server.stats().modeled_load_cycles_saved;
+  }
+
+  const double load_win = resident.load_cycles == 0
+                              ? 0.0
+                              : static_cast<double>(repoke.load_cycles) /
+                                    static_cast<double>(resident.load_cycles);
+  const double pipelined_win = resident.pipelined_cycles == 0
+                                   ? 0.0
+                                   : static_cast<double>(repoke.pipelined_cycles) /
+                                         static_cast<double>(resident.pipelined_cycles);
+
+  print_banner(std::cout, "Repeated 8-bit MLP inference: resident vs re-poked weights");
+  std::cout << "  net 64-32-16-10 @ 8 bit, " << kMacros << " macros, " << opt.forwards
+            << " forwards\n";
+  TextTable table({"mode", "load_cycles", "saved", "pipelined_cycles", "compute_cycles"});
+  const auto row = [&](const char* name, const ModeTotals& m) {
+    table.add_row({name, std::to_string(m.load_cycles), std::to_string(m.load_cycles_saved),
+                   std::to_string(m.pipelined_cycles), std::to_string(m.compute_cycles)});
+  };
+  row("re-poked", repoke);
+  row("resident", resident);
+  table.print(std::cout);
+  std::cout << "modeled load-cycle win: " << TextTable::ratio(load_win)
+            << " (pipelined win " << TextTable::ratio(pipelined_win) << "); "
+            << res_stats.materializations << " materializations, " << res_stats.evictions
+            << " evictions\n";
+
+  bench::JsonWriter w(opt.out_path);
+  w.begin_object();
+  w.field("schema", "bpim.residency.v1");
+  w.field("mode", opt.smoke ? "smoke" : "full");
+  w.field("forwards", opt.forwards);
+  w.field("macros", kMacros);
+  w.field("sizes", shape.sizes);
+  w.field("bits", shape.bits);
+  w.key("repoked");
+  w.begin_object();
+  w.field("load_cycles", repoke.load_cycles);
+  w.field("pipelined_cycles", repoke.pipelined_cycles);
+  w.field("compute_cycles", repoke.compute_cycles);
+  w.end_object();
+  w.key("resident");
+  w.begin_object();
+  w.field("load_cycles", resident.load_cycles);
+  w.field("load_cycles_saved", resident.load_cycles_saved);
+  w.field("pipelined_cycles", resident.pipelined_cycles);
+  w.field("compute_cycles", resident.compute_cycles);
+  w.field("materializations", res_stats.materializations);
+  w.field("evictions", res_stats.evictions);
+  w.end_object();
+  w.field("serve_pool_load_cycles_saved", serve_saved);
+  w.field("load_cycle_win", load_win);
+  w.field("pipelined_cycle_win", pipelined_win);
+  w.end_object();
+  std::cout << "wrote " << opt.out_path << "\n";
+
+  // Acceptance gate: repeated inference with pinned weights must spend at
+  // least 1.5x fewer modeled load cycles than the re-poke path.
+  if (load_win < 1.5) {
+    std::cerr << "WARNING: resident load-cycle win " << load_win
+              << "x is below the 1.5x gate\n";
+    return 1;
+  }
+  return 0;
+}

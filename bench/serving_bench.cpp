@@ -26,14 +26,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <fstream>
-#include <iomanip>
 #include <iostream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_json.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -195,30 +194,34 @@ ModeResult run_served(const std::vector<ClientLoad>& loads, ExecutionEngine& eng
 }
 
 void write_json(const Options& opt, const ModeResult& direct, const ModeResult& served) {
-  std::ofstream f(opt.out_path);
-  f << std::setprecision(6) << std::fixed;
-  const auto mode_json = [&](const char* name, const ModeResult& m, bool last) {
-    f << "  \"" << name << "\": {\"ops\": " << m.ops << ", \"wall_s\": " << m.wall_s
-      << ", \"ops_per_s\": " << m.ops_per_s() << ", \"modeled_cycles\": " << m.modeled_pipelined
-      << ", \"modeled_cycles_per_op\": " << m.cycles_per_op()
-      << ", \"batches\": " << m.batches
-      << ", \"mean_batch_occupancy\": " << m.occupancy()
-      << ", \"p50_host_us\": " << m.p50_us << ", \"p99_host_us\": " << m.p99_us << "}"
-      << (last ? "" : ",") << "\n";
+  bench::JsonWriter w(opt.out_path);
+  const auto mode_json = [&](const char* name, const ModeResult& m) {
+    w.key(name);
+    w.begin_object();
+    w.field("ops", m.ops);
+    w.field("wall_s", m.wall_s);
+    w.field("ops_per_s", m.ops_per_s());
+    w.field("modeled_cycles", m.modeled_pipelined);
+    w.field("modeled_cycles_per_op", m.cycles_per_op());
+    w.field("batches", m.batches);
+    w.field("mean_batch_occupancy", m.occupancy());
+    w.field("p50_host_us", m.p50_us);
+    w.field("p99_host_us", m.p99_us);
+    w.end_object();
   };
-  f << "{\n";
-  f << "  \"schema\": \"bpim.serving.v1\",\n";
-  f << "  \"mode\": \"" << (opt.smoke ? "smoke" : "full") << "\",\n";
-  f << "  \"clients\": " << opt.clients << ",\n";
-  f << "  \"ops_per_client\": " << opt.ops_per_client << ",\n";
-  f << "  \"bits\": " << opt.bits << ",\n";
-  f << "  \"elements\": " << opt.elements << ",\n";
-  f << "  \"window_us\": " << opt.window.count() << ",\n";
-  f << "  \"macros\": " << kMacros << ",\n";
-  mode_json("one_at_a_time", direct, false);
-  mode_json("served", served, false);
-  f << "  \"modeled_speedup\": " << direct.cycles_per_op() / served.cycles_per_op() << "\n";
-  f << "}\n";
+  w.begin_object();
+  w.field("schema", "bpim.serving.v1");
+  w.field("mode", opt.smoke ? "smoke" : "full");
+  w.field("clients", opt.clients);
+  w.field("ops_per_client", opt.ops_per_client);
+  w.field("bits", opt.bits);
+  w.field("elements", opt.elements);
+  w.field("window_us", opt.window.count());
+  w.field("macros", kMacros);
+  mode_json("one_at_a_time", direct);
+  mode_json("served", served);
+  w.field("modeled_speedup", direct.cycles_per_op() / served.cycles_per_op());
+  w.end_object();
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 #include "app/fir.hpp"
 
+#include <utility>
+
 #include "common/require.hpp"
+#include "serve/server.hpp"
 
 namespace bpim::app {
 
@@ -9,6 +12,76 @@ FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits)
   BPIM_REQUIRE(!taps_.empty(), "filter needs at least one tap");
   for (const auto t : taps_)
     BPIM_REQUIRE(fits_signed(t, bits), "tap out of signed range for the precision");
+}
+
+FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits,
+                     engine::ExecutionEngine& eng, std::size_t block_len)
+    : FirFilter(std::move(taps), bits) {
+  SignedVectorOps ops(eng, bits_);
+  pin_taps(ops, block_len);
+  pinned_engine_ = &eng;
+}
+
+FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits, serve::Server& server,
+                     std::size_t block_len)
+    : FirFilter(std::move(taps), bits) {
+  SignedVectorOps ops(server, bits_);
+  pin_taps(ops, block_len);
+  pinned_server_ = &server;
+}
+
+FirFilter::~FirFilter() { release_handles(); }
+
+FirFilter::FirFilter(FirFilter&& other) noexcept
+    : taps_(std::move(other.taps_)),
+      bits_(other.bits_),
+      stats_(other.stats_),
+      tap_handles_(std::move(other.tap_handles_)),
+      block_len_(other.block_len_),
+      pinned_engine_(other.pinned_engine_),
+      pinned_server_(other.pinned_server_) {
+  other.tap_handles_.clear();
+  other.block_len_ = 0;
+  other.pinned_engine_ = nullptr;
+  other.pinned_server_ = nullptr;
+}
+
+FirFilter& FirFilter::operator=(FirFilter&& other) noexcept {
+  if (this == &other) return *this;
+  release_handles();
+  taps_ = std::move(other.taps_);
+  bits_ = other.bits_;
+  stats_ = other.stats_;
+  tap_handles_ = std::move(other.tap_handles_);
+  block_len_ = other.block_len_;
+  pinned_engine_ = other.pinned_engine_;
+  pinned_server_ = other.pinned_server_;
+  other.tap_handles_.clear();
+  other.block_len_ = 0;
+  other.pinned_engine_ = nullptr;
+  other.pinned_server_ = nullptr;
+  return *this;
+}
+
+void FirFilter::pin_taps(SignedVectorOps& ops, std::size_t block_len) {
+  BPIM_REQUIRE(block_len > 0, "FIR block length must be positive");
+  block_len_ = block_len;
+  for (const auto t : taps_) {
+    if (t == 0) continue;  // zero taps never reach the memory
+    tap_handles_.push_back(
+        ops.pin_mult_magnitudes(std::vector<std::int64_t>(block_len, t)));
+  }
+}
+
+void FirFilter::release_handles() noexcept {
+  for (const auto& h : tap_handles_) {
+    if (pinned_server_ != nullptr) {
+      (void)pinned_server_->unpin(h);
+    } else if (pinned_engine_ != nullptr) {
+      (void)pinned_engine_->unpin(h);
+    }
+  }
+  tap_handles_.clear();
 }
 
 std::vector<std::int64_t> FirFilter::apply(macro::ImcMemory& mem,
@@ -20,30 +93,56 @@ std::vector<std::int64_t> FirFilter::apply(macro::ImcMemory& mem,
 std::vector<std::int64_t> FirFilter::apply(engine::ExecutionEngine& eng,
                                            const std::vector<std::int64_t>& x) {
   SignedVectorOps ops(eng, bits_);
+  return apply_on(ops, x, pinned_engine_ == &eng && x.size() == block_len_);
+}
+
+std::vector<std::int64_t> FirFilter::apply(serve::Server& server,
+                                           const std::vector<std::int64_t>& x) {
+  SignedVectorOps ops(server, bits_);
+  return apply_on(ops, x, pinned_server_ == &server && x.size() == block_len_);
+}
+
+std::vector<std::int64_t> FirFilter::apply_on(SignedVectorOps& ops,
+                                              const std::vector<std::int64_t>& x,
+                                              bool resident) {
   stats_ = FirStats{};
   std::vector<std::int64_t> y(x.size(), 0);
 
   // Each non-zero tap multiplies the stream delayed by k against the
   // broadcast tap; all taps go down as one double-buffered engine batch.
+  // With resident tap rows only the delayed streams are loaded.
   std::vector<std::vector<std::int64_t>> delayed_streams, tap_vectors;
+  std::vector<engine::ResidentOperand> handles;
+  std::vector<bool> negative;
+  std::size_t nonzero = 0;
   for (std::size_t k = 0; k < taps_.size(); ++k) {
     if (taps_[k] == 0) continue;
     std::vector<std::int64_t> delayed(x.size(), 0);
     for (std::size_t n = k; n < x.size(); ++n) delayed[n] = x[n - k];
     delayed_streams.push_back(std::move(delayed));
-    tap_vectors.emplace_back(x.size(), taps_[k]);
+    if (resident) {
+      handles.push_back(tap_handles_[nonzero]);
+      negative.push_back(taps_[k] < 0);
+    } else {
+      tap_vectors.emplace_back(x.size(), taps_[k]);
+    }
+    ++nonzero;
   }
   if (delayed_streams.empty()) return y;
 
-  const auto partials = ops.mult_batch(delayed_streams, tap_vectors);
+  const auto partials = resident
+                            ? ops.mult_batch_resident(delayed_streams, handles, negative)
+                            : ops.mult_batch(delayed_streams, tap_vectors);
   for (std::size_t k = 0; k < partials.size(); ++k) {
     const RunStats& run = ops.last_batch_runs()[k];
     stats_.macs += x.size();
     stats_.cycles += run.elapsed_cycles;
+    stats_.load_cycles += run.load_cycles;
+    stats_.load_cycles_saved += run.load_cycles_saved;
     stats_.energy += run.energy;
     for (std::size_t n = 0; n < x.size(); ++n) y[n] += partials[k][n];
   }
-  stats_.pipelined_cycles = ops.last_batch().pipelined_cycles;
+  if (ops.server() == nullptr) stats_.pipelined_cycles = ops.last_batch().pipelined_cycles;
   return y;
 }
 

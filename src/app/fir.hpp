@@ -20,26 +20,56 @@ struct FirStats {
   std::uint64_t macs = 0;
   std::uint64_t cycles = 0;  ///< sum of per-tap compute cycles (no load overlap)
   /// Double-buffered schedule: tap k+1's operand load overlaps tap k's
-  /// compute (see engine::BatchStats).
+  /// compute (see engine::BatchStats). Direct-engine route only.
   std::uint64_t pipelined_cycles = 0;
+  /// Operand-load traffic, and what resident tap rows saved vs re-poking.
+  std::uint64_t load_cycles = 0;
+  std::uint64_t load_cycles_saved = 0;
   Joule energy{0.0};
 };
 
+/// Streaming FIR over the IMC memory. Constructed with an engine or server
+/// plus a block length, the filter pins each non-zero tap's broadcast
+/// magnitude rows resident (engine/residency.hpp): apply() calls on
+/// blocks of that length reference the handles instead of re-poking the
+/// same tap rows every block -- the steady-state shape of a streaming
+/// filter. Other block lengths (or other engines) transparently fall back
+/// to the re-poke path with identical results. Pinning makes the filter
+/// move-only; destroy it before the engine/server it pinned on.
 class FirFilter {
  public:
   /// `taps` are signed integer coefficients fitting `bits` (two's complement).
   FirFilter(std::vector<std::int64_t> taps, unsigned bits);
+  /// Pin the tap rows resident on `eng` for blocks of `block_len` samples.
+  FirFilter(std::vector<std::int64_t> taps, unsigned bits, engine::ExecutionEngine& eng,
+            std::size_t block_len);
+  /// Same, pinned behind a serving frontend.
+  FirFilter(std::vector<std::int64_t> taps, unsigned bits, serve::Server& server,
+            std::size_t block_len);
+  ~FirFilter();
+
+  FirFilter(const FirFilter&) = delete;
+  FirFilter& operator=(const FirFilter&) = delete;
+  FirFilter(FirFilter&& other) noexcept;
+  FirFilter& operator=(FirFilter&& other) noexcept;
 
   [[nodiscard]] std::size_t order() const { return taps_.size(); }
   [[nodiscard]] unsigned bits() const { return bits_; }
+  [[nodiscard]] bool pinned() const { return !tap_handles_.empty(); }
+  /// Block length the tap rows were pinned for (0 when not pinned).
+  [[nodiscard]] std::size_t block_len() const { return block_len_; }
 
   /// Filters `x` (values must fit `bits` signed); returns y of equal length
   /// (zero-padded history). All multiplies run in-memory: every non-zero
   /// tap is one op of a single double-buffered ExecutionEngine batch.
   [[nodiscard]] std::vector<std::int64_t> apply(macro::ImcMemory& mem,
                                                 const std::vector<std::int64_t>& x);
-  /// Same, on a shared engine (reuses its thread pool across calls).
+  /// Same, on a shared engine (reuses its thread pool across calls; uses
+  /// the resident tap rows when pinned on this engine and x is one block).
   [[nodiscard]] std::vector<std::int64_t> apply(engine::ExecutionEngine& eng,
+                                                const std::vector<std::int64_t>& x);
+  /// Same, submitted through a serving frontend.
+  [[nodiscard]] std::vector<std::int64_t> apply(serve::Server& server,
                                                 const std::vector<std::int64_t>& x);
 
   /// Host-only reference implementation.
@@ -49,9 +79,19 @@ class FirFilter {
   [[nodiscard]] const FirStats& last_stats() const { return stats_; }
 
  private:
+  void pin_taps(SignedVectorOps& ops, std::size_t block_len);
+  void release_handles() noexcept;
+  std::vector<std::int64_t> apply_on(SignedVectorOps& ops, const std::vector<std::int64_t>& x,
+                                     bool resident);
+
   std::vector<std::int64_t> taps_;
   unsigned bits_;
   FirStats stats_{};
+  /// One handle per non-zero tap, in tap order, when pinned.
+  std::vector<engine::ResidentOperand> tap_handles_;
+  std::size_t block_len_ = 0;
+  engine::ExecutionEngine* pinned_engine_ = nullptr;
+  serve::Server* pinned_server_ = nullptr;
 };
 
 }  // namespace bpim::app

@@ -1,10 +1,13 @@
 #include "app/mlp.hpp"
 
+#include <utility>
+
 #include "common/require.hpp"
 
 namespace bpim::app {
 
-Mlp::Mlp(std::vector<MlpLayerSpec> layers) {
+void Mlp::build(std::vector<MlpLayerSpec> layers, engine::ExecutionEngine* eng,
+                serve::Server* server) {
   BPIM_REQUIRE(!layers.empty(), "MLP needs at least one layer");
   std::size_t expected_in = layers.front().weights.front().size();
   for (auto& spec : layers) {
@@ -12,17 +15,53 @@ Mlp::Mlp(std::vector<MlpLayerSpec> layers) {
     BPIM_REQUIRE(spec.weights.front().size() == expected_in,
                  "layer input size does not match previous layer output");
     expected_in = spec.weights.size();
-    layers_.emplace_back(spec.weights, spec.bits);
+    if (server != nullptr) {
+      layers_.emplace_back(spec.weights, spec.bits, *server);
+    } else if (eng != nullptr) {
+      layers_.emplace_back(spec.weights, spec.bits, *eng);
+    } else {
+      layers_.emplace_back(spec.weights, spec.bits);
+    }
   }
+}
+
+Mlp::Mlp(std::vector<MlpLayerSpec> layers) { build(std::move(layers), nullptr, nullptr); }
+
+Mlp::Mlp(std::vector<MlpLayerSpec> layers, engine::ExecutionEngine& eng) {
+  build(std::move(layers), &eng, nullptr);
+}
+
+Mlp::Mlp(std::vector<MlpLayerSpec> layers, serve::Server& server) {
+  build(std::move(layers), nullptr, &server);
 }
 
 std::size_t Mlp::in_features() const { return layers_.front().in_features(); }
 std::size_t Mlp::out_features() const { return layers_.back().out_features(); }
 
+bool Mlp::pinned() const {
+  for (const auto& layer : layers_)
+    if (!layer.pinned()) return false;
+  return true;
+}
+
 std::vector<double> Mlp::forward(macro::ImcMemory& mem, const std::vector<double>& x) {
   engine::ExecutionEngine eng(mem);
   return forward(eng, x);
 }
+
+namespace {
+
+void merge_layer(LayerStats& total, const LayerStats& s) {
+  total.macs += s.macs;
+  total.cycles += s.cycles;
+  total.pipelined_cycles += s.pipelined_cycles;
+  total.load_cycles += s.load_cycles;
+  total.load_cycles_saved += s.load_cycles_saved;
+  total.energy += s.energy;
+  total.elapsed += s.elapsed;
+}
+
+}  // namespace
 
 std::vector<double> Mlp::forward(engine::ExecutionEngine& eng, const std::vector<double>& x) {
   stats_ = LayerStats{};
@@ -30,13 +69,20 @@ std::vector<double> Mlp::forward(engine::ExecutionEngine& eng, const std::vector
   std::vector<double> act = x;
   for (auto& layer : layers_) {
     act = layer.forward(eng, act);  // ReLU applied inside the layer
-    const LayerStats& s = layer.last_stats();
-    per_layer_.push_back(s);
-    stats_.macs += s.macs;
-    stats_.cycles += s.cycles;
-    stats_.pipelined_cycles += s.pipelined_cycles;
-    stats_.energy += s.energy;
-    stats_.elapsed += s.elapsed;
+    per_layer_.push_back(layer.last_stats());
+    merge_layer(stats_, per_layer_.back());
+  }
+  return act;
+}
+
+std::vector<double> Mlp::forward(serve::Server& server, const std::vector<double>& x) {
+  stats_ = LayerStats{};
+  per_layer_.clear();
+  std::vector<double> act = x;
+  for (auto& layer : layers_) {
+    act = layer.forward(server, act);
+    per_layer_.push_back(layer.last_stats());
+    merge_layer(stats_, per_layer_.back());
   }
   return act;
 }

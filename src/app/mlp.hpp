@@ -19,17 +19,30 @@ class Mlp {
  public:
   /// Layer i's input size must equal layer i-1's output size.
   explicit Mlp(std::vector<MlpLayerSpec> layers);
+  /// Pin every layer's weights resident on `eng` at construction: repeated
+  /// forward(eng, ...) calls reference the handles instead of re-poking
+  /// identical weight rows (engine/residency.hpp). Bit-identical results;
+  /// destroy the Mlp before the engine.
+  Mlp(std::vector<MlpLayerSpec> layers, engine::ExecutionEngine& eng);
+  /// Same, pinned behind a serving frontend (single- or multi-memory).
+  Mlp(std::vector<MlpLayerSpec> layers, serve::Server& server);
 
   [[nodiscard]] std::size_t depth() const { return layers_.size(); }
   [[nodiscard]] std::size_t in_features() const;
   [[nodiscard]] std::size_t out_features() const;
+  [[nodiscard]] bool pinned() const;
 
   /// Full forward pass on the IMC memory (ReLU between layers). One
   /// ExecutionEngine (thread pool) is shared by every layer.
   [[nodiscard]] std::vector<double> forward(macro::ImcMemory& mem,
                                             const std::vector<double>& x);
-  /// Same, on a caller-provided engine (reused across forward() calls).
+  /// Same, on a caller-provided engine (reused across forward() calls;
+  /// resident weights when the Mlp was pinned on this engine).
   [[nodiscard]] std::vector<double> forward(engine::ExecutionEngine& eng,
+                                            const std::vector<double>& x);
+  /// Same, submitted through a serving frontend (resident weights when the
+  /// Mlp was pinned on this server).
+  [[nodiscard]] std::vector<double> forward(serve::Server& server,
                                             const std::vector<double>& x);
   /// Host-side reference with the same quantisation.
   [[nodiscard]] std::vector<double> forward_reference(const std::vector<double>& x) const;
@@ -40,6 +53,9 @@ class Mlp {
   [[nodiscard]] const std::vector<LayerStats>& layer_stats() const { return per_layer_; }
 
  private:
+  void build(std::vector<MlpLayerSpec> layers, engine::ExecutionEngine* eng,
+             serve::Server* server);
+
   std::vector<QuantizedLinear> layers_;
   LayerStats stats_{};
   std::vector<LayerStats> per_layer_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/require.hpp"
+#include "serve/server.hpp"
 
 namespace bpim::app {
 
@@ -40,6 +42,70 @@ QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsig
   }
 }
 
+QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsigned bits,
+                                 engine::ExecutionEngine& eng)
+    : QuantizedLinear(std::move(weights), bits) {
+  VectorEngine ve(eng, bits_);
+  pin_weights(ve);
+  pinned_engine_ = &eng;
+}
+
+QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsigned bits,
+                                 serve::Server& server)
+    : QuantizedLinear(std::move(weights), bits) {
+  VectorEngine ve(server, bits_);
+  pin_weights(ve);
+  pinned_server_ = &server;
+}
+
+QuantizedLinear::~QuantizedLinear() { release_handles(); }
+
+QuantizedLinear::QuantizedLinear(QuantizedLinear&& other) noexcept
+    : weights_raw_(std::move(other.weights_raw_)),
+      weights_(std::move(other.weights_)),
+      bits_(other.bits_),
+      stats_(other.stats_),
+      weight_handles_(std::move(other.weight_handles_)),
+      pinned_engine_(other.pinned_engine_),
+      pinned_server_(other.pinned_server_) {
+  other.weight_handles_.clear();
+  other.pinned_engine_ = nullptr;
+  other.pinned_server_ = nullptr;
+}
+
+QuantizedLinear& QuantizedLinear::operator=(QuantizedLinear&& other) noexcept {
+  if (this == &other) return *this;
+  release_handles();
+  weights_raw_ = std::move(other.weights_raw_);
+  weights_ = std::move(other.weights_);
+  bits_ = other.bits_;
+  stats_ = other.stats_;
+  weight_handles_ = std::move(other.weight_handles_);
+  pinned_engine_ = other.pinned_engine_;
+  pinned_server_ = other.pinned_server_;
+  other.weight_handles_.clear();
+  other.pinned_engine_ = nullptr;
+  other.pinned_server_ = nullptr;
+  return *this;
+}
+
+void QuantizedLinear::pin_weights(VectorEngine& ve) {
+  weight_handles_.reserve(weights_.size());
+  for (const auto& w : weights_)
+    weight_handles_.push_back(ve.pin_operand(w.values, engine::OperandLayout::MultUnit));
+}
+
+void QuantizedLinear::release_handles() noexcept {
+  for (const auto& h : weight_handles_) {
+    if (pinned_server_ != nullptr) {
+      (void)pinned_server_->unpin(h);
+    } else if (pinned_engine_ != nullptr) {
+      (void)pinned_engine_->unpin(h);
+    }
+  }
+  weight_handles_.clear();
+}
+
 std::size_t QuantizedLinear::in_features() const { return weights_raw_.front().size(); }
 
 std::vector<double> QuantizedLinear::forward(macro::ImcMemory& mem,
@@ -50,16 +116,42 @@ std::vector<double> QuantizedLinear::forward(macro::ImcMemory& mem,
 
 std::vector<double> QuantizedLinear::forward(engine::ExecutionEngine& eng,
                                              const std::vector<double>& x) {
+  VectorEngine ve(eng, bits_);
+  const auto y = forward_on(ve, x, pinned_engine_ == &eng);
+  stats_.pipelined_cycles = eng.last_batch().pipelined_cycles;
+  return y;
+}
+
+std::vector<double> QuantizedLinear::forward(serve::Server& server,
+                                             const std::vector<double>& x) {
+  VectorEngine ve(server, bits_);
+  return forward_on(ve, x, pinned_server_ == &server);
+}
+
+std::vector<double> QuantizedLinear::forward_on(VectorEngine& ve,
+                                                const std::vector<double>& x,
+                                                bool resident) {
   BPIM_REQUIRE(x.size() == in_features(), "input size mismatch");
   const Quantized qx = quantize(x, bits_);
 
   // One engine batch: every output neuron's product vector is an
-  // independent op, so loads double-buffer against computes across neurons.
-  VectorEngine engine(eng, bits_);
-  std::vector<std::pair<std::span<const std::uint64_t>, std::span<const std::uint64_t>>> pairs;
-  pairs.reserve(weights_.size());
-  for (const auto& w : weights_) pairs.emplace_back(w.values, qx.values);
-  const auto results = engine.mult_batch(pairs);
+  // independent op, so loads double-buffer against computes across
+  // neurons. With pinned weights only the activation side loads at all.
+  std::vector<engine::VecOp> ops;
+  ops.reserve(weights_.size());
+  for (std::size_t j = 0; j < weights_.size(); ++j) {
+    engine::VecOp op;
+    op.kind = engine::OpKind::Mult;
+    op.bits = bits_;
+    if (resident) {
+      op.ra = weight_handles_[j];
+    } else {
+      op.a = weights_[j].values;
+    }
+    op.b = qx.values;
+    ops.push_back(op);
+  }
+  const auto results = ve.run_ops(ops);
 
   stats_ = LayerStats{};
   std::vector<double> y;
@@ -70,12 +162,13 @@ std::vector<double> QuantizedLinear::forward(engine::ExecutionEngine& eng,
     for (const auto p : results[j].values) acc += p;
     stats_.macs += x.size();
     stats_.cycles += results[j].stats.elapsed_cycles;
+    stats_.load_cycles += results[j].stats.load_cycles;
+    stats_.load_cycles_saved += results[j].stats.load_cycles_saved;
     stats_.energy += results[j].stats.energy;
     stats_.elapsed += results[j].stats.elapsed_time;
     const double real = static_cast<double>(acc) * weights_[j].scale * qx.scale;
     y.push_back(std::max(0.0, real));  // ReLU
   }
-  stats_.pipelined_cycles = eng.last_batch().pipelined_cycles;
   return y;
 }
 

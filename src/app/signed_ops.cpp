@@ -91,6 +91,54 @@ std::vector<std::int64_t> SignedVectorOps::mult(const std::vector<std::int64_t>&
   return apply_signs(mags, a, b);
 }
 
+engine::ResidentOperand SignedVectorOps::pin_mult_magnitudes(
+    const std::vector<std::int64_t>& b) {
+  return engine_.pin_operand(magnitudes(b, bits_), engine::OperandLayout::MultUnit);
+}
+
+bool SignedVectorOps::unpin(const engine::ResidentOperand& handle) {
+  return engine_.unpin(handle);
+}
+
+std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_batch_resident(
+    const std::vector<std::vector<std::int64_t>>& as,
+    const std::vector<engine::ResidentOperand>& b_handles,
+    const std::vector<bool>& b_negative) {
+  BPIM_REQUIRE(as.size() == b_handles.size() && as.size() == b_negative.size(),
+               "batch operand lists must have equal length");
+  // Magnitude storage must outlive the engine call (ops borrow spans).
+  std::vector<std::vector<std::uint64_t>> ma;
+  ma.reserve(as.size());
+  std::vector<engine::VecOp> ops;
+  ops.reserve(as.size());
+  for (std::size_t k = 0; k < as.size(); ++k) {
+    ma.push_back(magnitudes(as[k], bits_));
+    engine::VecOp op;
+    op.kind = engine::OpKind::Mult;
+    op.bits = bits_;
+    op.a = ma.back();
+    op.rb = b_handles[k];
+    ops.push_back(op);
+  }
+  const auto results = engine_.run_ops(ops);
+
+  batch_runs_.clear();
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(results.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    batch_runs_.push_back(results[k].stats);
+    std::vector<std::int64_t> signed_out;
+    signed_out.reserve(results[k].values.size());
+    for (std::size_t i = 0; i < results[k].values.size(); ++i) {
+      const bool neg = (as[k][i] < 0) != b_negative[k];
+      const auto mag = static_cast<std::int64_t>(results[k].values[i]);
+      signed_out.push_back(neg ? -mag : mag);
+    }
+    out.push_back(std::move(signed_out));
+  }
+  return out;
+}
+
 std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_batch(
     const std::vector<std::vector<std::int64_t>>& as,
     const std::vector<std::vector<std::int64_t>>& bs) {

@@ -30,6 +30,9 @@ class SignedVectorOps {
   /// Shares the given engine's thread pool instead of owning one.
   SignedVectorOps(engine::ExecutionEngine& eng, unsigned bits)
       : engine_(eng, bits), bits_(bits) {}
+  /// Routes every op through a serving frontend (see VectorEngine).
+  SignedVectorOps(serve::Server& server, unsigned bits)
+      : engine_(server, bits), bits_(bits) {}
 
   [[nodiscard]] std::vector<std::int64_t> add(const std::vector<std::int64_t>& a,
                                               const std::vector<std::int64_t>& b);
@@ -45,6 +48,28 @@ class SignedVectorOps {
   [[nodiscard]] std::vector<std::vector<std::int64_t>> mult_batch(
       const std::vector<std::vector<std::int64_t>>& as,
       const std::vector<std::vector<std::int64_t>>& bs);
+
+  // ---- persistent operand residency ---------------------------------------
+  /// Pin |b| resident as a MULT operand (engine/residency.hpp): the
+  /// magnitude rows stay in the array and mult_batch_resident() references
+  /// them by handle. The sign is the caller's to re-apply -- pass
+  /// b_negative below.
+  [[nodiscard]] engine::ResidentOperand pin_mult_magnitudes(
+      const std::vector<std::int64_t>& b);
+  bool unpin(const engine::ResidentOperand& handle);
+
+  /// Batched sign-magnitude multiply against resident b-side magnitudes:
+  /// op k multiplies |as[k]| by the pinned rows of b_handles[k], and
+  /// b_negative[k] says whether the pinned operand was negative (one
+  /// broadcast sign per op, the FIR-tap shape). Bit-identical to
+  /// mult_batch() on the equivalent spans.
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> mult_batch_resident(
+      const std::vector<std::vector<std::int64_t>>& as,
+      const std::vector<engine::ResidentOperand>& b_handles,
+      const std::vector<bool>& b_negative);
+
+  /// The serving frontend ops route through, or nullptr on a direct engine.
+  [[nodiscard]] serve::Server* server() const { return engine_.server(); }
 
   [[nodiscard]] const RunStats& last_run() const { return engine_.last_run(); }
   [[nodiscard]] const std::vector<RunStats>& last_batch_runs() const { return batch_runs_; }

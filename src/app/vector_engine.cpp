@@ -79,6 +79,10 @@ std::vector<engine::OpResult> VectorEngine::mult_batch(
     op.b = b;
     ops.push_back(op);
   }
+  return run_ops(ops);
+}
+
+std::vector<engine::OpResult> VectorEngine::run_ops(const std::vector<engine::VecOp>& ops) {
   std::vector<engine::OpResult> results;
   if (server_) {
     // Submit every op before waiting on any, so the scheduler can coalesce
@@ -99,8 +103,20 @@ std::vector<engine::OpResult> VectorEngine::mult_batch(
     last_.elapsed_cycles += r.stats.elapsed_cycles;
     last_.energy += r.stats.energy;
     last_.elapsed_time += r.stats.elapsed_time;
+    last_.load_cycles += r.stats.load_cycles;
+    last_.load_cycles_saved += r.stats.load_cycles_saved;
   }
   return results;
+}
+
+engine::ResidentOperand VectorEngine::pin_operand(std::span<const std::uint64_t> values,
+                                                  engine::OperandLayout layout) {
+  return server_ ? server_->pin(values, bits_, layout)
+                 : engine_->pin(values, bits_, layout);
+}
+
+bool VectorEngine::unpin(const engine::ResidentOperand& handle) {
+  return server_ ? server_->unpin(handle) : engine_->unpin(handle);
 }
 
 }  // namespace bpim::app

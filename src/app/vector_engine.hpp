@@ -76,6 +76,21 @@ class VectorEngine {
       const std::vector<std::pair<std::span<const std::uint64_t>,
                                   std::span<const std::uint64_t>>>& pairs);
 
+  /// Run a pre-built op list (resident handles allowed) as one batch,
+  /// routed through the server when constructed from one. Results are in
+  /// submission order; last_run() aggregates the whole batch.
+  [[nodiscard]] std::vector<engine::OpResult> run_ops(const std::vector<engine::VecOp>& ops);
+
+  // ---- persistent operand residency ---------------------------------------
+  /// Pin a constant operand (e.g. a weight row) resident at this engine's
+  /// precision; the handle goes into VecOp::ra / rb. Layout must match the
+  /// op kind it will be used with (MultUnit for mult, Word otherwise).
+  /// Routed through the server when constructed from one.
+  [[nodiscard]] engine::ResidentOperand pin_operand(std::span<const std::uint64_t> values,
+                                                    engine::OperandLayout layout);
+  /// Drop a pinned operand (false when unknown).
+  bool unpin(const engine::ResidentOperand& handle);
+
   /// Stats of the last op -- or, after mult_batch(), the sum over the whole
   /// batch (per-op compute cycles, no load overlap; the pipelined view is
   /// engine().last_batch()).

@@ -56,7 +56,7 @@ std::size_t useful_threads(const EngineConfig& cfg, const macro::ImcMemory& mem)
 }  // namespace
 
 ExecutionEngine::ExecutionEngine(macro::ImcMemory& mem, EngineConfig cfg)
-    : mem_(mem), pool_(useful_threads(cfg, mem)) {}
+    : mem_(mem), pool_(useful_threads(cfg, mem)), residency_(mem.macro(0).rows() / 2) {}
 
 std::size_t ExecutionEngine::words_per_row(unsigned bits) const {
   return mem_.macro(0).words_per_row(bits);
@@ -66,8 +66,27 @@ std::size_t ExecutionEngine::mult_units_per_row(unsigned bits) const {
   return mem_.macro(0).mult_units_per_row(bits);
 }
 
+namespace {
+
+OperandLayout layout_of(OpKind kind) {
+  return kind == OpKind::Mult ? OperandLayout::MultUnit : OperandLayout::Word;
+}
+
+}  // namespace
+
 std::size_t ExecutionEngine::elements_per_chunk(const VecOp& op) const {
-  return op.kind == OpKind::Mult ? mult_units_per_row(op.bits) : words_per_row(op.bits);
+  return elements_per_chunk(op.bits, layout_of(op.kind));
+}
+
+std::size_t ExecutionEngine::elements_per_chunk(unsigned bits, OperandLayout layout) const {
+  return layout == OperandLayout::MultUnit ? mult_units_per_row(bits) : words_per_row(bits);
+}
+
+std::size_t ExecutionEngine::layers_for_elements(std::size_t elements, unsigned bits,
+                                                 OperandLayout layout) const {
+  const std::size_t per_op = elements_per_chunk(bits, layout);
+  const std::size_t chunks = (elements + per_op - 1) / per_op;
+  return (chunks + mem_.macro_count() - 1) / mem_.macro_count();
 }
 
 std::size_t ExecutionEngine::layer_capacity(unsigned bits) const {
@@ -75,28 +94,98 @@ std::size_t ExecutionEngine::layer_capacity(unsigned bits) const {
 }
 
 std::size_t ExecutionEngine::layers_for(const VecOp& op) const {
-  const std::size_t per_op = elements_per_chunk(op);
-  const std::size_t chunks = (op.a.size() + per_op - 1) / per_op;
-  return (chunks + mem_.macro_count() - 1) / mem_.macro_count();
+  return layers_for_elements(op.length(), op.bits, layout_of(op.kind));
 }
 
 std::size_t ExecutionEngine::row_pair_capacity() const { return mem_.macro(0).rows() / 2; }
 
-OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
-                                  std::size_t& layers_used) {
-  BPIM_REQUIRE(op.a.size() == op.b.size(), "operand vectors must have equal length");
+ResidentOperand ExecutionEngine::pin(std::span<const std::uint64_t> values, unsigned bits,
+                                     OperandLayout layout) {
+  BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
+  for (const std::uint64_t v : values)
+    BPIM_REQUIRE(BitVector::fits_u64(v, bits), "value does not fit precision");
+  return residency_.pin(values, bits, layout,
+                        layers_for_elements(values.size(), bits, layout));
+}
+
+bool ExecutionEngine::unpin(const ResidentOperand& handle) {
+  return handle ? residency_.unpin(handle.id) : false;
+}
+
+void ExecutionEngine::materialize(ResidencyManager::Entry& entry) {
+  const unsigned bits = entry.handle.bits;
+  const bool mult_layout = entry.handle.layout == OperandLayout::MultUnit;
+  const std::size_t per_op = elements_per_chunk(bits, entry.handle.layout);
+  const std::size_t macros = mem_.macro_count();
+  const std::size_t n = entry.values.size();
+  const std::size_t chunks = (n + per_op - 1) / per_op;
+  const std::span<const std::uint64_t> values(entry.values);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    auto& mac = mem_.macro(c % macros);
+    const std::size_t row = 2 * (entry.base_pair + c / macros);
+    const std::size_t pos = c * per_op;
+    const std::size_t len = std::min(per_op, n - pos);
+    if (mult_layout) {
+      mac.poke_mult_operands(row, 0, bits, values.subspan(pos, len));
+    } else {
+      mac.poke_words(row, 0, bits, values.subspan(pos, len));
+    }
+  }
+}
+
+OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
+  const bool mult_layout = op.kind == OpKind::Mult;
+  const OperandLayout want = mult_layout ? OperandLayout::MultUnit : OperandLayout::Word;
+
+  // Resolve each side to a data span plus (for handles) the live entry.
+  const auto resolve = [&](std::span<const std::uint64_t> s, const ResidentOperand& h)
+      -> std::pair<std::span<const std::uint64_t>, ResidencyManager::Entry*> {
+    if (!h) return {s, nullptr};
+    BPIM_REQUIRE(s.empty(), "operand side has both a span and a resident handle");
+    ResidencyManager::Entry* e = residency_.touch(h.id);
+    BPIM_REQUIRE(e != nullptr, "unknown resident operand (unpinned, or pinned on another engine)");
+    BPIM_REQUIRE(e->handle.bits == op.bits, "resident operand precision mismatch");
+    BPIM_REQUIRE(e->handle.layout == want, "resident operand layout does not fit the op kind");
+    return {std::span<const std::uint64_t>(e->values), e};
+  };
+  const auto [a, ea] = resolve(op.a, op.ra);
+  const auto [b, eb] = resolve(op.b, op.rb);
+  BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
   BPIM_REQUIRE(macro::is_supported_precision(op.bits), "unsupported precision");
+  BPIM_REQUIRE(ea == nullptr || ea != eb, "a resident operand cannot be both sides of one op");
+  // Two handles must fit the array together -- each side passed the
+  // per-handle bound at pin(), but their pair sum is only known here.
+  if (ea != nullptr && eb != nullptr)
+    BPIM_REQUIRE(ea->handle.layers + eb->handle.layers <= row_pair_capacity(),
+                 "resident operand pair exceeds memory capacity");
   mem_.reset_counters();
 
-  const std::size_t n = op.a.size();
+  const std::size_t n = a.size();
   const std::size_t per_op = elements_per_chunk(op);
   const std::size_t macros = mem_.macro_count();
   const std::size_t chunks = (n + per_op - 1) / per_op;
   // Single source of truth with the serve scheduler's residency budget.
   const std::size_t layers = layers_for(op);
-  const bool mult_layout = op.kind == OpKind::Mult;
   if (layers > 0)
     BPIM_REQUIRE(2 * (layers - 1) + 1 < mem_.macro(0).rows(), "vector exceeds memory capacity");
+
+  // Row residency: a fully-transient op stages in pairs [0, layers) exactly
+  // as before; an op with a resident side computes in the handle's own
+  // pairs (activation in the odd row) and consumes no transient pairs.
+  // Eviction (LRU) happens here when the pinned set and the transient
+  // region collide, and evicted handles re-materialize on use.
+  const std::size_t transient = (ea != nullptr || eb != nullptr) ? 0 : layers;
+  if (transient > 0) residency_.reserve_transient(transient);
+  std::uint64_t load = transient > 0 ? 2 * layers : 0;
+  if (ea != nullptr && residency_.ensure_rows(*ea, eb)) {
+    materialize(*ea);
+    load += layers;  // the one materializing write, charged to this batch
+  }
+  if (eb != nullptr && residency_.ensure_rows(*eb, ea)) {
+    materialize(*eb);
+    load += layers;
+  }
+  if ((ea != nullptr) != (eb != nullptr)) load += layers;  // the activation side
 
   OpResult res;
   res.values.assign(n, 0);
@@ -104,22 +193,38 @@ OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
   // Shard: macro m owns chunks m, m + M, m + 2M, ... -- the same per-macro
   // chunk sequence as the serial layer walk, so RNG streams and ledgers
   // advance identically and any thread count gives bit-identical results.
-  const std::span<const std::uint64_t> a = op.a;
-  const std::span<const std::uint64_t> b = op.b;
+  const std::size_t base_a = ea != nullptr ? ea->base_pair : 0;
+  const std::size_t base_b = eb != nullptr ? eb->base_pair : 0;
+  const std::span<const std::uint64_t> av = a;
+  const std::span<const std::uint64_t> bv = b;
+  const ResidencyManager::Entry* res_a = ea;
+  const ResidencyManager::Entry* res_b = eb;
   pool_.parallel_for(std::min(chunks, macros), [&](std::size_t m) {
     auto& mac = mem_.macro(m);
     for (std::size_t c = m; c < chunks; c += macros) {
       const std::size_t row_pair = c / macros;
-      const std::size_t r_a = 2 * row_pair;
-      const std::size_t r_b = 2 * row_pair + 1;
+      std::size_t r_a, r_b;
+      if (res_a == nullptr && res_b == nullptr) {
+        r_a = 2 * row_pair;
+        r_b = 2 * row_pair + 1;
+      } else if (res_a != nullptr && res_b != nullptr) {
+        r_a = 2 * (base_a + row_pair);
+        r_b = 2 * (base_b + row_pair);
+      } else if (res_a != nullptr) {
+        r_a = 2 * (base_a + row_pair);
+        r_b = r_a + 1;
+      } else {
+        r_b = 2 * (base_b + row_pair);
+        r_a = r_b + 1;
+      }
       const std::size_t pos = c * per_op;
       const std::size_t len = std::min(per_op, n - pos);
       if (mult_layout) {
-        mac.poke_mult_operands(r_a, 0, op.bits, a.subspan(pos, len));
-        mac.poke_mult_operands(r_b, 0, op.bits, b.subspan(pos, len));
+        if (res_a == nullptr) mac.poke_mult_operands(r_a, 0, op.bits, av.subspan(pos, len));
+        if (res_b == nullptr) mac.poke_mult_operands(r_b, 0, op.bits, bv.subspan(pos, len));
       } else {
-        mac.poke_words(r_a, 0, op.bits, a.subspan(pos, len));
-        mac.poke_words(r_b, 0, op.bits, b.subspan(pos, len));
+        if (res_a == nullptr) mac.poke_words(r_a, 0, op.bits, av.subspan(pos, len));
+        if (res_b == nullptr) mac.poke_words(r_b, 0, op.bits, bv.subspan(pos, len));
       }
       const BitVector result = exec_chunk(mac, op, RowRef::main(r_a), RowRef::main(r_b));
       if (mult_layout) {
@@ -142,9 +247,17 @@ OpResult ExecutionEngine::run_one(const VecOp& op, std::uint64_t& load_cycles,
 
   // Operand load in the cycle model: one row pair = 2 lock-step row-write
   // cycles per layer (pokes carry no cycle cost in the seed semantics; this
-  // feeds only the batch double-buffering account).
-  load_cycles = 2 * layers;
-  layers_used = layers;
+  // feeds only the batch double-buffering account). Resident sides load
+  // nothing beyond their one materializing write.
+  acct.load_cycles = load;
+  acct.saved_cycles = 2 * layers - load;
+  acct.layers = layers;
+  acct.transient_layers = transient;
+  acct.handle_a = op.ra.id;
+  acct.handle_b = op.rb.id;
+  if (acct.saved_cycles > 0) residency_.note_saved(acct.saved_cycles);
+  res.stats.load_cycles = acct.load_cycles;
+  res.stats.load_cycles_saved = acct.saved_cycles;
   return res;
 }
 
@@ -166,26 +279,37 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
   batch_.ops = ops.size();
   const std::size_t total_row_pairs = mem_.macro(0).rows() / 2;
   std::uint64_t prev_compute = 0;
-  std::size_t prev_layers = 0;
+  OpAccount prev{};
   for (std::size_t k = 0; k < ops.size(); ++k) {
-    std::uint64_t load = 0;
-    std::size_t layers = 0;
-    results.push_back(run_one(ops[k], load, layers));
+    OpAccount acct;
+    results.push_back(run_one(ops[k], acct));
     const RunStats& s = results.back().stats;
     batch_.elements += s.elements;
-    batch_.load_cycles += load;
+    batch_.load_cycles += acct.load_cycles;
+    batch_.load_cycles_saved += acct.saved_cycles;
     batch_.compute_cycles += s.elapsed_cycles;
     batch_.energy += s.energy;
     // Double-buffered schedule: op k's load hides behind op k-1's compute --
-    // but only when both ops fit in the array at once, since the ping-pong
-    // load needs row pairs that op k-1 is not still computing on.
-    const bool can_overlap = k > 0 && prev_layers + layers <= total_row_pairs;
+    // but only when both ops fit in the array at once (their transient
+    // regions plus the materialized pinned set), since the ping-pong load
+    // needs row pairs that op k-1 is not still computing on. Two ops on
+    // the same resident handle can never overlap: op k's activation write
+    // targets the very pair op k-1 is computing on.
+    const bool shares_handle =
+        (acct.handle_a != 0 &&
+         (acct.handle_a == prev.handle_a || acct.handle_a == prev.handle_b)) ||
+        (acct.handle_b != 0 &&
+         (acct.handle_b == prev.handle_a || acct.handle_b == prev.handle_b));
+    const bool fits = prev.transient_layers + acct.transient_layers +
+                          residency_.resident_layers() <=
+                      total_row_pairs;
+    const bool can_overlap = k > 0 && fits && !shares_handle;
     // prev_compute is 0 at k == 0, so the no-overlap arm also covers "the
     // first load has nothing to hide behind".
-    batch_.pipelined_cycles += can_overlap ? std::max(prev_compute, load)
-                                           : prev_compute + load;
+    batch_.pipelined_cycles += can_overlap ? std::max(prev_compute, acct.load_cycles)
+                                           : prev_compute + acct.load_cycles;
     prev_compute = s.elapsed_cycles;
-    prev_layers = layers;
+    prev = acct;
   }
   batch_.pipelined_cycles += prev_compute;  // last compute has nothing to hide behind
   batch_.serial_cycles = batch_.load_cycles + batch_.compute_cycles;

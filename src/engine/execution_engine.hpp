@@ -16,14 +16,23 @@
 // written to ping-pong row pairs while op k computes, so the batch costs
 // load(0) + sum max(compute(k), load(k+1)) + compute(last) instead of the
 // serial sum of both. Overlap is only credited when consecutive ops fit in
-// the array together (their layer counts sum to at most rows/2 pairs) --
-// a full-capacity op leaves no rows to ping-pong into. Per-op RunStats
-// stay compute-only (seed semantics); the overlap shows up in BatchStats.
+// the array together (their transient layer counts plus the materialized
+// resident set sum to at most rows/2 pairs) -- a full-capacity op leaves
+// no rows to ping-pong into -- and never between two ops sharing a
+// resident handle (the activation row of a pinned pair cannot be rewritten
+// while that pair computes). Per-op RunStats stay compute-only (seed
+// semantics); the overlap shows up in BatchStats.
+//
+// Operand residency (engine/residency.hpp): pin() keeps an operand's rows
+// in the array across run_batch() calls; ops referencing the handle skip
+// that side's load cycles, and BatchStats::load_cycles_saved records the
+// win.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "engine/residency.hpp"
 #include "engine/run_stats.hpp"
 #include "engine/thread_pool.hpp"
 #include "macro/memory.hpp"
@@ -35,14 +44,26 @@ enum class OpKind { Add, Sub, Mult, Logic };
 
 [[nodiscard]] const char* to_string(OpKind kind);
 
-/// One element-wise vector operation. Operand storage is borrowed: spans
-/// must stay valid until the run()/run_batch() call returns.
+/// One element-wise vector operation. Each operand is either a borrowed
+/// span (today's path: spans must stay valid until the run()/run_batch()
+/// call returns) or a resident handle from ExecutionEngine::pin(); a side
+/// with a handle must leave its span empty. Handle-backed ops compute in
+/// the handle's own row pairs and skip that side's operand-load cycles.
 struct VecOp {
   OpKind kind = OpKind::Add;
   unsigned bits = 8;
   periph::LogicFn fn = periph::LogicFn::And;  ///< Logic ops only
   std::span<const std::uint64_t> a;
   std::span<const std::uint64_t> b;
+  ResidentOperand ra{};  ///< resident operand a (span a must be empty)
+  ResidentOperand rb{};  ///< resident operand b (span b must be empty)
+
+  /// Element count, whichever way the operands are given.
+  [[nodiscard]] std::size_t length() const {
+    if (ra) return static_cast<std::size_t>(ra.elements);
+    if (rb) return static_cast<std::size_t>(rb.elements);
+    return a.size();
+  }
 };
 
 struct OpResult {
@@ -70,6 +91,12 @@ class ExecutionEngine {
   [[nodiscard]] std::size_t mult_units_per_row(unsigned bits) const;
   /// Elements per op for `op`'s kind and precision.
   [[nodiscard]] std::size_t elements_per_chunk(const VecOp& op) const;
+  /// Chunk geometry by (bits, layout) -- the single source for span ops,
+  /// pins, and materialization, so a handle's layer count can never
+  /// disagree with the ops that use it.
+  [[nodiscard]] std::size_t elements_per_chunk(unsigned bits, OperandLayout layout) const;
+  [[nodiscard]] std::size_t layers_for_elements(std::size_t elements, unsigned bits,
+                                                OperandLayout layout) const;
   /// Max elements resident at once across all macros (one row-pair layer).
   [[nodiscard]] std::size_t layer_capacity(unsigned bits) const;
   /// Row-pair layers `op` occupies per macro (the residency unit the batch
@@ -77,6 +104,22 @@ class ExecutionEngine {
   [[nodiscard]] std::size_t layers_for(const VecOp& op) const;
   /// Row pairs available per macro -- the residency budget of one batch.
   [[nodiscard]] std::size_t row_pair_capacity() const;
+
+  // ---- persistent operand residency (engine/residency.hpp) ----------------
+  /// Pin an operand resident: registers the values with the memory's
+  /// ResidencyManager and returns a handle usable as VecOp::ra / rb. The
+  /// one materializing write happens on first use inside run()/run_batch()
+  /// and is charged to that batch's load cycles; later uses load nothing.
+  /// Thread-safe (may race run_batch on a serving engine).
+  [[nodiscard]] ResidentOperand pin(std::span<const std::uint64_t> values, unsigned bits,
+                                    OperandLayout layout);
+  /// Drop a pinned operand (false when unknown). Must not race ops that
+  /// still reference the handle.
+  bool unpin(const ResidentOperand& handle);
+  /// Row-pair layers currently materialized -- what batch schedulers
+  /// subtract from row_pair_capacity() to budget transient operands.
+  [[nodiscard]] std::size_t resident_layers() const { return residency_.resident_layers(); }
+  [[nodiscard]] ResidencyStats residency_stats() const { return residency_.stats(); }
 
   /// Execute one vector op, sharded across macros on the thread pool.
   [[nodiscard]] OpResult run(const VecOp& op);
@@ -90,12 +133,26 @@ class ExecutionEngine {
   [[nodiscard]] const BatchStats& last_batch() const { return batch_; }
 
  private:
-  /// Execute one op; also reports its operand-load cost in lock-step cycles
-  /// and the row-pair layers it occupied (for the overlap-feasibility check).
-  OpResult run_one(const VecOp& op, std::uint64_t& load_cycles, std::size_t& layers_used);
+  /// Cycle-model footprint of one executed op, for the batch scheduler's
+  /// overlap-feasibility check and the load/saved accounting.
+  struct OpAccount {
+    std::uint64_t load_cycles = 0;
+    std::uint64_t saved_cycles = 0;
+    std::size_t layers = 0;            ///< row-pair layers the op occupies
+    std::size_t transient_layers = 0;  ///< staged in the bottom region (0 if resident)
+    std::uint64_t handle_a = 0;        ///< resident handle ids (0 = span side)
+    std::uint64_t handle_b = 0;
+  };
+
+  /// Execute one op and fill its footprint account.
+  OpResult run_one(const VecOp& op, OpAccount& acct);
+  /// Write a pinned operand's values into its allocated rows (same chunk
+  /// walk as run_one, one row per pair).
+  void materialize(ResidencyManager::Entry& entry);
 
   macro::ImcMemory& mem_;
   ThreadPool pool_;
+  ResidencyManager residency_;
   BatchStats batch_{};
 };
 

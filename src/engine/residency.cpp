@@ -1,0 +1,160 @@
+#include "engine/residency.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/require.hpp"
+
+namespace bpim::engine {
+
+namespace {
+
+/// Process-wide id stream: handles stay unique across every engine of a
+/// multi-memory pool, so a serve-layer registry can route by id alone.
+std::uint64_t next_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* to_string(OperandLayout layout) {
+  switch (layout) {
+    case OperandLayout::Word:
+      return "word";
+    case OperandLayout::MultUnit:
+      return "mult-unit";
+  }
+  return "?";
+}
+
+ResidencyManager::ResidencyManager(std::size_t row_pair_capacity)
+    : capacity_(row_pair_capacity) {
+  BPIM_REQUIRE(capacity_ > 0, "residency needs at least one row pair");
+}
+
+ResidentOperand ResidencyManager::pin(std::span<const std::uint64_t> values, unsigned bits,
+                                      OperandLayout layout, std::size_t layers) {
+  BPIM_REQUIRE(!values.empty(), "cannot pin an empty operand");
+  BPIM_REQUIRE(layers > 0 && layers <= capacity_,
+               "pinned operand exceeds the array's row-pair capacity");
+  ResidentOperand h;
+  h.id = next_id();
+  h.elements = values.size();
+  h.bits = bits;
+  h.layout = layout;
+  h.layers = layers;
+
+  auto entry = std::make_unique<Entry>();
+  entry->handle = h;
+  entry->values.assign(values.begin(), values.end());
+
+  std::lock_guard lk(mutex_);
+  entry->last_use = ++tick_;
+  entries_.emplace(h.id, std::move(entry));
+  return h;
+}
+
+bool ResidencyManager::unpin(std::uint64_t id) {
+  std::lock_guard lk(mutex_);
+  return entries_.erase(id) > 0;
+}
+
+ResidencyStats ResidencyManager::stats() const {
+  std::lock_guard lk(mutex_);
+  ResidencyStats s;
+  s.pinned = entries_.size();
+  for (const auto& [id, e] : entries_) {
+    s.pinned_layers += e->handle.layers;
+    if (e->materialized) s.resident_layers += e->handle.layers;
+  }
+  s.materializations = materializations_;
+  s.evictions = evictions_;
+  s.load_cycles_saved = load_cycles_saved_;
+  return s;
+}
+
+std::size_t ResidencyManager::resident_layers() const {
+  std::lock_guard lk(mutex_);
+  std::size_t total = 0;
+  for (const auto& [id, e] : entries_)
+    if (e->materialized) total += e->handle.layers;
+  return total;
+}
+
+ResidencyManager::Entry* ResidencyManager::touch(std::uint64_t id) {
+  std::lock_guard lk(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) return nullptr;
+  it->second->last_use = ++tick_;
+  return it->second.get();
+}
+
+template <class Pred>
+bool ResidencyManager::evict_lru(Pred&& victim_ok) {
+  Entry* victim = nullptr;
+  for (const auto& [id, e] : entries_) {
+    if (!e->materialized || !victim_ok(*e)) continue;
+    if (victim == nullptr || e->last_use < victim->last_use) victim = e.get();
+  }
+  if (victim == nullptr) return false;
+  victim->materialized = false;
+  ++evictions_;
+  return true;
+}
+
+void ResidencyManager::reserve_transient(std::size_t transient_layers) {
+  std::lock_guard lk(mutex_);
+  BPIM_REQUIRE(transient_layers <= capacity_, "vector exceeds memory capacity");
+  // Handles allocate top-down, so a conflict with the bottom transient
+  // region is exactly the "pinned + transient exceeds capacity" overflow;
+  // evict the conflicting handles LRU-first until the region is clear.
+  for (;;) {
+    const bool evicted = evict_lru(
+        [&](const Entry& e) { return e.base_pair < transient_layers; });
+    if (!evicted) return;
+  }
+}
+
+std::size_t ResidencyManager::find_gap(std::size_t layers) const {
+  // Occupied intervals, sorted descending by base: walk from the array top
+  // and take the first (highest) gap that fits.
+  std::vector<std::pair<std::size_t, std::size_t>> used;  // (base, layers)
+  for (const auto& [id, e] : entries_)
+    if (e->materialized) used.emplace_back(e->base_pair, e->handle.layers);
+  std::sort(used.begin(), used.end(), std::greater<>());
+  std::size_t ceiling = capacity_;
+  for (const auto& [base, len] : used) {
+    if (ceiling >= base + len && ceiling - (base + len) >= layers)
+      return ceiling - layers;
+    ceiling = std::min(ceiling, base);
+  }
+  return ceiling >= layers ? ceiling - layers : capacity_;
+}
+
+bool ResidencyManager::ensure_rows(Entry& e, const Entry* keep) {
+  std::lock_guard lk(mutex_);
+  if (e.materialized) return false;
+  for (;;) {
+    const std::size_t base = find_gap(e.handle.layers);
+    if (base < capacity_) {
+      e.base_pair = base;
+      e.materialized = true;
+      e.last_use = ++tick_;
+      ++materializations_;
+      return true;
+    }
+    const bool evicted = evict_lru(
+        [&](const Entry& victim) { return &victim != &e && &victim != keep; });
+    // pin() bounds every handle at <= capacity, so an empty array always
+    // fits it; running out of victims here would be a bookkeeping defect.
+    BPIM_REQUIRE(evicted, "residency allocator found no gap and no victim");
+  }
+}
+
+void ResidencyManager::note_saved(std::uint64_t cycles) {
+  std::lock_guard lk(mutex_);
+  load_cycles_saved_ += cycles;
+}
+
+}  // namespace bpim::engine

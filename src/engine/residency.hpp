@@ -1,0 +1,135 @@
+#pragma once
+// Persistent operand residency: pin an operand's rows into the array once
+// and let every later op reference it by handle instead of re-poking the
+// same values (the weight-stationary organization SRAM IMC is built for --
+// the NN layers re-loaded identical weight rows on every forward pass).
+//
+// The ResidencyManager owns the pinned set of one ExecutionEngine (one
+// ImcMemory). Each handle occupies `layers` row pairs *per macro*,
+// allocated top-down from the array so they stay clear of the transient
+// region ops stage through at the bottom (pairs [0, layers)). An op that
+// references a handle computes directly on the handle's pairs -- its
+// activation side is poked into the odd row of each pair -- so it consumes
+// no transient pairs at all, and the cycle model charges only the
+// activation load (1 row write per layer instead of 2).
+//
+// pin() only registers: the single materializing write happens on first
+// use inside run()/run_batch() (on the engine's run thread, so clients of a
+// serve::Server may pin concurrently with dispatch) and is charged to that
+// batch's load cycles. When the pinned set plus a batch's transient
+// operands exceed row_pair_capacity(), materialized handles are evicted --
+// least-recently-used first among those whose rows conflict -- and
+// transparently re-materialized (and re-charged) on their next use.
+//
+// Thread-safety: every method locks the manager's mutex. Entries live
+// behind stable unique_ptrs, so an Entry* held by the run thread survives
+// concurrent pin() calls. Do not unpin a handle while ops referencing it
+// are still in flight.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace bpim::engine {
+
+/// Row layout of a pinned operand: plain precision words (ADD/SUB/LOGIC
+/// rows) or 2N-bit MULT units with the operand in each unit's low half.
+enum class OperandLayout { Word, MultUnit };
+
+[[nodiscard]] const char* to_string(OperandLayout layout);
+
+/// Client-side handle to a pinned operand. A cheap value type: the id
+/// resolves the entry, the rest is cached geometry so schedulers can do
+/// budget math without touching the owning engine. Ids are process-unique,
+/// so a handle also identifies which engine of a pool holds the operand.
+struct ResidentOperand {
+  std::uint64_t id = 0;  ///< 0 = "no handle"
+  std::uint64_t elements = 0;
+  unsigned bits = 0;
+  OperandLayout layout = OperandLayout::Word;
+  std::size_t layers = 0;  ///< row-pair layers per macro
+
+  [[nodiscard]] explicit operator bool() const { return id != 0; }
+};
+
+/// Observability counters for one manager (Engine::residency_stats()).
+struct ResidencyStats {
+  std::size_t pinned = 0;           ///< live handles (materialized or not)
+  std::size_t pinned_layers = 0;    ///< summed layers of live handles
+  std::size_t resident_layers = 0;  ///< layers currently holding rows
+  std::uint64_t materializations = 0;  ///< loads, including re-loads after eviction
+  std::uint64_t evictions = 0;
+  std::uint64_t load_cycles_saved = 0;  ///< cumulative, vs. re-poking every op
+};
+
+class ResidencyManager {
+ public:
+  explicit ResidencyManager(std::size_t row_pair_capacity);
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  /// Register a pinned operand (values are copied; no SRAM traffic here --
+  /// materialization is lazy, see file header). `layers` must fit the
+  /// array on its own.
+  [[nodiscard]] ResidentOperand pin(std::span<const std::uint64_t> values, unsigned bits,
+                                    OperandLayout layout, std::size_t layers);
+  /// Drop a handle (false when unknown). The rows are simply freed; the
+  /// data is abandoned in place like any other stale SRAM content.
+  bool unpin(std::uint64_t id);
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] ResidencyStats stats() const;
+  /// Row-pair layers currently materialized (the budget batch schedulers
+  /// subtract from row_pair_capacity()).
+  [[nodiscard]] std::size_t resident_layers() const;
+
+  // ---- run-thread side (the engine, inside run()/run_batch()) -------------
+
+  /// One pinned operand's live state. Fields other than `values` are
+  /// guarded by the manager's mutex; the run thread reads them between
+  /// manager calls under the single-run_batch-at-a-time engine contract.
+  struct Entry {
+    ResidentOperand handle;
+    std::vector<std::uint64_t> values;
+    bool materialized = false;
+    std::size_t base_pair = 0;  ///< first row pair (per macro) when materialized
+    std::uint64_t last_use = 0;
+  };
+
+  /// Resolve a handle for execution and bump its LRU clock. Null if the id
+  /// is unknown (unpinned, or pinned on a different engine).
+  [[nodiscard]] Entry* touch(std::uint64_t id);
+
+  /// Free the bottom `transient_layers` row pairs for a fully-transient op:
+  /// materialized handles whose rows conflict are evicted, LRU first.
+  void reserve_transient(std::size_t transient_layers);
+
+  /// Give `e` rows if it has none, allocating top-down and evicting LRU
+  /// handles as needed (never `keep`, the other side of the same op).
+  /// Returns true when the caller must write the values into the rows.
+  [[nodiscard]] bool ensure_rows(Entry& e, const Entry* keep = nullptr);
+
+  /// Accumulate the load cycles an op avoided by referencing handles.
+  void note_saved(std::uint64_t cycles);
+
+ private:
+  /// Highest-fitting base pair for `layers`, or capacity_ when nothing fits.
+  [[nodiscard]] std::size_t find_gap(std::size_t layers) const;
+  /// Evict the LRU materialized entry satisfying `victim_ok`; false if none.
+  template <class Pred>
+  bool evict_lru(Pred&& victim_ok);
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> entries_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t materializations_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t load_cycles_saved_ = 0;
+};
+
+}  // namespace bpim::engine

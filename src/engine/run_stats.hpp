@@ -18,6 +18,12 @@ struct RunStats {
   std::uint64_t elapsed_cycles = 0;  ///< lock-step across macros (max)
   Joule energy{0.0};
   Second elapsed_time{0.0};
+  /// Operand-load account of this op (informational: elapsed_cycles stays
+  /// compute-only, the seed semantics). A fully-transient op pays 2 row
+  /// writes per layer; a resident side costs nothing after its one
+  /// materializing write, and the difference is load_cycles_saved.
+  std::uint64_t load_cycles = 0;
+  std::uint64_t load_cycles_saved = 0;
 
   [[nodiscard]] double cycles_per_element() const {
     return elements == 0 ? 0.0
@@ -36,6 +42,9 @@ struct BatchStats {
   std::size_t ops = 0;
   std::uint64_t elements = 0;
   std::uint64_t load_cycles = 0;       ///< total operand-load (row write) cycles
+  /// Load cycles the batch avoided because ops referenced resident
+  /// operands (engine/residency.hpp) instead of re-poking them.
+  std::uint64_t load_cycles_saved = 0;
   std::uint64_t compute_cycles = 0;    ///< total in-array compute cycles
   std::uint64_t serial_cycles = 0;     ///< load + compute with no overlap
   std::uint64_t pipelined_cycles = 0;  ///< double-buffered: load(k+1) || compute(k)
@@ -56,6 +65,7 @@ struct BatchStats {
     ops += o.ops;
     elements += o.elements;
     load_cycles += o.load_cycles;
+    load_cycles_saved += o.load_cycles_saved;
     compute_cycles += o.compute_cycles;
     serial_cycles += o.serial_cycles;
     pipelined_cycles += o.pipelined_cycles;

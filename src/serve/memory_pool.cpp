@@ -103,33 +103,56 @@ std::size_t MemoryPool::layers_for(const engine::VecOp& op) const {
   return engines_.front()->layers_for(op);
 }
 
+std::size_t MemoryPool::resident_layers(std::size_t m) const {
+  BPIM_REQUIRE(m < engines_.size(), "pool memory index out of range");
+  return engines_[m]->resident_layers();
+}
+
+std::size_t MemoryPool::max_resident_layers() const {
+  std::size_t worst = 0;
+  for (const engine::ExecutionEngine* e : engines_)
+    worst = std::max(worst, e->resident_layers());
+  return worst;
+}
+
 std::vector<std::size_t> MemoryPool::place(const std::vector<Slot>& group) {
+  // Residency overrides policy: a sub-batch whose requests reference
+  // pinned operands runs on the memory that holds them. Only the free
+  // slots go through the configured policy.
   std::vector<std::size_t> where;
   where.reserve(group.size());
   const std::size_t n = engines_.size();
   switch (placement_) {
     case Placement::RoundRobin:
-      for (std::size_t i = 0; i < group.size(); ++i) {
+      for (const Slot& s : group) {
+        if (s.home) {
+          where.push_back(*s.home);
+          continue;
+        }
         where.push_back(rr_next_);
         rr_next_ = (rr_next_ + 1) % n;
       }
       break;
     case Placement::StickyByOperand:
       // Pure function of the operands: the same weight rows always land on
-      // the same memory, whatever ran before.
-      for (const Slot& s : group) where.push_back(s.operand_hash % n);
+      // the same memory, whatever ran before. Handle-backed sub-batches
+      // are stickier still -- their home memory holds the rows.
+      for (const Slot& s : group) where.push_back(s.home ? *s.home : s.operand_hash % n);
       break;
     case Placement::LeastLoaded: {
       std::lock_guard lk(mutex_);
       // Charge each assignment an in-flight estimate right away, so the
       // sub-batches of one concurrent dispatch group spread across
-      // memories instead of all chasing the same minimum.
+      // memories instead of all chasing the same minimum. Homed slots are
+      // charged too -- their load is just as real to later free slots.
       const std::uint64_t cycles_per_layer =
           total_layers_ == 0 ? 1 : std::max<std::uint64_t>(1, total_cycles_ / total_layers_);
       std::vector<std::uint64_t> load = load_cycles_;
       for (const Slot& s : group) {
-        const std::size_t m = static_cast<std::size_t>(
-            std::min_element(load.begin(), load.end()) - load.begin());
+        const std::size_t m = s.home ? *s.home
+                                     : static_cast<std::size_t>(std::min_element(
+                                           load.begin(), load.end()) -
+                                       load.begin());
         where.push_back(m);
         load[m] += std::max<std::uint64_t>(1, s.layers * cycles_per_layer);
       }

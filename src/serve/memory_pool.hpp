@@ -30,6 +30,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "engine/execution_engine.hpp"
@@ -73,11 +74,21 @@ class MemoryPool {
   [[nodiscard]] std::size_t row_pair_capacity() const;
   /// Row-pair layers `op` occupies (same on every node).
   [[nodiscard]] std::size_t layers_for(const engine::VecOp& op) const;
+  /// Row-pair layers pinned operands currently hold on memory `m` (what
+  /// the coalescer subtracts from row_pair_capacity() when budgeting
+  /// transient operands).
+  [[nodiscard]] std::size_t resident_layers(std::size_t m) const;
+  /// The largest resident set across the pool: the conservative per-memory
+  /// transient budget for sub-batches whose placement is still open.
+  [[nodiscard]] std::size_t max_resident_layers() const;
 
   /// One sub-batch of a dispatch group, as the placement policy sees it.
   struct Slot {
     std::size_t layers = 0;        ///< summed row-pair layers
     std::uint64_t operand_hash = 0;  ///< hash of the head op's operands
+    /// Memory holding the sub-batch's resident operands; when set the
+    /// placement policy has no choice -- the requests must run there.
+    std::optional<std::size_t> home;
   };
 
   /// Assign each slot of one dispatch group a memory index. Deterministic

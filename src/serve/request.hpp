@@ -73,8 +73,16 @@ struct Ticket {
   std::uint64_t seq = 0;  ///< admission order, the FIFO tiebreak
   Clock::time_point submit_time{};
   std::size_t layers = 0;         ///< row-pair layers, precomputed at submit
-  std::uint64_t operand_hash = 0;  ///< FNV-1a over kind/bits/operands (sticky placement)
+  std::uint64_t operand_hash = 0;  ///< FNV-1a over kind/bits/fn/operands (sticky placement)
+  /// Pool memory that holds the op's resident operand(s); requests with a
+  /// handle must run there, everything else is free for placement.
+  std::optional<std::size_t> home;
   std::promise<engine::OpResult> promise;
+
+  /// Row-pair layers the request stages through the transient region: a
+  /// resident-operand request computes in its handle's own pairs and
+  /// consumes none (the coalescer's budget math packs against this).
+  [[nodiscard]] std::size_t transient_layers() const { return home ? 0 : layers; }
 };
 
 }  // namespace detail

@@ -73,6 +73,10 @@ struct ServeStats {
   /// schedule cost, serial what one-op-at-a-time submission would have.
   std::uint64_t modeled_pipelined_cycles = 0;
   std::uint64_t modeled_serial_cycles = 0;
+  /// Operand-load traffic: what the batches actually spent writing rows,
+  /// and what resident operands (Server::pin) saved against re-poking.
+  std::uint64_t modeled_load_cycles = 0;
+  std::uint64_t modeled_load_cycles_saved = 0;
   /// Busiest memory's pipelined total: the modeled finish line when the
   /// pool's memories run in parallel. Equals modeled_pipelined_cycles on a
   /// single-memory server.

@@ -14,22 +14,42 @@ using engine::VecOp;
 
 namespace {
 
-/// FNV-1a over the op's identity and operand bytes: the sticky placement
-/// key. Repeated weight rows hash identically, so they land on the same
-/// pool memory every time.
-std::uint64_t hash_operands(const VecOp& op) {
+/// FNV-1a word mixer shared by the placement hashes below.
+struct Fnv1a {
   std::uint64_t h = 0xcbf29ce484222325ull;
-  const auto mix = [&h](std::uint64_t x) {
+  void mix(std::uint64_t x) {
     for (int i = 0; i < 8; ++i) {
       h ^= (x >> (8 * i)) & 0xFF;
       h *= 0x100000001b3ull;
     }
-  };
-  mix(static_cast<std::uint64_t>(op.kind));
-  mix(op.bits);
-  for (const std::uint64_t x : op.a) mix(x);
-  for (const std::uint64_t x : op.b) mix(x);
-  return h;
+  }
+};
+
+/// FNV-1a over the op's full identity and operand bytes: the sticky
+/// placement key. Repeated weight rows hash identically, so they land on
+/// the same pool memory every time. The logic function is part of the
+/// identity -- And/Or requests on identical operands must not alias.
+std::uint64_t hash_operands(const VecOp& op) {
+  Fnv1a f;
+  f.mix(static_cast<std::uint64_t>(op.kind));
+  f.mix(op.bits);
+  f.mix(static_cast<std::uint64_t>(op.fn));
+  f.mix(op.ra.id);
+  f.mix(op.rb.id);
+  for (const std::uint64_t x : op.a) f.mix(x);
+  for (const std::uint64_t x : op.b) f.mix(x);
+  return f.h;
+}
+
+/// Pin placement key: a pure function of the pinned values and shape, so
+/// the same weights always pin to the same pool memory.
+std::uint64_t hash_pin(std::span<const std::uint64_t> values, unsigned bits,
+                       engine::OperandLayout layout) {
+  Fnv1a f;
+  f.mix(bits);
+  f.mix(static_cast<std::uint64_t>(layout));
+  for (const std::uint64_t x : values) f.mix(x);
+  return f.h;
 }
 
 }  // namespace
@@ -61,8 +81,12 @@ Server::~Server() { stop(); }
 detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
   // Validate at admission so malformed ops throw on the client's thread,
   // not inside the scheduler.
-  BPIM_REQUIRE(op.a.size() == op.b.size(), "operand vectors must have equal length");
+  const std::size_t len_a = op.ra ? static_cast<std::size_t>(op.ra.elements) : op.a.size();
+  const std::size_t len_b = op.rb ? static_cast<std::size_t>(op.rb.elements) : op.b.size();
+  BPIM_REQUIRE(len_a == len_b, "operand vectors must have equal length");
   BPIM_REQUIRE(macro::is_supported_precision(op.bits), "unsupported precision");
+  BPIM_REQUIRE(!op.ra || op.a.empty(), "operand side has both a span and a resident handle");
+  BPIM_REQUIRE(!op.rb || op.b.empty(), "operand side has both a span and a resident handle");
 
   detail::Ticket t;
   t.a.assign(op.a.begin(), op.a.end());
@@ -70,10 +94,31 @@ detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
   t.op = op;
   t.op.a = t.a;
   t.op.b = t.b;
+  // Resident operands anchor the request to the memory that holds them;
+  // two handles on one op must agree.
+  if (op.ra || op.rb) {
+    std::lock_guard lk(pin_mutex_);
+    const auto home_of = [&](const engine::ResidentOperand& h) -> std::optional<std::size_t> {
+      if (!h) return std::nullopt;
+      const auto it = pin_home_.find(h.id);
+      BPIM_REQUIRE(it != pin_home_.end(),
+                   "resident operand was not pinned through this server");
+      return it->second;
+    };
+    const auto home_a = home_of(op.ra);
+    const auto home_b = home_of(op.rb);
+    BPIM_REQUIRE(!home_a || !home_b || *home_a == *home_b,
+                 "op references resident operands on different pool memories");
+    t.home = home_a ? home_a : home_b;
+  }
   t.layers = pool_->layers_for(t.op);
   // One op never splits across memories (its chunk walk is per-memory), so
-  // it must fit a single array whatever the pool size.
+  // it must fit a single array whatever the pool size -- and a two-handle
+  // op needs both residents in the array at once.
   BPIM_REQUIRE(t.layers <= pool_->row_pair_capacity(), "vector exceeds memory capacity");
+  if (op.ra && op.rb)
+    BPIM_REQUIRE(op.ra.layers + op.rb.layers <= pool_->row_pair_capacity(),
+                 "resident operand pair exceeds memory capacity");
   // Only sticky placement reads the hash; spare the other policies the
   // extra operand pass on the client's critical path.
   if (pool_->placement() == Placement::StickyByOperand)
@@ -121,6 +166,41 @@ std::optional<std::future<OpResult>> Server::try_submit(const VecOp& op, SubmitO
   return fut;
 }
 
+engine::ResidentOperand Server::pin(std::span<const std::uint64_t> values, unsigned bits,
+                                    engine::OperandLayout layout) {
+  if (stopped()) throw ServerStopped();
+  // Deterministic hash placement: the same weight values always pin to the
+  // same node, whatever the batch placement policy is -- exactly the
+  // affinity the sticky policy approximates for span operands.
+  const std::size_t m =
+      pool_->size() == 1 ? 0 : hash_pin(values, bits, layout) % pool_->size();
+  const engine::ResidentOperand handle = pool_->engine(m).pin(values, bits, layout);
+  {
+    std::lock_guard lk(pin_mutex_);
+    pin_home_.emplace(handle.id, m);
+  }
+  return handle;
+}
+
+bool Server::unpin(const engine::ResidentOperand& handle) {
+  if (!handle) return false;
+  std::size_t m = 0;
+  {
+    std::lock_guard lk(pin_mutex_);
+    const auto it = pin_home_.find(handle.id);
+    if (it == pin_home_.end()) return false;
+    m = it->second;
+    pin_home_.erase(it);
+  }
+  return pool_->engine(m).unpin(handle);
+}
+
+std::optional<std::size_t> Server::memory_of(std::uint64_t handle_id) const {
+  std::lock_guard lk(pin_mutex_);
+  const auto it = pin_home_.find(handle_id);
+  return it == pin_home_.end() ? std::nullopt : std::optional<std::size_t>(it->second);
+}
+
 void Server::stop() {
   std::lock_guard lk(stop_mutex_);
   stopping_.store(true, std::memory_order_release);
@@ -139,8 +219,7 @@ ServeStats Server::stats() const {
 void Server::scheduler_loop() {
   // One dispatch group spans the whole pool: up to max_batch_ops requests
   // and one array's worth of layers per memory.
-  const std::size_t per_memory_layers = pool_->row_pair_capacity();
-  const std::size_t group_layer_budget = per_memory_layers * pool_->size();
+  const std::size_t capacity = pool_->row_pair_capacity();
   const std::size_t group_op_budget = cfg_.max_batch_ops * pool_->size();
 
   std::vector<detail::Ticket> backlog;
@@ -182,22 +261,35 @@ void Server::scheduler_loop() {
     }
     if (backlog.empty()) continue;
 
+    // Budgets account for pinned layers: transient (span) operands can only
+    // stage into capacity minus each memory's resident set, while requests
+    // referencing a handle ride free -- their rows are already down on
+    // their home memory. Recomputed per group, since materialization and
+    // eviction move the resident set between wakeups.
+    std::size_t group_layer_budget = 0;
+    for (std::size_t m = 0; m < pool_->size(); ++m)
+      group_layer_budget += capacity - std::min(capacity, pool_->resident_layers(m));
+    const std::size_t unhomed_budget =
+        capacity - std::min(capacity, pool_->max_resident_layers());
+
     // Coalesce from the head: every compatible request (same kind and
     // precision, same logic fn) that still fits the group budget rides
-    // along; the rest wait for a later group. The head itself always fits
-    // (validated at admission).
+    // along; the rest wait for a later group. The head always goes (the
+    // engine evicts pinned rows LRU-first if it must).
     const OpKind kind = backlog.front().op.kind;
     const unsigned bits = backlog.front().op.bits;
     const periph::LogicFn fn = backlog.front().op.fn;
     std::vector<detail::Ticket> selected;
     std::vector<detail::Ticket> rest;
-    std::size_t layers = 0;
+    std::size_t transient_layers = 0;
     for (auto& t : backlog) {
       const bool compatible = t.op.kind == kind && t.op.bits == bits &&
                               (kind != OpKind::Logic || t.op.fn == fn);
-      if (compatible && selected.size() < group_op_budget &&
-          layers + t.layers <= group_layer_budget) {
-        layers += t.layers;
+      if (compatible &&
+          (selected.empty() ||
+           (selected.size() < group_op_budget &&
+            transient_layers + t.transient_layers() <= group_layer_budget))) {
+        transient_layers += t.transient_layers();
         selected.push_back(std::move(t));
       } else {
         rest.push_back(std::move(t));
@@ -206,20 +298,29 @@ void Server::scheduler_loop() {
     backlog = std::move(rest);
 
     // Split the selection into per-memory sub-batches: greedy in serve
-    // order, each within one array's residency budget and the per-batch op
-    // cap. On a pool of one this is always a single sub-batch.
+    // order, each within one array's transient budget and the per-batch op
+    // cap. Requests that reference resident operands must run on their
+    // home memory, so a home change also cuts a sub-batch; homed
+    // sub-batches stage nothing transient and pack by op count alone. On a
+    // pool of one with nothing pinned this is the original single
+    // sub-batch.
     std::vector<std::vector<detail::Ticket>> subs;
     std::vector<MemoryPool::Slot> slots;
-    std::size_t sub_layers = 0;
+    std::size_t sub_transient = 0;
     for (auto& t : selected) {
-      if (subs.empty() || sub_layers + t.layers > per_memory_layers ||
-          subs.back().size() >= cfg_.max_batch_ops) {
+      const std::size_t tl = t.transient_layers();
+      const std::size_t sub_budget =
+          t.home ? capacity : std::max<std::size_t>(unhomed_budget, 1);
+      if (subs.empty() || slots.back().home != t.home ||
+          subs.back().size() >= cfg_.max_batch_ops ||
+          (!subs.back().empty() && sub_transient + tl > sub_budget)) {
         subs.emplace_back();
         slots.emplace_back();
-        sub_layers = 0;
+        slots.back().home = t.home;
+        sub_transient = 0;
       }
-      sub_layers += t.layers;
-      slots.back().layers = sub_layers;
+      sub_transient += tl;
+      slots.back().layers += t.layers;
       if (subs.back().empty()) slots.back().operand_hash = t.operand_hash;
       subs.back().push_back(std::move(t));
     }

@@ -15,7 +15,12 @@
 // whose summed row-pair layers exceed a single array's residency budget is
 // split into per-memory sub-batches, placed by the pool's policy
 // (round-robin / least-loaded / sticky-by-operand-hash), and sub-batches on
-// distinct memories execute concurrently. Within the backlog the scheduler
+// distinct memories execute concurrently. Operands pinned through pin()
+// constrain both sides of that math: the coalescer budgets transient
+// layers against capacity minus the pinned set, and a request referencing
+// a handle is routed to the memory that holds it (the pin-per-memory
+// registry; pin placement itself is by operand hash, so identical weights
+// always pin to the same node). Within the backlog the scheduler
 // serves strictly by (priority desc, admission order); deadlines are
 // re-checked with a fresh clock at batch-build time, so a request that
 // expired while held in the coalesce window or while an earlier batch ran
@@ -38,6 +43,7 @@
 #include <future>
 #include <optional>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "engine/execution_engine.hpp"
@@ -75,6 +81,20 @@ class Server {
   [[nodiscard]] std::optional<std::future<engine::OpResult>> try_submit(
       const engine::VecOp& op, SubmitOptions opts = {});
 
+  /// Pin an operand resident behind the serving frontend: a deterministic
+  /// operand hash picks the pool memory (so re-pinning the same values
+  /// lands on the same node), the handle is registered there, and every
+  /// later request referencing it is routed to that memory. The values are
+  /// copied; the materializing write happens on the scheduler side at
+  /// first use. Thread-safe; throws ServerStopped after stop().
+  [[nodiscard]] engine::ResidentOperand pin(std::span<const std::uint64_t> values,
+                                            unsigned bits, engine::OperandLayout layout);
+  /// Drop a pinned operand (false when unknown). Safe after stop() as long
+  /// as the pool is alive; must not race requests that reference it.
+  bool unpin(const engine::ResidentOperand& handle);
+  /// Pool memory holding `handle_id`, if pinned through this server.
+  [[nodiscard]] std::optional<std::size_t> memory_of(std::uint64_t handle_id) const;
+
   /// Close admission, drain every accepted request, join the scheduler.
   /// Idempotent; implied by the destructor.
   void stop();
@@ -109,6 +129,9 @@ class Server {
   const ServerConfig cfg_;
   AdmissionQueue queue_;
   mutable ServeLedger ledger_;
+  /// handle id -> pool memory, for routing resident-operand requests.
+  mutable std::mutex pin_mutex_;
+  std::unordered_map<std::uint64_t, std::size_t> pin_home_;
   /// Persistent lane workers for multi-memory dispatch groups (scheduler
   /// thread included); workers start lazily, so a pool-of-one server never
   /// spawns any.

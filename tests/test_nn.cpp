@@ -7,6 +7,8 @@
 
 #include "app/nn.hpp"
 #include "common/rng.hpp"
+#include "serve/memory_pool.hpp"
+#include "serve/server.hpp"
 
 namespace bpim::app {
 namespace {
@@ -101,6 +103,78 @@ TEST(QuantizedLinear, ValidatesShapes) {
   macro::ImcMemory mem;
   QuantizedLinear layer(random_weights(2, 8, 23), 8);
   EXPECT_THROW((void)layer.forward(mem, random_reals(9, 24)), std::invalid_argument);
+}
+
+TEST(QuantizedLinear, PinnedRepeatedForwardBitIdentical) {
+  // N successive forward() calls with pinned weights must produce exactly
+  // the outputs of fresh-poke execution -- the residency tentpole's core
+  // contract -- while saving the weight-side load cycles after the first.
+  const auto w = random_weights(6, 48, 31);
+  macro::ImcMemory fresh_mem;
+  engine::ExecutionEngine fresh_eng(fresh_mem);
+  QuantizedLinear fresh(w, 8);
+  macro::ImcMemory pinned_mem;
+  engine::ExecutionEngine pinned_eng(pinned_mem);
+  QuantizedLinear pinned(w, 8, pinned_eng);
+  EXPECT_TRUE(pinned.pinned());
+
+  for (std::size_t i = 0; i < 5; ++i) {
+    const auto x = random_reals(48, 40 + i);
+    const auto want = fresh.forward(fresh_eng, x);
+    const auto got = pinned.forward(pinned_eng, x);
+    EXPECT_EQ(want, got) << "forward " << i;  // bit-identical doubles
+    EXPECT_EQ(fresh.last_stats().cycles, pinned.last_stats().cycles);
+    EXPECT_EQ(fresh.last_stats().energy.si(), pinned.last_stats().energy.si());
+    if (i == 0) {
+      EXPECT_EQ(pinned.last_stats().load_cycles, fresh.last_stats().load_cycles);
+    } else {
+      EXPECT_LT(pinned.last_stats().load_cycles, fresh.last_stats().load_cycles);
+      EXPECT_GT(pinned.last_stats().load_cycles_saved, 0u);
+    }
+    EXPECT_EQ(fresh.last_stats().load_cycles_saved, 0u);
+  }
+}
+
+TEST(QuantizedLinear, PinnedForwardThroughServerBitIdentical) {
+  // The serve::Server route (single memory): pinning through the server
+  // and forwarding through its admission queue matches fresh execution.
+  const auto w = random_weights(5, 32, 51);
+  macro::ImcMemory fresh_mem;
+  engine::ExecutionEngine fresh_eng(fresh_mem);
+  QuantizedLinear fresh(w, 8);
+
+  macro::ImcMemory served_mem;
+  engine::ExecutionEngine served_eng(served_mem);
+  serve::Server server(served_eng);
+  QuantizedLinear pinned(w, 8, server);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto x = random_reals(32, 60 + i);
+    EXPECT_EQ(fresh.forward(fresh_eng, x), pinned.forward(server, x)) << "forward " << i;
+  }
+  server.stop();
+  EXPECT_GT(server.stats().modeled_load_cycles_saved, 0u);
+}
+
+TEST(QuantizedLinear, PinnedForwardThroughMemoryPoolBitIdentical) {
+  // The multi-memory route: weights pin to hash-chosen pool nodes and
+  // requests follow them there; results still match fresh execution.
+  const auto w = random_weights(5, 32, 71);
+  macro::ImcMemory fresh_mem;
+  engine::ExecutionEngine fresh_eng(fresh_mem);
+  QuantizedLinear fresh(w, 8);
+
+  serve::MemoryPoolConfig pcfg;
+  pcfg.memories = 2;
+  pcfg.threads_per_memory = 1;
+  serve::MemoryPool pool(pcfg);
+  serve::Server server(pool);
+  QuantizedLinear pinned(w, 8, server);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto x = random_reals(32, 80 + i);
+    EXPECT_EQ(fresh.forward(fresh_eng, x), pinned.forward(server, x)) << "forward " << i;
+  }
+  server.stop();
+  EXPECT_GT(server.stats().modeled_load_cycles_saved, 0u);
 }
 
 }  // namespace

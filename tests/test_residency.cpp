@@ -1,0 +1,367 @@
+// Persistent operand residency (engine/residency.hpp): resident-handle
+// execution must be bit-identical to the re-poke path -- values, RunStats,
+// energy -- while spending fewer modeled load cycles; eviction under
+// pressure (pinned set + transients over row_pair_capacity) must churn
+// LRU-first and stay correct through re-materialization.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+#include "serve/memory_pool.hpp"
+#include "serve/server.hpp"
+
+namespace bpim::engine {
+namespace {
+
+macro::MemoryConfig tiny_memory(std::size_t rows = 128) {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  cfg.macro.geometry.rows = rows;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+void expect_identical(const OpResult& want, const OpResult& got, const char* what) {
+  EXPECT_EQ(want.values, got.values) << what;
+  EXPECT_EQ(want.stats.elements, got.stats.elements) << what;
+  EXPECT_EQ(want.stats.elapsed_cycles, got.stats.elapsed_cycles) << what;
+  // Bit-identical doubles, not approximately equal: the merge order is fixed.
+  EXPECT_EQ(want.stats.energy.si(), got.stats.energy.si()) << what;
+}
+
+VecOp span_op(OpKind kind, unsigned bits, std::span<const std::uint64_t> a,
+              std::span<const std::uint64_t> b) {
+  VecOp op;
+  op.kind = kind;
+  op.bits = bits;
+  op.a = a;
+  op.b = b;
+  return op;
+}
+
+TEST(Residency, HandleMatchesSpanPathExactly) {
+  // Same op, three ways: both spans (fresh memory), resident a-side,
+  // resident b-side. Values, compute cycles and energy must be identical;
+  // only the load account may differ.
+  const unsigned bits = 8;
+  for (const OpKind kind : {OpKind::Add, OpKind::Sub, OpKind::Mult, OpKind::Logic}) {
+    const std::size_t n = 300;
+    const auto a = random_vec(n, bits, 11);
+    const auto b = random_vec(n, bits, 12);
+
+    macro::ImcMemory fresh_mem(tiny_memory());
+    ExecutionEngine fresh(fresh_mem);
+    const OpResult want = fresh.run(span_op(kind, bits, a, b));
+
+    const OperandLayout layout =
+        kind == OpKind::Mult ? OperandLayout::MultUnit : OperandLayout::Word;
+
+    macro::ImcMemory mem_a(tiny_memory());
+    ExecutionEngine eng_a(mem_a);
+    VecOp op_a = span_op(kind, bits, {}, b);
+    op_a.ra = eng_a.pin(a, bits, layout);
+    expect_identical(want, eng_a.run(op_a), "resident a");
+
+    macro::ImcMemory mem_b(tiny_memory());
+    ExecutionEngine eng_b(mem_b);
+    VecOp op_b = span_op(kind, bits, a, {});
+    op_b.rb = eng_b.pin(b, bits, layout);
+    expect_identical(want, eng_b.run(op_b), "resident b");
+
+    macro::ImcMemory mem_ab(tiny_memory());
+    ExecutionEngine eng_ab(mem_ab);
+    VecOp op_ab = span_op(kind, bits, {}, {});
+    op_ab.ra = eng_ab.pin(a, bits, layout);
+    op_ab.rb = eng_ab.pin(b, bits, layout);
+    expect_identical(want, eng_ab.run(op_ab), "both resident");
+  }
+}
+
+TEST(Residency, LoadCyclesChargedOnceThenSaved) {
+  const unsigned bits = 8;
+  const std::size_t n = 256;  // 4 macros x 16 mult units = 64/layer -> 4 layers
+  const auto w = random_vec(n, bits, 21);
+  const auto x = random_vec(n, bits, 22);
+
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem);
+  VecOp op = span_op(OpKind::Mult, bits, {}, x);
+  op.ra = eng.pin(w, bits, OperandLayout::MultUnit);
+  const std::size_t layers = op.ra.layers;
+  ASSERT_EQ(layers, eng.layers_for(op));
+  ASSERT_GT(layers, 1u);
+
+  // First use: the materializing write plus the activation load.
+  (void)eng.run(op);
+  EXPECT_EQ(eng.last_batch().load_cycles, 2 * layers);
+  EXPECT_EQ(eng.last_batch().load_cycles_saved, 0u);
+
+  // Steady state: activation only, weight side saved.
+  (void)eng.run(op);
+  EXPECT_EQ(eng.last_batch().load_cycles, layers);
+  EXPECT_EQ(eng.last_batch().load_cycles_saved, layers);
+  const RunStats& s = eng.run(op).stats;
+  EXPECT_EQ(s.load_cycles, layers);
+  EXPECT_EQ(s.load_cycles_saved, layers);
+
+  const ResidencyStats rs = eng.residency_stats();
+  EXPECT_EQ(rs.pinned, 1u);
+  EXPECT_EQ(rs.resident_layers, layers);
+  EXPECT_EQ(rs.materializations, 1u);
+  EXPECT_EQ(rs.evictions, 0u);
+  EXPECT_EQ(rs.load_cycles_saved, 2 * layers);
+}
+
+TEST(Residency, EvictionUnderPressureStaysCorrect) {
+  // Pin more handles than row_pair_capacity() can hold and walk them
+  // round-robin: the LRU churn must evict and re-materialize transparently
+  // with results identical to a fresh-poke engine, and with no disturb
+  // flips under the paper's safe WL scheme.
+  const unsigned bits = 8;
+  macro::MemoryConfig cfg = tiny_memory(32);  // 16 row pairs per macro
+  macro::ImcMemory mem(cfg);
+  ExecutionEngine eng(mem);
+  const std::size_t capacity = eng.row_pair_capacity();
+  ASSERT_EQ(capacity, 16u);
+
+  const std::size_t per_layer = eng.mult_units_per_row(bits) * mem.macro_count();
+  const std::size_t layers_per_handle = 3;
+  const std::size_t n = layers_per_handle * per_layer;
+  const std::size_t handles = capacity / layers_per_handle + 3;  // 8 > 5-handle capacity
+  ASSERT_GT(handles * layers_per_handle, capacity);
+
+  std::vector<std::vector<std::uint64_t>> weights;
+  std::vector<ResidentOperand> pins;
+  for (std::size_t h = 0; h < handles; ++h) {
+    weights.push_back(random_vec(n, bits, 100 + h));
+    pins.push_back(eng.pin(weights.back(), bits, OperandLayout::MultUnit));
+  }
+
+  macro::ImcMemory fresh_mem(cfg);
+  ExecutionEngine fresh(fresh_mem);
+  for (std::size_t round = 0; round < 3; ++round) {
+    for (std::size_t h = 0; h < handles; ++h) {
+      const auto x = random_vec(n, bits, 1000 + round * handles + h);
+      VecOp op = span_op(OpKind::Mult, bits, {}, x);
+      op.ra = pins[h];
+      const OpResult got = eng.run(op);
+      const OpResult want = fresh.run(span_op(OpKind::Mult, bits, weights[h], x));
+      expect_identical(want, got, "eviction churn");
+    }
+  }
+
+  const ResidencyStats rs = eng.residency_stats();
+  EXPECT_EQ(rs.pinned, handles);
+  EXPECT_GT(rs.evictions, 0u);
+  EXPECT_GT(rs.materializations, handles);  // re-materializations happened
+  EXPECT_LE(rs.resident_layers, capacity);
+  // Disturb accounting: the safe WL scheme never flips cells, so the churn
+  // must leave every macro's disturb counter at zero on both engines.
+  for (std::size_t m = 0; m < mem.macro_count(); ++m) {
+    EXPECT_EQ(mem.macro(m).disturb_flips(), 0u);
+    EXPECT_EQ(fresh_mem.macro(m).disturb_flips(), 0u);
+  }
+}
+
+TEST(Residency, TransientOpsEvictConflictingHandles) {
+  // A full-capacity transient op must reclaim the whole array even when
+  // handles are resident, and the handles must come back on next use.
+  const unsigned bits = 8;
+  macro::ImcMemory mem(tiny_memory(32));
+  ExecutionEngine eng(mem);
+  const std::size_t capacity = eng.row_pair_capacity();
+  const std::size_t per_layer = eng.words_per_row(bits) * mem.macro_count();
+
+  const auto w = random_vec(4 * per_layer, bits, 31);
+  const auto x = random_vec(4 * per_layer, bits, 32);
+  VecOp resident = span_op(OpKind::Add, bits, {}, x);
+  resident.ra = eng.pin(w, bits, OperandLayout::Word);
+  const OpResult first = eng.run(resident);
+
+  // Full-capacity transient ADD: needs every row pair.
+  const auto big_a = random_vec(capacity * per_layer, bits, 33);
+  const auto big_b = random_vec(capacity * per_layer, bits, 34);
+  const OpResult big = eng.run(span_op(OpKind::Add, bits, big_a, big_b));
+  for (std::size_t i = 0; i < big_a.size(); ++i) {
+    const std::uint64_t mask = (1ull << bits) - 1;
+    ASSERT_EQ(big.values[i], (big_a[i] + big_b[i]) & mask);
+  }
+  EXPECT_GT(eng.residency_stats().evictions, 0u);
+  EXPECT_EQ(eng.resident_layers(), 0u);
+
+  // The handle re-materializes and the op still matches its first run.
+  const OpResult again = eng.run(resident);
+  EXPECT_EQ(first.values, again.values);
+  EXPECT_EQ(eng.residency_stats().materializations, 2u);
+}
+
+TEST(Residency, BatchOverlapAccounting) {
+  // Two ops on the same handle cannot double-buffer (the activation row is
+  // the computing pair's); two ops on distinct handles can.
+  const unsigned bits = 8;
+  const std::size_t n = 64;
+  const auto w1 = random_vec(n, bits, 41);
+  const auto w2 = random_vec(n, bits, 42);
+  const auto x = random_vec(n, bits, 43);
+
+  const auto pipelined_for = [&](bool distinct) {
+    macro::ImcMemory mem(tiny_memory());
+    ExecutionEngine eng(mem);
+    VecOp op1 = span_op(OpKind::Mult, bits, {}, x);
+    op1.ra = eng.pin(w1, bits, OperandLayout::MultUnit);
+    VecOp op2 = span_op(OpKind::Mult, bits, {}, x);
+    op2.ra = distinct ? eng.pin(w2, bits, OperandLayout::MultUnit) : op1.ra;
+    const std::vector<VecOp> warm = {op1, op2};
+    (void)eng.run_batch(warm);  // materialize both
+    (void)eng.run_batch(warm);  // steady-state account
+    return eng.last_batch();
+  };
+
+  const BatchStats same = pipelined_for(false);
+  const BatchStats distinct = pipelined_for(true);
+  // Same handle: load(2) cannot hide behind compute(1) -> strictly serial.
+  EXPECT_EQ(same.pipelined_cycles, same.load_cycles + same.compute_cycles);
+  // Distinct handles: op 2's activation load hides behind op 1's compute.
+  EXPECT_LT(distinct.pipelined_cycles, distinct.load_cycles + distinct.compute_cycles);
+}
+
+TEST(Residency, GuardsMisuse) {
+  const unsigned bits = 8;
+  const std::size_t n = 64;
+  const auto a = random_vec(n, bits, 51);
+  const auto b = random_vec(n, bits, 52);
+
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem);
+  const ResidentOperand h = eng.pin(a, bits, OperandLayout::MultUnit);
+
+  // Span and handle on one side at once.
+  VecOp both = span_op(OpKind::Mult, bits, a, b);
+  both.ra = h;
+  EXPECT_THROW((void)eng.run(both), std::invalid_argument);
+
+  // Layout mismatch: a MultUnit pin cannot feed an ADD.
+  VecOp wrong_kind = span_op(OpKind::Add, bits, {}, b);
+  wrong_kind.ra = h;
+  EXPECT_THROW((void)eng.run(wrong_kind), std::invalid_argument);
+
+  // Precision mismatch.
+  VecOp wrong_bits = span_op(OpKind::Mult, 4, {}, random_vec(n, 4, 53));
+  wrong_bits.ra = h;
+  EXPECT_THROW((void)eng.run(wrong_bits), std::invalid_argument);
+
+  // Same handle on both sides of one op.
+  VecOp squared = span_op(OpKind::Mult, bits, {}, {});
+  squared.ra = h;
+  squared.rb = h;
+  EXPECT_THROW((void)eng.run(squared), std::invalid_argument);
+
+  // Another engine's handle is unknown here.
+  macro::ImcMemory other_mem(tiny_memory());
+  ExecutionEngine other(other_mem);
+  VecOp foreign = span_op(OpKind::Mult, bits, {}, b);
+  foreign.ra = h;
+  EXPECT_THROW((void)other.run(foreign), std::invalid_argument);
+
+  // Use after unpin.
+  EXPECT_TRUE(eng.unpin(h));
+  EXPECT_FALSE(eng.unpin(h));
+  VecOp stale = span_op(OpKind::Mult, bits, {}, b);
+  stale.ra = h;
+  EXPECT_THROW((void)eng.run(stale), std::invalid_argument);
+
+  // Pin larger than the array.
+  const std::size_t capacity = eng.row_pair_capacity();
+  const std::size_t per_layer = eng.mult_units_per_row(bits) * mem.macro_count();
+  const auto huge = random_vec((capacity + 1) * per_layer, bits, 54);
+  EXPECT_THROW((void)eng.pin(huge, bits, OperandLayout::MultUnit), std::invalid_argument);
+
+  // Two handles that fit individually but not together: a clean validation
+  // error at run (and at submit on the serve route), not an allocator trap.
+  const auto big1 = random_vec((capacity / 2 + 1) * per_layer, bits, 55);
+  const auto big2 = random_vec((capacity / 2 + 1) * per_layer, bits, 56);
+  VecOp pair = span_op(OpKind::Mult, bits, {}, {});
+  pair.ra = eng.pin(big1, bits, OperandLayout::MultUnit);
+  pair.rb = eng.pin(big2, bits, OperandLayout::MultUnit);
+  EXPECT_THROW((void)eng.run(pair), std::invalid_argument);
+  {
+    macro::ImcMemory served_mem(tiny_memory());
+    ExecutionEngine served_eng(served_mem);
+    serve::Server server(served_eng);
+    VecOp spair = span_op(OpKind::Mult, bits, {}, {});
+    spair.ra = server.pin(big1, bits, OperandLayout::MultUnit);
+    spair.rb = server.pin(big2, bits, OperandLayout::MultUnit);
+    EXPECT_THROW((void)server.submit(spair), std::invalid_argument);
+    server.stop();
+  }
+}
+
+TEST(Residency, ServerRoutesHandleOpsToHomeMemory) {
+  // Pin through a 3-memory pool server: requests referencing the handle
+  // must execute on the memory that holds it (observable through the
+  // per-memory lanes) and match the scalar reference every time.
+  const unsigned bits = 8;
+  serve::MemoryPoolConfig pcfg;
+  pcfg.memories = 3;
+  pcfg.memory = tiny_memory();
+  pcfg.threads_per_memory = 1;
+  serve::MemoryPool pool(pcfg);
+  serve::Server server(pool);
+
+  const std::size_t n = 128;
+  const auto w = random_vec(n, bits, 61);
+  const ResidentOperand h = server.pin(w, bits, OperandLayout::MultUnit);
+  const auto home = server.memory_of(h.id);
+  ASSERT_TRUE(home.has_value());
+
+  for (std::size_t i = 0; i < 8; ++i) {
+    const auto x = random_vec(n, bits, 70 + i);
+    VecOp op = span_op(OpKind::Mult, bits, {}, x);
+    op.ra = h;
+    const OpResult res = server.submit(op).get();
+    for (std::size_t k = 0; k < n; ++k) ASSERT_EQ(res.values[k], w[k] * x[k]);
+  }
+  server.stop();
+
+  const serve::ServeStats s = server.stats();
+  EXPECT_GT(s.modeled_load_cycles_saved, 0u);
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    if (m == *home) {
+      EXPECT_EQ(s.per_memory[m].ops, 8u);
+    } else {
+      EXPECT_EQ(s.per_memory[m].ops, 0u);
+    }
+  }
+  EXPECT_TRUE(server.unpin(h));
+}
+
+TEST(Residency, ServerRejectsForeignAndConflictingHandles) {
+  const unsigned bits = 8;
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem);
+  serve::Server server(eng);
+
+  const std::size_t n = 64;
+  const auto w = random_vec(n, bits, 81);
+  // Pinned directly on the engine, not through the server: no home.
+  const ResidentOperand foreign = eng.pin(w, bits, OperandLayout::MultUnit);
+  const auto x = random_vec(n, bits, 82);
+  VecOp op = span_op(OpKind::Mult, bits, {}, x);
+  op.ra = foreign;
+  EXPECT_THROW((void)server.submit(op), std::invalid_argument);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace bpim::engine
