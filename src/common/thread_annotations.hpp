@@ -1,0 +1,149 @@
+#pragma once
+// Clang Thread Safety Analysis wrappers: an annotated Mutex / MutexLock /
+// CondVar trio plus the attribute macros, so every locked class in the tree
+// states its lock discipline in a form the compiler can *prove* at build
+// time (clang -Wthread-safety; see the CI `thread-safety` job). Under any
+// other compiler the attributes expand to nothing and the wrappers are
+// zero-cost veneers over <mutex> / <condition_variable>.
+//
+// Usage pattern (see engine::ThreadPool for the canonical migration):
+//
+//   class Account {
+//     void withdraw(int n) BPIM_EXCLUDES(mutex_) {
+//       MutexLock lk(mutex_);
+//       while (balance_ < n) funds_cv_.wait(mutex_);
+//       balance_ -= n;
+//     }
+//     Mutex mutex_;
+//     CondVar funds_cv_;
+//     int balance_ BPIM_GUARDED_BY(mutex_) = 0;
+//   };
+//
+// Two deliberate restrictions keep the annotations provable:
+//   * CondVar has no predicate-taking wait: the analysis cannot see that a
+//     predicate lambda runs with the lock held, so guarded reads inside it
+//     would be flagged. Write the `while (!pred) cv.wait(mutex_);` loop in
+//     the annotated function instead.
+//   * MutexLock is the only scoped lock (std::lock_guard/unique_lock carry
+//     no annotations). It supports early unlock() and re-lock() so the
+//     unlock-before-notify idiom stays expressible.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define BPIM_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define BPIM_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a lockable capability (names it in diagnostics).
+#define BPIM_CAPABILITY(x) BPIM_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII class that acquires a capability for its lifetime.
+#define BPIM_SCOPED_CAPABILITY BPIM_THREAD_ANNOTATION(scoped_lockable)
+/// Field may only be accessed while holding the given mutex.
+#define BPIM_GUARDED_BY(x) BPIM_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee may only be accessed while holding the given mutex.
+#define BPIM_PT_GUARDED_BY(x) BPIM_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Caller must hold the given mutex(es) when calling.
+#define BPIM_REQUIRES(...) BPIM_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the given mutex(es) when calling (the function
+/// acquires them itself; guards against self-deadlock).
+#define BPIM_EXCLUDES(...) BPIM_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Function acquires the capability and holds it on return.
+#define BPIM_ACQUIRE(...) BPIM_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases the capability.
+#define BPIM_RELEASE(...) BPIM_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns the given value.
+#define BPIM_TRY_ACQUIRE(...) BPIM_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Runtime assertion that the capability is held (trusted by the analysis).
+#define BPIM_ASSERT_CAPABILITY(x) BPIM_THREAD_ANNOTATION(assert_capability(x))
+/// Function returns a reference to the given capability.
+#define BPIM_RETURN_CAPABILITY(x) BPIM_THREAD_ANNOTATION(lock_returned(x))
+/// Escape hatch; must not appear in src/engine or src/serve (CI greps).
+#define BPIM_NO_THREAD_SAFETY_ANALYSIS BPIM_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace bpim {
+
+class CondVar;
+
+/// std::mutex with capability annotations.
+class BPIM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() BPIM_ACQUIRE() { m_.lock(); }
+  void unlock() BPIM_RELEASE() { m_.unlock(); }
+  [[nodiscard]] bool try_lock() BPIM_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// RAII lock over a Mutex (the annotated stand-in for std::lock_guard /
+/// std::unique_lock). Supports early unlock() and re-lock().
+class BPIM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) BPIM_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~MutexLock() BPIM_RELEASE() {
+    if (held_) m_.unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() BPIM_RELEASE() {
+    m_.unlock();
+    held_ = false;
+  }
+  void lock() BPIM_ACQUIRE() {
+    m_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& m_;
+  bool held_ = true;
+};
+
+/// Condition variable bound to the annotated Mutex. Waits atomically
+/// release the mutex and reacquire it before returning, so as far as the
+/// static analysis (and the caller) is concerned the capability is held
+/// across the call -- which is exactly the std::condition_variable
+/// contract. No predicate overloads; loop in the caller (see file header).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  /// Caller must hold `m`; still holds it on return.
+  void wait(Mutex& m) BPIM_REQUIRES(m) {
+    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // ownership stays with the caller's MutexLock
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `deadline` passed.
+  template <class Clock, class Duration>
+  std::cv_status wait_until(Mutex& m,
+                            const std::chrono::time_point<Clock, Duration>& deadline)
+      BPIM_REQUIRES(m) {
+    std::unique_lock<std::mutex> lk(m.m_, std::adopt_lock);
+    const std::cv_status status = cv_.wait_until(lk, deadline);
+    lk.release();
+    return status;
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace bpim

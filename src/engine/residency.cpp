@@ -1,22 +1,12 @@
 #include "engine/residency.hpp"
 
 #include <algorithm>
-#include <atomic>
 
 #include "common/require.hpp"
 
 namespace bpim::engine {
 
-namespace {
-
-/// Process-wide id stream: handles stay unique across every engine of a
-/// multi-memory pool, so a serve-layer registry can route by id alone.
-std::uint64_t next_id() {
-  static std::atomic<std::uint64_t> counter{1};
-  return counter.fetch_add(1, std::memory_order_relaxed);
-}
-
-}  // namespace
+std::atomic<std::uint64_t> ResidencyManager::id_counter_{1};
 
 const char* to_string(OperandLayout layout) {
   switch (layout) {
@@ -39,7 +29,7 @@ ResidentOperand ResidencyManager::pin(std::span<const std::uint64_t> values, uns
   BPIM_REQUIRE(layers > 0 && layers <= capacity_,
                "pinned operand exceeds the array's row-pair capacity");
   ResidentOperand h;
-  h.id = next_id();
+  h.id = next_operand_id();
   h.elements = values.size();
   h.bits = bits;
   h.layout = layout;
@@ -49,19 +39,19 @@ ResidentOperand ResidencyManager::pin(std::span<const std::uint64_t> values, uns
   entry->handle = h;
   entry->values.assign(values.begin(), values.end());
 
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   entry->last_use = ++tick_;
   entries_.emplace(h.id, std::move(entry));
   return h;
 }
 
 bool ResidencyManager::unpin(std::uint64_t id) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   return entries_.erase(id) > 0;
 }
 
 ResidencyStats ResidencyManager::stats() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   ResidencyStats s;
   s.pinned = entries_.size();
   for (const auto& [id, e] : entries_) {
@@ -75,7 +65,7 @@ ResidencyStats ResidencyManager::stats() const {
 }
 
 std::size_t ResidencyManager::resident_layers() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   std::size_t total = 0;
   for (const auto& [id, e] : entries_)
     if (e->materialized) total += e->handle.layers;
@@ -83,7 +73,7 @@ std::size_t ResidencyManager::resident_layers() const {
 }
 
 ResidencyManager::Entry* ResidencyManager::touch(std::uint64_t id) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   const auto it = entries_.find(id);
   if (it == entries_.end()) return nullptr;
   it->second->last_use = ++tick_;
@@ -104,7 +94,7 @@ bool ResidencyManager::evict_lru(Pred&& victim_ok) {
 }
 
 void ResidencyManager::reserve_transient(std::size_t transient_layers) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   BPIM_REQUIRE(transient_layers <= capacity_, "vector exceeds memory capacity");
   // Handles allocate top-down, so a conflict with the bottom transient
   // region is exactly the "pinned + transient exceeds capacity" overflow;
@@ -133,7 +123,7 @@ std::size_t ResidencyManager::find_gap(std::size_t layers) const {
 }
 
 bool ResidencyManager::ensure_rows(Entry& e, const Entry* keep) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   if (e.materialized) return false;
   for (;;) {
     const std::size_t base = find_gap(e.handle.layers);
@@ -153,7 +143,7 @@ bool ResidencyManager::ensure_rows(Entry& e, const Entry* keep) {
 }
 
 void ResidencyManager::note_saved(std::uint64_t cycles) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   load_cycles_saved_ += cycles;
 }
 

@@ -26,12 +26,14 @@
 // concurrent pin() calls. Do not unpin a handle while ops referencing it
 // are still in flight.
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
+
+#include "common/thread_annotations.hpp"
 
 namespace bpim::engine {
 
@@ -76,16 +78,25 @@ class ResidencyManager {
   /// materialization is lazy, see file header). `layers` must fit the
   /// array on its own.
   [[nodiscard]] ResidentOperand pin(std::span<const std::uint64_t> values, unsigned bits,
-                                    OperandLayout layout, std::size_t layers);
+                                    OperandLayout layout, std::size_t layers)
+      BPIM_EXCLUDES(mutex_);
   /// Drop a handle (false when unknown). The rows are simply freed; the
   /// data is abandoned in place like any other stale SRAM content.
-  bool unpin(std::uint64_t id);
+  bool unpin(std::uint64_t id) BPIM_EXCLUDES(mutex_);
+
+  /// Draw the next handle id from the process-wide stream. Ids stay unique
+  /// across every engine of a multi-memory pool, so a serve-layer registry
+  /// can route by id alone. Class-scope (not a function-local static) so
+  /// the thread-safety analysis and tests can name it.
+  [[nodiscard]] static std::uint64_t next_operand_id() {
+    return id_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
-  [[nodiscard]] ResidencyStats stats() const;
+  [[nodiscard]] ResidencyStats stats() const BPIM_EXCLUDES(mutex_);
   /// Row-pair layers currently materialized (the budget batch schedulers
   /// subtract from row_pair_capacity()).
-  [[nodiscard]] std::size_t resident_layers() const;
+  [[nodiscard]] std::size_t resident_layers() const BPIM_EXCLUDES(mutex_);
 
   // ---- run-thread side (the engine, inside run()/run_batch()) -------------
 
@@ -102,34 +113,36 @@ class ResidencyManager {
 
   /// Resolve a handle for execution and bump its LRU clock. Null if the id
   /// is unknown (unpinned, or pinned on a different engine).
-  [[nodiscard]] Entry* touch(std::uint64_t id);
+  [[nodiscard]] Entry* touch(std::uint64_t id) BPIM_EXCLUDES(mutex_);
 
   /// Free the bottom `transient_layers` row pairs for a fully-transient op:
   /// materialized handles whose rows conflict are evicted, LRU first.
-  void reserve_transient(std::size_t transient_layers);
+  void reserve_transient(std::size_t transient_layers) BPIM_EXCLUDES(mutex_);
 
   /// Give `e` rows if it has none, allocating top-down and evicting LRU
   /// handles as needed (never `keep`, the other side of the same op).
   /// Returns true when the caller must write the values into the rows.
-  [[nodiscard]] bool ensure_rows(Entry& e, const Entry* keep = nullptr);
+  [[nodiscard]] bool ensure_rows(Entry& e, const Entry* keep = nullptr) BPIM_EXCLUDES(mutex_);
 
   /// Accumulate the load cycles an op avoided by referencing handles.
-  void note_saved(std::uint64_t cycles);
+  void note_saved(std::uint64_t cycles) BPIM_EXCLUDES(mutex_);
 
  private:
   /// Highest-fitting base pair for `layers`, or capacity_ when nothing fits.
-  [[nodiscard]] std::size_t find_gap(std::size_t layers) const;
+  [[nodiscard]] std::size_t find_gap(std::size_t layers) const BPIM_REQUIRES(mutex_);
   /// Evict the LRU materialized entry satisfying `victim_ok`; false if none.
   template <class Pred>
-  bool evict_lru(Pred&& victim_ok);
+  bool evict_lru(Pred&& victim_ok) BPIM_REQUIRES(mutex_);
+
+  static std::atomic<std::uint64_t> id_counter_;  ///< next_operand_id() stream
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> entries_;
-  std::uint64_t tick_ = 0;
-  std::uint64_t materializations_ = 0;
-  std::uint64_t evictions_ = 0;
-  std::uint64_t load_cycles_saved_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Entry>> entries_ BPIM_GUARDED_BY(mutex_);
+  std::uint64_t tick_ BPIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t materializations_ BPIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t evictions_ BPIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t load_cycles_saved_ BPIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace bpim::engine

@@ -18,7 +18,7 @@ void ThreadPool::start_workers() {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -29,15 +29,15 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      MutexLock lock(mutex_);
+      while (!stop_ && epoch_ == seen_epoch) work_cv_.wait(mutex_);
       if (stop_) return;
       seen_epoch = epoch_;
       ++busy_;
     }
     drain();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --busy_;
     }
     done_cv_.notify_one();
@@ -47,15 +47,17 @@ void ThreadPool::worker_loop() {
 void ThreadPool::drain() {
   for (;;) {
     std::size_t i;
+    const std::function<void(std::size_t)>* fn;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (next_index_ >= job_size_) return;
       i = next_index_++;
+      fn = fn_;  // stable for the job's lifetime; snapshot under the lock
     }
     try {
-      (*fn_)(i);
+      (*fn)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (!error_) error_ = std::current_exception();
       next_index_ = job_size_;  // abandon remaining indices
     }
@@ -70,7 +72,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   if (workers_.empty()) start_workers();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     fn_ = &fn;
     job_size_ = n;
     next_index_ = 0;
@@ -79,11 +81,15 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   }
   work_cv_.notify_all();
   drain();  // the caller works too
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return busy_ == 0; });
-  fn_ = nullptr;
-  job_size_ = 0;
-  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (busy_ != 0) done_cv_.wait(mutex_);
+    fn_ = nullptr;
+    job_size_ = 0;
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) std::rethrow_exception(error);  // outside the lock
 }
 
 }  // namespace bpim::engine

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "macro/verifier.hpp"
 
 namespace bpim::macro {
 
@@ -138,7 +139,13 @@ void MacroController::validate(const Program& p) const {
 }
 
 ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* trace) {
-  validate(p);
+  if (mode_ == VerifyMode::VerifyFirst) {
+    const VerifyReport report = verify_program(p, macro_);
+    if (!report.ok())
+      throw std::invalid_argument("program rejected by verifier: " + report.error_summary());
+  } else {
+    validate(p);
+  }
   ProgramStats stats;
   for (const Instruction& i : p.instructions()) {
     BitVector result;

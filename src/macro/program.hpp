@@ -46,6 +46,16 @@ class Program {
   Program& sub(array::RowRef a, array::RowRef b, unsigned bits);
   Program& mult(array::RowRef a, array::RowRef b, unsigned bits);
 
+  /// Append a raw instruction with none of the builder methods' argument
+  /// checks -- the entry point for code that assembles Instructions itself
+  /// (a macro compiler, fuzzers, verifier tests). Such programs carry no
+  /// validity guarantee: check them with macro::verify_program (or run them
+  /// through a VerifyFirst controller) before execution.
+  Program& push(Instruction inst) {
+    instructions_.push_back(std::move(inst));
+    return *this;
+  }
+
   [[nodiscard]] std::size_t size() const { return instructions_.size(); }
   [[nodiscard]] bool empty() const { return instructions_.empty(); }
   [[nodiscard]] const std::vector<Instruction>& instructions() const { return instructions_; }
@@ -72,24 +82,40 @@ struct ProgramStats {
   Second elapsed{0.0};
 };
 
+/// How MacroController checks a program before execution.
+enum class VerifyMode {
+  /// The original first-fault walk (validate()): throws at the first
+  /// malformed instruction with just its index.
+  Legacy,
+  /// Run the static verifier (macro/verifier.hpp) over the whole program
+  /// first; reject with every error listed. Catches everything Legacy does
+  /// plus scratch-row role violations and budget faults.
+  VerifyFirst,
+};
+
 /// Executes programs against a macro; validates rows/precision before any
 /// state is touched (a bad program is rejected whole).
 class MacroController {
  public:
-  explicit MacroController(ImcMacro& m) : macro_(m) {}
+  explicit MacroController(ImcMacro& m, VerifyMode mode = VerifyMode::Legacy)
+      : macro_(m), mode_(mode) {}
 
   /// Throws std::invalid_argument (with the offending instruction index) if
   /// any instruction is malformed for this macro.
   void validate(const Program& p) const;
 
-  /// Validates and runs; returns stats. If `trace` is non-null, appends one
-  /// entry per instruction.
+  /// Checks (per VerifyMode) and runs; returns stats. If `trace` is
+  /// non-null, appends one entry per instruction. Rejected programs leave
+  /// the macro untouched.
   ProgramStats run(const Program& p, std::vector<TraceEntry>* trace = nullptr);
+
+  [[nodiscard]] VerifyMode mode() const { return mode_; }
 
  private:
   void check_row(const array::RowRef& r, std::size_t index) const;
 
   ImcMacro& macro_;
+  const VerifyMode mode_;
 };
 
 }  // namespace bpim::macro

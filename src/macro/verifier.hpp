@@ -1,0 +1,101 @@
+#pragma once
+// Static verifier for macro::Program -- the compile-time contract of the
+// row-level ISA. Where MacroController::validate throws on the first
+// malformed instruction, the verifier checks a whole program against an
+// array geometry *before* any state is touched and returns a structured
+// diagnostics list (severity, instruction index, message), so a macro
+// compiler (the planned fusion path that emits Programs at pin time) can
+// report every fault of an emitted program at once and tests can assert on
+// diagnostic kinds instead of string-matching exception text.
+//
+// Checked, per instruction:
+//   * row bounds against the geometry (main rows and dummy rows);
+//   * role rules of the sequencer's scratch rows: dual-WL ops need two
+//     distinct rows; MULT must not source D1/D2 (it zero-inits D2 and
+//     stages the multiplicand in D1 before reading its operands); SUB must
+//     not source `a` from D1 (cycle 2 senses a against ~b staged there);
+//   * destination discipline: NOT/COPY/SHIFT/ADD-Shift require a dest,
+//     SUB/MULT/logic ignore one (warning -- SUB drives its result out,
+//     MULT leaves it in D2);
+//   * precision: supported width, and the operand field span (2N for MULT)
+//     must fit (FieldOverflow) and divide (WidthMismatch) the row width;
+//   * data hazards across instructions sharing rows: WAW (an explicit
+//     dest overwritten before anything read it) and RAW (reading a row
+//     whose explicit definition was clobbered by a later instruction's
+//     implicit scratch-row traffic), plus precision reinterpretation
+//     (a row written as N-bit fields read back at a different width);
+//   * whole-program budgets: Table-1 static cycles and instruction count
+//     against caller-supplied limits.
+//
+// Hazard diagnostics are Warnings (the program still executes exactly as
+// written -- these flag *suspect* schedules for the compiler); everything
+// the hardware cannot execute faithfully is an Error. A program with no
+// Errors is accepted: report.ok().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "array/sram_array.hpp"
+#include "macro/program.hpp"
+
+namespace bpim::macro {
+
+enum class Severity { Warning, Error };
+
+enum class DiagKind {
+  RowOutOfRange,      ///< row index beyond the geometry's main/dummy rows
+  IdenticalRows,      ///< dual-WL op sensing the same row twice
+  RoleViolation,      ///< operand overlaps the op's implicit scratch rows
+  MissingDest,        ///< NOT/COPY/SHIFT/ADD-Shift without a destination
+  DestIgnored,        ///< dest on an op that discards it (SUB/MULT/logic)
+  BadPrecision,       ///< unsupported operand width
+  FieldOverflow,      ///< operand field span wider than the row
+  WidthMismatch,      ///< field span does not divide the row width
+  RawHazard,          ///< read of a row clobbered by implicit scratch traffic
+  WawHazard,          ///< explicit dest overwritten before any read
+  PrecisionMismatch,  ///< field-structured read at a different width than the write
+  CycleBudget,        ///< static cycles exceed VerifyLimits::max_cycles
+  InstructionBudget,  ///< instruction count exceeds VerifyLimits::max_instructions
+};
+
+[[nodiscard]] const char* to_string(Severity s);
+[[nodiscard]] const char* to_string(DiagKind k);
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  DiagKind kind = DiagKind::RowOutOfRange;
+  std::size_t instruction = 0;  ///< index into Program::instructions()
+  std::string message;
+};
+
+/// Whole-program static budgets; 0 means unlimited.
+struct VerifyLimits {
+  std::uint64_t max_cycles = 0;       ///< Table-1 static cycle budget
+  std::size_t max_instructions = 0;   ///< program length budget
+};
+
+struct VerifyReport {
+  std::vector<Diagnostic> diagnostics;  ///< program order, then budgets
+  std::uint64_t static_cycles = 0;      ///< Table-1 total (malformed ops priced 0)
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  /// Accepted: free of Errors (Warnings allowed).
+  [[nodiscard]] bool ok() const { return errors == 0; }
+  /// One line per diagnostic ("error[kind] @#i: message").
+  [[nodiscard]] std::string to_string() const;
+  /// Like to_string() but Errors only -- the verify-first rejection text.
+  [[nodiscard]] std::string error_summary() const;
+};
+
+/// Verify `p` against an array geometry (no macro instance needed -- a
+/// compiler can check emitted programs before the target array exists).
+[[nodiscard]] VerifyReport verify_program(const Program& p, const array::ArrayGeometry& g,
+                                          const VerifyLimits& limits = {});
+
+/// Convenience: verify against a live macro's geometry.
+[[nodiscard]] VerifyReport verify_program(const Program& p, const ImcMacro& m,
+                                          const VerifyLimits& limits = {});
+
+}  // namespace bpim::macro

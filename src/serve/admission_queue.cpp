@@ -11,8 +11,8 @@ AdmissionQueue::AdmissionQueue(std::size_t capacity) : capacity_(capacity) {
 }
 
 bool AdmissionQueue::push(detail::Ticket&& t) {
-  std::unique_lock lk(mutex_);
-  not_full_.wait(lk, [&] { return closed_ || queue_.size() < capacity_; });
+  MutexLock lk(mutex_);
+  while (!closed_ && queue_.size() >= capacity_) not_full_.wait(mutex_);
   if (closed_) return false;
   queue_.push_back(std::move(t));
   peak_depth_ = std::max(peak_depth_, queue_.size());
@@ -23,7 +23,7 @@ bool AdmissionQueue::push(detail::Ticket&& t) {
 
 bool AdmissionQueue::try_push(detail::Ticket&& t) {
   {
-    std::lock_guard lk(mutex_);
+    MutexLock lk(mutex_);
     if (closed_ || queue_.size() >= capacity_) return false;
     queue_.push_back(std::move(t));
     peak_depth_ = std::max(peak_depth_, queue_.size());
@@ -35,16 +35,16 @@ bool AdmissionQueue::try_push(detail::Ticket&& t) {
 bool AdmissionQueue::wait_pop_all(std::vector<detail::Ticket>& out,
                                   std::chrono::microseconds coalesce_window,
                                   std::size_t fill_target) {
-  std::unique_lock lk(mutex_);
+  MutexLock lk(mutex_);
   for (;;) {
     // Closed overrides pause: shutdown must drain even a paused queue.
-    not_empty_.wait(lk, [&] { return closed_ || (!paused_ && !queue_.empty()); });
+    while (!closed_ && (paused_ || queue_.empty())) not_empty_.wait(mutex_);
     if (queue_.empty()) return false;  // closed and fully drained
     if (coalesce_window.count() > 0 && !closed_ && queue_.size() < fill_target) {
       const auto until = Clock::now() + coalesce_window;
-      not_empty_.wait_until(lk, until, [&] {
-        return closed_ || paused_ || queue_.size() >= fill_target;
-      });
+      while (!closed_ && !paused_ && queue_.size() < fill_target) {
+        if (not_empty_.wait_until(mutex_, until) == std::cv_status::timeout) break;
+      }
     }
     // A pause landing mid-linger freezes the drain too: back to the outer
     // wait so the stage-then-release contract holds.
@@ -55,7 +55,7 @@ bool AdmissionQueue::wait_pop_all(std::vector<detail::Ticket>& out,
 }
 
 void AdmissionQueue::try_pop_all(std::vector<detail::Ticket>& out) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   if (paused_ && !closed_) return;
   drain_locked(out);
 }
@@ -70,7 +70,7 @@ void AdmissionQueue::drain_locked(std::vector<detail::Ticket>& out) {
 
 void AdmissionQueue::close() {
   {
-    std::lock_guard lk(mutex_);
+    MutexLock lk(mutex_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -78,25 +78,25 @@ void AdmissionQueue::close() {
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   return closed_;
 }
 
 void AdmissionQueue::set_paused(bool paused) {
   {
-    std::lock_guard lk(mutex_);
+    MutexLock lk(mutex_);
     paused_ = paused;
   }
   if (!paused) not_empty_.notify_all();
 }
 
 std::size_t AdmissionQueue::depth() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   return queue_.size();
 }
 
 std::size_t AdmissionQueue::peak_depth() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   return peak_depth_;
 }
 

@@ -17,11 +17,10 @@
 // release them as one deterministic coalescing decision.
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "serve/request.hpp"
 
 namespace bpim::serve {
@@ -35,10 +34,10 @@ class AdmissionQueue {
 
   /// Block until there is room, then admit. Returns false (ticket left
   /// untouched) if the queue is or becomes closed.
-  [[nodiscard]] bool push(detail::Ticket&& t);
+  [[nodiscard]] bool push(detail::Ticket&& t) BPIM_EXCLUDES(mutex_);
   /// Admit only if there is room right now. Returns false (ticket left
   /// untouched) when full or closed.
-  [[nodiscard]] bool try_push(detail::Ticket&& t);
+  [[nodiscard]] bool try_push(detail::Ticket&& t) BPIM_EXCLUDES(mutex_);
 
   /// Consumer: block until at least one ticket is available (and the queue
   /// is not paused), linger up to `coalesce_window` for the depth to reach
@@ -47,35 +46,34 @@ class AdmissionQueue {
   /// the drain is complete.
   [[nodiscard]] bool wait_pop_all(std::vector<detail::Ticket>& out,
                                   std::chrono::microseconds coalesce_window,
-                                  std::size_t fill_target);
+                                  std::size_t fill_target) BPIM_EXCLUDES(mutex_);
   /// Consumer: append whatever is queued right now (nothing while paused).
-  void try_pop_all(std::vector<detail::Ticket>& out);
+  void try_pop_all(std::vector<detail::Ticket>& out) BPIM_EXCLUDES(mutex_);
 
   /// Stop admitting; wakes blocked producers (push fails) and the consumer
   /// (which drains the remainder). Idempotent.
-  void close();
-  [[nodiscard]] bool closed() const;
+  void close() BPIM_EXCLUDES(mutex_);
+  [[nodiscard]] bool closed() const BPIM_EXCLUDES(mutex_);
 
   /// Freeze/unfreeze the consumer side; a close() overrides pause.
-  void set_paused(bool paused);
+  void set_paused(bool paused) BPIM_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t depth() const;
-  [[nodiscard]] std::size_t peak_depth() const;
+  [[nodiscard]] std::size_t depth() const BPIM_EXCLUDES(mutex_);
+  [[nodiscard]] std::size_t peak_depth() const BPIM_EXCLUDES(mutex_);
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
  private:
   /// Move every queued ticket to `out` and wake blocked producers.
-  /// Caller holds mutex_.
-  void drain_locked(std::vector<detail::Ticket>& out);
+  void drain_locked(std::vector<detail::Ticket>& out) BPIM_REQUIRES(mutex_);
 
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;   ///< producers park here
-  std::condition_variable not_empty_;  ///< the consumer parks here
-  std::deque<detail::Ticket> queue_;
-  std::size_t peak_depth_ = 0;
-  bool closed_ = false;
-  bool paused_ = false;
+  mutable Mutex mutex_;
+  CondVar not_full_;   ///< producers park here
+  CondVar not_empty_;  ///< the consumer parks here
+  std::deque<detail::Ticket> queue_ BPIM_GUARDED_BY(mutex_);
+  std::size_t peak_depth_ BPIM_GUARDED_BY(mutex_) = 0;
+  bool closed_ BPIM_GUARDED_BY(mutex_) = false;
+  bool paused_ BPIM_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace bpim::serve

@@ -140,7 +140,7 @@ std::vector<std::size_t> MemoryPool::place(const std::vector<Slot>& group) {
       for (const Slot& s : group) where.push_back(s.home ? *s.home : s.operand_hash % n);
       break;
     case Placement::LeastLoaded: {
-      std::lock_guard lk(mutex_);
+      MutexLock lk(mutex_);
       // Charge each assignment an in-flight estimate right away, so the
       // sub-batches of one concurrent dispatch group spread across
       // memories instead of all chasing the same minimum. Homed slots are
@@ -164,7 +164,7 @@ std::vector<std::size_t> MemoryPool::place(const std::vector<Slot>& group) {
 
 void MemoryPool::on_batch_done(std::size_t mem, std::size_t layers,
                                std::uint64_t pipelined_cycles) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   BPIM_REQUIRE(mem < load_cycles_.size(), "pool memory index out of range");
   load_cycles_[mem] += pipelined_cycles;
   total_cycles_ += pipelined_cycles;
@@ -172,7 +172,7 @@ void MemoryPool::on_batch_done(std::size_t mem, std::size_t layers,
 }
 
 std::vector<std::uint64_t> MemoryPool::dispatched_cycles() const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   return load_cycles_;
 }
 

@@ -29,10 +29,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "engine/execution_engine.hpp"
 #include "macro/memory.hpp"
 
@@ -93,17 +93,19 @@ class MemoryPool {
 
   /// Assign each slot of one dispatch group a memory index. Deterministic
   /// for a given pool history. Scheduler-thread only.
-  [[nodiscard]] std::vector<std::size_t> place(const std::vector<Slot>& group);
+  [[nodiscard]] std::vector<std::size_t> place(const std::vector<Slot>& group)
+      BPIM_EXCLUDES(mutex_);
 
   /// Completion feedback: `pipelined_cycles` ran on memory `mem`. Keeps the
   /// least-loaded account honest. Called concurrently from the server's
   /// lane workers as each sub-batch finishes; the load account is
   /// mutex-guarded (unlike rr_next_, which really is scheduler-only).
-  void on_batch_done(std::size_t mem, std::size_t layers, std::uint64_t pipelined_cycles);
+  void on_batch_done(std::size_t mem, std::size_t layers, std::uint64_t pipelined_cycles)
+      BPIM_EXCLUDES(mutex_);
 
   /// Cumulative modeled pipelined cycles dispatched per memory (snapshot;
   /// callable from any thread).
-  [[nodiscard]] std::vector<std::uint64_t> dispatched_cycles() const;
+  [[nodiscard]] std::vector<std::uint64_t> dispatched_cycles() const BPIM_EXCLUDES(mutex_);
 
  private:
   /// One NUMA node. Owning pools populate memory/owned_engine; non-owning
@@ -120,11 +122,14 @@ class MemoryPool {
   std::vector<engine::ExecutionEngine*> engines_;  ///< flat view, index == memory id
   Placement placement_ = Placement::LeastLoaded;
   std::size_t rr_next_ = 0;  ///< RoundRobin cursor (scheduler-thread only)
-  /// Guards the load account (written by the scheduler, read by stats).
-  mutable std::mutex mutex_;
-  std::vector<std::uint64_t> load_cycles_;  ///< completed pipelined cycles per memory
-  std::uint64_t total_cycles_ = 0;          ///< across memories, for the in-flight estimate
-  std::uint64_t total_layers_ = 0;
+  /// Guards the load account (written by the scheduler and lane workers,
+  /// read by stats).
+  mutable Mutex mutex_;
+  /// Completed pipelined cycles per memory.
+  std::vector<std::uint64_t> load_cycles_ BPIM_GUARDED_BY(mutex_);
+  /// Across memories, for the in-flight estimate.
+  std::uint64_t total_cycles_ BPIM_GUARDED_BY(mutex_) = 0;
+  std::uint64_t total_layers_ BPIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace bpim::serve

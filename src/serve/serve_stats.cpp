@@ -28,29 +28,29 @@ ServeLedger::ServeLedger(std::size_t memories) {
 }
 
 void ServeLedger::on_submitted() {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   ++totals_.submitted;
 }
 
 void ServeLedger::on_submit_rescinded() {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   --totals_.submitted;
 }
 
 void ServeLedger::on_rejected() {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   ++totals_.rejected;
 }
 
 void ServeLedger::on_expired(std::size_t n) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   totals_.expired += n;
 }
 
 void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
                            const std::vector<double>& host_us_samples,
                            const std::vector<std::size_t>& op_layers) {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   BPIM_REQUIRE(rec.memory < totals_.per_memory.size(), "batch memory out of range");
   ++totals_.batches;
   totals_.completed += rec.ops;
@@ -88,7 +88,7 @@ void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
 
 ServeStats ServeLedger::snapshot(std::size_t queue_depth,
                                  std::size_t peak_queue_depth) const {
-  std::lock_guard lk(mutex_);
+  MutexLock lk(mutex_);
   ServeStats s = totals_;
   s.queue_depth = queue_depth;
   s.peak_queue_depth = peak_queue_depth;

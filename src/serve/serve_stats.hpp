@@ -20,10 +20,10 @@
 // aggregate makespan is the busiest lane's total, not the sum.
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "engine/execution_engine.hpp"
 
@@ -132,11 +132,11 @@ class ServeLedger {
   /// `memories` sizes the per-memory lanes (>= 1).
   explicit ServeLedger(std::size_t memories = 1);
 
-  void on_submitted();
+  void on_submitted() BPIM_EXCLUDES(mutex_);
   /// Undo one on_submitted(): the push raced a close and was never admitted.
-  void on_submit_rescinded();
-  void on_rejected();
-  void on_expired(std::size_t n);
+  void on_submit_rescinded() BPIM_EXCLUDES(mutex_);
+  void on_rejected() BPIM_EXCLUDES(mutex_);
+  void on_expired(std::size_t n) BPIM_EXCLUDES(mutex_);
   /// Record one executed batch: its shape (rec.memory selects the lane), the
   /// engine's BatchStats, the per-request latency samples (host
   /// microseconds, one per request) and per-request row-pair layers. Each
@@ -145,22 +145,22 @@ class ServeLedger {
   /// sum to zero).
   void on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
                 const std::vector<double>& host_us_samples,
-                const std::vector<std::size_t>& op_layers = {});
+                const std::vector<std::size_t>& op_layers = {}) BPIM_EXCLUDES(mutex_);
 
   [[nodiscard]] ServeStats snapshot(std::size_t queue_depth,
-                                    std::size_t peak_queue_depth) const;
+                                    std::size_t peak_queue_depth) const BPIM_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   /// Counter and lane fields only: the cycle/energy aggregates
   /// (modeled_pipelined/serial/makespan, energy) are derived from
   /// aggregate_ and the lanes at snapshot() and stay zero in here.
-  ServeStats totals_;
-  engine::BatchStats aggregate_;     ///< every sub-batch's BatchStats, merged
-  SampleSet host_us_;                ///< per-request samples
-  SampleSet modeled_cycles_;         ///< per-request samples
-  std::vector<BatchRecord> recent_;  ///< ring, oldest at recent_begin_
-  std::size_t recent_begin_ = 0;
+  ServeStats totals_ BPIM_GUARDED_BY(mutex_);
+  engine::BatchStats aggregate_ BPIM_GUARDED_BY(mutex_);  ///< every sub-batch's BatchStats, merged
+  SampleSet host_us_ BPIM_GUARDED_BY(mutex_);             ///< per-request samples
+  SampleSet modeled_cycles_ BPIM_GUARDED_BY(mutex_);      ///< per-request samples
+  std::vector<BatchRecord> recent_ BPIM_GUARDED_BY(mutex_);  ///< ring, oldest at recent_begin_
+  std::size_t recent_begin_ BPIM_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace bpim::serve

@@ -97,7 +97,7 @@ detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
   // Resident operands anchor the request to the memory that holds them;
   // two handles on one op must agree.
   if (op.ra || op.rb) {
-    std::lock_guard lk(pin_mutex_);
+    MutexLock lk(pin_mutex_);
     const auto home_of = [&](const engine::ResidentOperand& h) -> std::optional<std::size_t> {
       if (!h) return std::nullopt;
       const auto it = pin_home_.find(h.id);
@@ -176,7 +176,7 @@ engine::ResidentOperand Server::pin(std::span<const std::uint64_t> values, unsig
       pool_->size() == 1 ? 0 : hash_pin(values, bits, layout) % pool_->size();
   const engine::ResidentOperand handle = pool_->engine(m).pin(values, bits, layout);
   {
-    std::lock_guard lk(pin_mutex_);
+    MutexLock lk(pin_mutex_);
     pin_home_.emplace(handle.id, m);
   }
   return handle;
@@ -186,7 +186,7 @@ bool Server::unpin(const engine::ResidentOperand& handle) {
   if (!handle) return false;
   std::size_t m = 0;
   {
-    std::lock_guard lk(pin_mutex_);
+    MutexLock lk(pin_mutex_);
     const auto it = pin_home_.find(handle.id);
     if (it == pin_home_.end()) return false;
     m = it->second;
@@ -196,13 +196,13 @@ bool Server::unpin(const engine::ResidentOperand& handle) {
 }
 
 std::optional<std::size_t> Server::memory_of(std::uint64_t handle_id) const {
-  std::lock_guard lk(pin_mutex_);
+  MutexLock lk(pin_mutex_);
   const auto it = pin_home_.find(handle_id);
   return it == pin_home_.end() ? std::nullopt : std::optional<std::size_t>(it->second);
 }
 
 void Server::stop() {
-  std::lock_guard lk(stop_mutex_);
+  MutexLock lk(stop_mutex_);
   stopping_.store(true, std::memory_order_release);
   queue_.close();
   queue_.set_paused(false);  // a paused scheduler must still drain and exit

@@ -46,6 +46,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hpp"
 #include "engine/execution_engine.hpp"
 #include "serve/admission_queue.hpp"
 #include "serve/memory_pool.hpp"
@@ -75,11 +76,12 @@ class Server {
   /// unsupported precision, vector exceeding memory capacity) and
   /// ServerStopped after stop().
   [[nodiscard]] std::future<engine::OpResult> submit(const engine::VecOp& op,
-                                                     SubmitOptions opts = {});
+                                                     SubmitOptions opts = {})
+      BPIM_EXCLUDES(pin_mutex_);
   /// Like submit() but never blocks: nullopt when the queue is full (the
   /// rejection is counted in ServeStats).
   [[nodiscard]] std::optional<std::future<engine::OpResult>> try_submit(
-      const engine::VecOp& op, SubmitOptions opts = {});
+      const engine::VecOp& op, SubmitOptions opts = {}) BPIM_EXCLUDES(pin_mutex_);
 
   /// Pin an operand resident behind the serving frontend: a deterministic
   /// operand hash picks the pool memory (so re-pinning the same values
@@ -88,16 +90,18 @@ class Server {
   /// copied; the materializing write happens on the scheduler side at
   /// first use. Thread-safe; throws ServerStopped after stop().
   [[nodiscard]] engine::ResidentOperand pin(std::span<const std::uint64_t> values,
-                                            unsigned bits, engine::OperandLayout layout);
+                                            unsigned bits, engine::OperandLayout layout)
+      BPIM_EXCLUDES(pin_mutex_);
   /// Drop a pinned operand (false when unknown). Safe after stop() as long
   /// as the pool is alive; must not race requests that reference it.
-  bool unpin(const engine::ResidentOperand& handle);
+  bool unpin(const engine::ResidentOperand& handle) BPIM_EXCLUDES(pin_mutex_);
   /// Pool memory holding `handle_id`, if pinned through this server.
-  [[nodiscard]] std::optional<std::size_t> memory_of(std::uint64_t handle_id) const;
+  [[nodiscard]] std::optional<std::size_t> memory_of(std::uint64_t handle_id) const
+      BPIM_EXCLUDES(pin_mutex_);
 
   /// Close admission, drain every accepted request, join the scheduler.
   /// Idempotent; implied by the destructor.
-  void stop();
+  void stop() BPIM_EXCLUDES(stop_mutex_);
   [[nodiscard]] bool stopped() const { return stopping_.load(std::memory_order_acquire); }
 
   /// Freeze/release the scheduler (admission stays open): stage a set of
@@ -111,12 +115,14 @@ class Server {
   /// server) -- kept for capacity/geometry queries; all pool memories are
   /// shape-identical.
   [[nodiscard]] engine::ExecutionEngine& engine() { return pool_->engine(0); }
+  [[nodiscard]] const engine::ExecutionEngine& engine() const { return pool_->engine(0); }
   [[nodiscard]] const MemoryPool& pool() const { return *pool_; }
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
 
  private:
   /// Validate + package one request (throws std::invalid_argument).
-  detail::Ticket make_ticket(const engine::VecOp& op, SubmitOptions opts);
+  detail::Ticket make_ticket(const engine::VecOp& op, SubmitOptions opts)
+      BPIM_EXCLUDES(pin_mutex_);
   void scheduler_loop();
   /// Run one dispatch group: sub-batch i on pool memory where[i], distinct
   /// memories concurrently; each lane accounts and fulfills its own
@@ -130,16 +136,20 @@ class Server {
   AdmissionQueue queue_;
   mutable ServeLedger ledger_;
   /// handle id -> pool memory, for routing resident-operand requests.
-  mutable std::mutex pin_mutex_;
-  std::unordered_map<std::uint64_t, std::size_t> pin_home_;
+  mutable Mutex pin_mutex_;
+  std::unordered_map<std::uint64_t, std::size_t> pin_home_ BPIM_GUARDED_BY(pin_mutex_);
   /// Persistent lane workers for multi-memory dispatch groups (scheduler
   /// thread included); workers start lazily, so a pool-of-one server never
   /// spawns any.
   engine::ThreadPool lane_pool_;
   std::atomic<std::uint64_t> seq_{0};
+  /// Set (under stop_mutex_) before admission closes; read lock-free by
+  /// stopped()/submit fast paths. The release store in stop() pairs with
+  /// the acquire load in stopped().
   std::atomic<bool> stopping_{false};
-  std::mutex stop_mutex_;  ///< serialises concurrent stop() calls
-  std::thread scheduler_;
+  Mutex stop_mutex_;  ///< serialises concurrent stop() calls
+  /// Joined exactly once, by whichever stop() call holds stop_mutex_.
+  std::thread scheduler_ BPIM_GUARDED_BY(stop_mutex_);
 };
 
 }  // namespace bpim::serve

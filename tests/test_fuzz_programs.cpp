@@ -9,6 +9,7 @@
 
 #include "common/rng.hpp"
 #include "macro/program.hpp"
+#include "macro/verifier.hpp"
 
 namespace bpim::macro {
 namespace {
@@ -126,7 +127,7 @@ TEST(FuzzPrograms, RandomStreamsMatchReferenceMachine) {
   for (int round = 0; round < 12; ++round) {
     ImcMacro macro{MacroConfig{}};
     ReferenceMachine ref(macro.cols());
-    MacroController ctl(macro);
+    MacroController ctl(macro, VerifyMode::VerifyFirst);
 
     // Seed six main rows with random data in both machines.
     for (std::size_t r = 0; r < 6; ++r) {
@@ -154,6 +155,11 @@ TEST(FuzzPrograms, RandomStreamsMatchReferenceMachine) {
       }
     }
 
+    // Every builder-produced stream must pass the static verifier before it
+    // executes -- and then execute identically to the reference machine.
+    const VerifyReport rep = verify_program(p, macro);
+    ASSERT_TRUE(rep.ok()) << "round " << round << ":\n" << rep.to_string();
+
     std::vector<TraceEntry> trace;
     ctl.run(p, &trace);
     ASSERT_EQ(trace.size(), p.size());
@@ -164,6 +170,52 @@ TEST(FuzzPrograms, RandomStreamsMatchReferenceMachine) {
       if (trace[k].result == want) continue;
       break;  // stop at first divergence; states are now unrelated
     }
+  }
+}
+
+TEST(FuzzPrograms, CorruptedStreamsAreRejectedBeforeExecution) {
+  Rng rng(0xDEAD);
+  for (int round = 0; round < 12; ++round) {
+    ImcMacro macro{MacroConfig{}};
+    MacroController ctl(macro, VerifyMode::VerifyFirst);
+
+    // A short valid prefix, then one corrupted instruction mid-stream.
+    Program p;
+    for (int n = 0; n < 5; ++n)
+      p.add(RowRef::main(rng.uniform_u64(6)), RowRef::main(6 + rng.uniform_u64(6)), 8);
+    Instruction bad;
+    bad.b = RowRef::main(1);
+    switch (rng.uniform_u64(4)) {
+      case 0:  // row beyond the array
+        bad.op = Op::Add;
+        bad.a = RowRef::main(500 + rng.uniform_u64(500));
+        bad.bits = 8;
+        break;
+      case 1:  // width the ISA does not implement
+        bad.op = Op::Sub;
+        bad.a = RowRef::main(0);
+        bad.bits = 7;
+        break;
+      case 2:  // dual-WL op sensing one row twice
+        bad.op = Op::Add;
+        bad.a = RowRef::main(1);
+        bad.bits = 8;
+        break;
+      case 3:  // MULT sourcing its own scratch row
+        bad.op = Op::Mult;
+        bad.a = RowRef::dummy(2);
+        bad.bits = 8;
+        break;
+    }
+    p.push(bad);
+    for (int n = 0; n < 5; ++n)
+      p.add(RowRef::main(rng.uniform_u64(6)), RowRef::main(6 + rng.uniform_u64(6)), 8);
+
+    const VerifyReport rep = verify_program(p, macro);
+    EXPECT_FALSE(rep.ok()) << "round " << round << ": corruption not caught";
+    EXPECT_THROW(ctl.run(p), std::invalid_argument);
+    // Rejected whole: the valid prefix never executed either.
+    EXPECT_EQ(macro.total_cycles(), 0u) << "round " << round;
   }
 }
 

@@ -1,0 +1,290 @@
+// Static program verifier: every diagnostic kind has a program that
+// triggers it, builder-produced programs are accepted, and the controller's
+// verify-first mode matches legacy execution on valid programs while
+// rejecting bad ones before the macro is touched.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "macro/program.hpp"
+#include "macro/verifier.hpp"
+
+namespace bpim::macro {
+namespace {
+
+using array::ArrayGeometry;
+using array::RowRef;
+using periph::LogicFn;
+
+ArrayGeometry default_geometry() { return MacroConfig{}.geometry; }
+
+bool has(const VerifyReport& r, DiagKind kind) {
+  return std::any_of(r.diagnostics.begin(), r.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.kind == kind; });
+}
+
+const Diagnostic& first(const VerifyReport& r, DiagKind kind) {
+  for (const auto& d : r.diagnostics)
+    if (d.kind == kind) return d;
+  throw std::logic_error("diagnostic kind not present");
+}
+
+TEST(Verifier, AcceptsBuilderProgramCleanly) {
+  Program p;
+  p.logic(LogicFn::Xor, RowRef::main(0), RowRef::main(1))
+      .unary(Op::Not, RowRef::main(2), RowRef::dummy(0), 8)
+      .add(RowRef::main(0), RowRef::dummy(0), 8)
+      .add_shift(RowRef::main(1), RowRef::main(2), 8, RowRef::dummy(2))
+      .sub(RowRef::main(3), RowRef::main(4), 16)
+      .mult(RowRef::main(4), RowRef::main(5), 8);
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.errors, 0u);
+  EXPECT_EQ(rep.warnings, 0u);
+  EXPECT_EQ(rep.static_cycles, p.static_cycles());
+}
+
+TEST(Verifier, FlagsRowsOutOfRange) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(200), 8)         // main beyond rows
+      .unary(Op::Not, RowRef::main(1), RowRef::dummy(7), 8);  // dummy beyond dummy_rows
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_EQ(rep.errors, 2u);
+  EXPECT_TRUE(has(rep, DiagKind::RowOutOfRange));
+  EXPECT_EQ(first(rep, DiagKind::RowOutOfRange).instruction, 0u);
+}
+
+TEST(Verifier, FlagsIdenticalDualWlRows) {
+  Program p;
+  p.add(RowRef::main(3), RowRef::main(3), 8);
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has(rep, DiagKind::IdenticalRows));
+}
+
+TEST(Verifier, FlagsScratchRowRoleViolations) {
+  Program bad_mult;
+  bad_mult.mult(RowRef::dummy(1), RowRef::main(1), 8);
+  EXPECT_TRUE(has(verify_program(bad_mult, default_geometry()), DiagKind::RoleViolation));
+
+  Program bad_mult_b;
+  bad_mult_b.mult(RowRef::main(0), RowRef::dummy(2), 8);
+  EXPECT_TRUE(has(verify_program(bad_mult_b, default_geometry()), DiagKind::RoleViolation));
+
+  Program bad_sub;
+  bad_sub.sub(RowRef::dummy(1), RowRef::main(0), 8);
+  EXPECT_TRUE(has(verify_program(bad_sub, default_geometry()), DiagKind::RoleViolation));
+
+  // The subtrahend may be D1: it is sensed before the scratch overwrite.
+  Program ok_sub;
+  ok_sub.sub(RowRef::main(0), RowRef::dummy(1), 8);
+  EXPECT_TRUE(verify_program(ok_sub, default_geometry()).ok());
+}
+
+TEST(Verifier, FlagsMissingDest) {
+  Program p;
+  Instruction i;
+  i.op = Op::Shift;
+  i.a = RowRef::main(0);
+  i.dest = std::nullopt;
+  p.push(i);
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has(rep, DiagKind::MissingDest));
+}
+
+TEST(Verifier, WarnsOnIgnoredDest) {
+  Program p;
+  Instruction i;
+  i.op = Op::Sub;
+  i.a = RowRef::main(0);
+  i.b = RowRef::main(1);
+  i.dest = RowRef::dummy(0);
+  p.push(i);
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_TRUE(rep.ok());  // a warning, not an error
+  EXPECT_EQ(rep.warnings, 1u);
+  EXPECT_TRUE(has(rep, DiagKind::DestIgnored));
+}
+
+TEST(Verifier, FlagsUnsupportedPrecision) {
+  Program p;
+  Instruction i;
+  i.op = Op::Add;
+  i.a = RowRef::main(0);
+  i.b = RowRef::main(1);
+  i.bits = 5;
+  p.push(i);
+  Instruction z = i;
+  z.bits = 0;
+  p.push(z);
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_EQ(rep.errors, 2u);
+  EXPECT_TRUE(has(rep, DiagKind::BadPrecision));
+  // Degenerate widths are priced at zero instead of tripping Table 1.
+  EXPECT_EQ(rep.static_cycles, 1u);
+}
+
+TEST(Verifier, FlagsFieldOverflowAndWidthMismatch) {
+  ArrayGeometry narrow = default_geometry();
+  narrow.cols = 16;
+  Program overflow;
+  overflow.mult(RowRef::main(0), RowRef::main(1), 16);  // 32-column units
+  EXPECT_TRUE(has(verify_program(overflow, narrow), DiagKind::FieldOverflow));
+
+  ArrayGeometry odd = default_geometry();
+  odd.cols = 96;
+  Program mismatch;
+  mismatch.mult(RowRef::main(0), RowRef::main(1), 32);  // 64 does not divide 96
+  EXPECT_TRUE(has(verify_program(mismatch, odd), DiagKind::WidthMismatch));
+}
+
+TEST(Verifier, WarnsOnRawThroughScratchClobber) {
+  Program p;
+  p.unary(Op::Not, RowRef::main(0), RowRef::dummy(1), 8)  // explicit def of D1
+      .sub(RowRef::main(1), RowRef::main(2), 8)           // SUB stages ~b in D1
+      .add(RowRef::dummy(1), RowRef::main(3), 8);         // reads the lost def
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_TRUE(rep.ok());
+  ASSERT_TRUE(has(rep, DiagKind::RawHazard));
+  EXPECT_EQ(first(rep, DiagKind::RawHazard).instruction, 2u);
+}
+
+TEST(Verifier, WarnsOnWawDeadStore) {
+  Program p;
+  p.unary(Op::Not, RowRef::main(0), RowRef::dummy(0), 8)
+      .unary(Op::Not, RowRef::main(1), RowRef::dummy(0), 8);  // first def never read
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_TRUE(rep.ok());
+  ASSERT_TRUE(has(rep, DiagKind::WawHazard));
+  EXPECT_EQ(first(rep, DiagKind::WawHazard).instruction, 1u);
+
+  Program read_between;
+  read_between.unary(Op::Not, RowRef::main(0), RowRef::dummy(0), 8)
+      .add(RowRef::dummy(0), RowRef::main(1), 8)
+      .unary(Op::Not, RowRef::main(2), RowRef::dummy(0), 8);
+  EXPECT_FALSE(has(verify_program(read_between, default_geometry()), DiagKind::WawHazard));
+}
+
+TEST(Verifier, WarnsOnPrecisionReinterpretation) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(1), 8, RowRef::dummy(0))
+      .add(RowRef::dummy(0), RowRef::main(2), 4);  // 8-bit fields read as 4-bit
+  const auto rep = verify_program(p, default_geometry());
+  EXPECT_TRUE(rep.ok());
+  ASSERT_TRUE(has(rep, DiagKind::PrecisionMismatch));
+  EXPECT_EQ(first(rep, DiagKind::PrecisionMismatch).instruction, 1u);
+
+  // Same width back-to-back is silent.
+  Program same;
+  same.add(RowRef::main(0), RowRef::main(1), 8, RowRef::dummy(0))
+      .add(RowRef::dummy(0), RowRef::main(2), 8);
+  EXPECT_FALSE(has(verify_program(same, default_geometry()), DiagKind::PrecisionMismatch));
+}
+
+TEST(Verifier, EnforcesStaticBudgets) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(1), 8)
+      .add(RowRef::main(1), RowRef::main(2), 8)
+      .add(RowRef::main(2), RowRef::main(3), 8);
+
+  VerifyLimits cycles;
+  cycles.max_cycles = 2;
+  const auto rep = verify_program(p, default_geometry(), cycles);
+  EXPECT_FALSE(rep.ok());
+  ASSERT_TRUE(has(rep, DiagKind::CycleBudget));
+  EXPECT_EQ(first(rep, DiagKind::CycleBudget).instruction, 2u);  // the crossing instruction
+
+  VerifyLimits count;
+  count.max_instructions = 2;
+  EXPECT_TRUE(has(verify_program(p, default_geometry(), count), DiagKind::InstructionBudget));
+
+  // Zero limits mean unlimited.
+  EXPECT_TRUE(verify_program(p, default_geometry()).ok());
+}
+
+TEST(Verifier, ReportsFormatAsText) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(300), 8);
+  const auto rep = verify_program(p, default_geometry());
+  const std::string text = rep.to_string();
+  EXPECT_NE(text.find("error[row-out-of-range] @#0"), std::string::npos) << text;
+  EXPECT_NE(rep.error_summary().find("1 error(s)"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsRandomBuilderPrograms) {
+  Rng rng(0x5EED);
+  constexpr std::array<unsigned, 3> kBits{4, 8, 16};
+  for (int round = 0; round < 20; ++round) {
+    Program p;
+    for (int n = 0; n < 40; ++n) {
+      const unsigned bits = kBits[rng.uniform_u64(kBits.size())];
+      const auto ra = RowRef::main(rng.uniform_u64(6));
+      auto rb = RowRef::main(rng.uniform_u64(6));
+      if (rb == ra) rb = RowRef::main((rb.index + 1) % 6);
+      switch (rng.uniform_u64(6)) {
+        case 0: p.logic(LogicFn::Xor, ra, rb); break;
+        case 1: p.unary(Op::Not, ra, RowRef::dummy(0), bits); break;
+        case 2: p.add(ra, rb, bits); break;
+        case 3: p.add_shift(ra, rb, bits, RowRef::dummy(2)); break;
+        case 4: p.sub(ra, rb, bits); break;
+        case 5: p.mult(ra, rb, bits); break;
+      }
+    }
+    const auto rep = verify_program(p, default_geometry());
+    EXPECT_TRUE(rep.ok()) << "round " << round << ":\n" << rep.to_string();
+  }
+}
+
+TEST(Verifier, VerifyFirstControllerMatchesLegacy) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(1), 8, RowRef::dummy(0))
+      .sub(RowRef::main(2), RowRef::main(3), 8)
+      .mult(RowRef::main(4), RowRef::main(5), 8)
+      .unary(Op::Not, RowRef::main(0), RowRef::dummy(0), 8);
+
+  ImcMacro legacy_macro{MacroConfig{}};
+  ImcMacro verified_macro{MacroConfig{}};
+  Rng rng(0xBEEF);
+  for (std::size_t r = 0; r < 6; ++r) {
+    BitVector data(legacy_macro.cols());
+    data.randomize(rng);
+    legacy_macro.poke_row(r, data);
+    verified_macro.poke_row(r, data);
+  }
+
+  MacroController legacy(legacy_macro);
+  MacroController verified(verified_macro, VerifyMode::VerifyFirst);
+  std::vector<TraceEntry> lt, vt;
+  const ProgramStats ls = legacy.run(p, &lt);
+  const ProgramStats vs = verified.run(p, &vt);
+
+  EXPECT_EQ(ls.cycles, vs.cycles);
+  EXPECT_EQ(ls.instructions, vs.instructions);
+  ASSERT_EQ(lt.size(), vt.size());
+  for (std::size_t k = 0; k < lt.size(); ++k) EXPECT_EQ(lt[k].result, vt[k].result);
+}
+
+TEST(Verifier, VerifyFirstRejectsBeforeTouchingTheMacro) {
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(1), 8)
+      .mult(RowRef::dummy(1), RowRef::main(2), 8);  // role violation at #1
+
+  ImcMacro macro{MacroConfig{}};
+  MacroController ctl(macro, VerifyMode::VerifyFirst);
+  EXPECT_THROW(ctl.run(p), std::invalid_argument);
+  EXPECT_EQ(macro.total_cycles(), 0u);  // nothing executed, not even #0
+
+  // Legacy validate() does not know role rules: this program would have
+  // started executing. VerifyFirst is strictly stricter.
+  MacroController legacy(macro);
+  EXPECT_NO_THROW(legacy.validate(p));
+}
+
+}  // namespace
+}  // namespace bpim::macro
