@@ -1,10 +1,17 @@
-// System-level comparison: a quantised fully-connected layer executed on
-// the proposed bit-parallel memory vs the bit-serial baseline [2], end to
-// end (cycles, wall-clock at each architecture's own fmax, energy).
+// System-level comparison: a quantised MLP classifier executed on the
+// proposed bit-parallel memory vs the bit-serial baseline [2], end to end
+// (cycles, wall-clock at each architecture's own fmax, energy).
+//
+// The headline proposed number is the *fused* forward: weights pinned
+// resident and every layer compiled into one whole-forward macro program
+// (activation staged once, consecutive MACs on the chained datapath). The
+// op-at-a-time path the engine used before fusion is reported alongside
+// and must stay bit-identical.
 
+#include <cstdlib>
 #include <iostream>
 
-#include "app/nn.hpp"
+#include "app/mlp.hpp"
 #include "baseline/bitserial.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -15,31 +22,59 @@ using namespace bpim::literals;
 
 int main() {
   print_banner(std::cout,
-               "Application throughput -- FC layer 64x256, 8-bit, prop vs bit-serial");
+               "Application throughput -- 8-bit MLP 256-32-16-8, prop (fused) vs bit-serial");
 
-  // Workload: one 64-neuron layer over 256 inputs = 16384 MACs.
-  const std::size_t in = 256, out = 64;
+  // Workload: a 256-32-16-8 classifier = 8832 MACs. Every layer fits the
+  // array with room for its staged activation, so each forwards as one
+  // fused macro program; the whole pinned set co-resides (56 of 64 row
+  // pairs), so repeated inference never churns the LRU.
+  const std::vector<std::size_t> sizes{256, 32, 16, 8};
   Rng rng(5);
-  std::vector<std::vector<double>> w(out, std::vector<double>(in));
-  for (auto& row : w)
-    for (auto& x : row) x = rng.uniform(0.0, 1.0);
-  std::vector<double> x(in);
+  std::vector<app::MlpLayerSpec> specs;
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    app::MlpLayerSpec spec;
+    spec.bits = 8;
+    spec.weights.assign(sizes[l + 1], std::vector<double>(sizes[l]));
+    for (auto& row : spec.weights)
+      for (auto& w : row) w = rng.uniform(0.0, 1.0);
+    specs.push_back(std::move(spec));
+  }
+  std::vector<double> x(sizes.front());
   for (auto& v : x) v = rng.uniform(0.0, 1.0);
 
   // --- proposed bit-parallel memory ---------------------------------------
-  macro::ImcMemory mem;
-  app::QuantizedLinear layer(w, 8);
-  (void)layer.forward(mem, x);
-  const auto& st = layer.last_stats();
+  // Op-at-a-time twin: the pre-fusion behavior, one MULT dispatch per
+  // neuron with re-poked operands.
+  macro::ImcMemory plain_mem;
+  engine::ExecutionEngine plain_eng(plain_mem);
+  app::Mlp plain_net(specs);
+  const auto plain_y = plain_net.forward(plain_eng, x);
+  const auto& plain_st = plain_net.last_stats();
+
+  // Fused headline: weights pinned at construction, each layer compiled to
+  // one macro program. First forward pays the materializing weight writes;
+  // the steady state is what repeated inference sees.
+  macro::ImcMemory fused_mem;
+  engine::ExecutionEngine fused_eng(fused_mem);
+  app::Mlp fused_net(specs, fused_eng);
+  (void)fused_net.forward(fused_eng, x);  // warm-up: materializes the weights
+  const auto fused_y = fused_net.forward(fused_eng, x);
+  const auto& st = fused_net.last_stats();
+  if (fused_y != plain_y) {  // bit-identical doubles, not epsilon-close
+    std::cerr << "FATAL: fused forward diverged from the op-at-a-time outputs\n";
+    return 1;
+  }
+
   const timing::FreqModel fm;
   const double prop_time_ns = static_cast<double>(st.cycles) / in_GHz(fm.fmax(0.9_V));
 
   // --- bit-serial baseline --------------------------------------------------
-  // The multiplier side: 16384 8-bit MACs; 64 element-multiplies per batch
+  // The multiplier side: 8832 8-bit MACs; 64 element-multiplies per batch
   // of its 64 ALUs, 80 cycles each; energy from the calibrated per-cycle
   // price. Runs at the published 475 MHz class frequency.
   baseline::BitSerialMacro serial;
-  const std::uint64_t total_macs = in * out;
+  std::uint64_t total_macs = 0;
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) total_macs += sizes[l] * sizes[l + 1];
   const std::uint64_t batches = total_macs / serial.alus();
   const std::uint64_t bs_cycles = batches * baseline::BitSerialMacro::mult_cycles(8);
   const double bs_energy_pj =
@@ -48,7 +83,7 @@ int main() {
   const double bs_freq_ghz = 0.475;
   const double bs_time_ns = static_cast<double>(bs_cycles) / bs_freq_ghz;
 
-  TextTable t({"metric", "bit-serial [2]", "proposed", "gain"});
+  TextTable t({"metric", "bit-serial [2]", "proposed (fused)", "gain"});
   t.add_row({"multiply cycles", std::to_string(bs_cycles), std::to_string(st.cycles),
              TextTable::ratio(static_cast<double>(bs_cycles) /
                                   static_cast<double>(st.cycles), 1)});
@@ -61,9 +96,17 @@ int main() {
              TextTable::ratio(bs_energy_pj / in_pJ(st.energy), 2)});
   t.print(std::cout);
 
-  std::cout << "\nBoth architectures computed the same quantised layer; the gains follow\n"
+  std::cout << "\nvs this work's own op-at-a-time path: " << plain_st.cycles
+            << " compute cycles unfused, " << st.cycles << " fused ("
+            << st.fused_cycles_saved << " saved on the chained datapath, "
+            << TextTable::ratio(static_cast<double>(plain_st.cycles) /
+                                static_cast<double>(st.cycles))
+            << "), bit-identical outputs.\n";
+
+  std::cout << "\nBoth architectures computed the same quantised net; the gains follow\n"
                "from Table 1's N+2-cycle bit-parallel multiply vs the N(N+2)-cycle\n"
-               "bit-serial flow, the wider per-cycle word parallelism, and the ~4.7x\n"
-               "clock advantage of the short-WL + boost array (Table 3).\n";
+               "bit-serial flow, the wider per-cycle word parallelism, the ~4.7x\n"
+               "clock advantage of the short-WL + boost array (Table 3), and the\n"
+               "fused whole-forward programs that keep dependent MACs in-array.\n";
   return 0;
 }

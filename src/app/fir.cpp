@@ -20,6 +20,9 @@ FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits,
   SignedVectorOps ops(eng, bits_);
   pin_taps(ops, block_len);
   pinned_engine_ = &eng;
+  // Compile-at-pin: the fused whole-filter program is built now, so the
+  // first pinned-block apply() already runs fused.
+  (void)ops.compile_forward(tap_handles_);
 }
 
 FirFilter::FirFilter(std::vector<std::int64_t> taps, unsigned bits, serve::Server& server,
@@ -66,10 +69,20 @@ FirFilter& FirFilter::operator=(FirFilter&& other) noexcept {
 void FirFilter::pin_taps(SignedVectorOps& ops, std::size_t block_len) {
   BPIM_REQUIRE(block_len > 0, "FIR block length must be positive");
   block_len_ = block_len;
+  // One colocate key per filter so a multi-memory server homes every tap
+  // row together -- the fused apply needs them on one memory.
+  std::uint64_t key = 1469598103934665603ull;
+  const auto mix = [&key](std::uint64_t v) {
+    key ^= v;
+    key *= 1099511628211ull;
+  };
+  mix(bits_);
+  mix(block_len);
+  for (const auto t : taps_) mix(static_cast<std::uint64_t>(t));
   for (const auto t : taps_) {
     if (t == 0) continue;  // zero taps never reach the memory
     tap_handles_.push_back(
-        ops.pin_mult_magnitudes(std::vector<std::int64_t>(block_len, t)));
+        ops.pin_mult_magnitudes(std::vector<std::int64_t>(block_len, t), key));
   }
 }
 
@@ -108,31 +121,47 @@ std::vector<std::int64_t> FirFilter::apply_on(SignedVectorOps& ops,
   stats_ = FirStats{};
   std::vector<std::int64_t> y(x.size(), 0);
 
-  // Each non-zero tap multiplies the stream delayed by k against the
-  // broadcast tap; all taps go down as one double-buffered engine batch.
-  // With resident tap rows only the delayed streams are loaded.
-  std::vector<std::vector<std::int64_t>> delayed_streams, tap_vectors;
-  std::vector<engine::ResidentOperand> handles;
+  std::vector<std::size_t> delays;  // tap index of each non-zero tap, in order
   std::vector<bool> negative;
-  std::size_t nonzero = 0;
   for (std::size_t k = 0; k < taps_.size(); ++k) {
     if (taps_[k] == 0) continue;
+    delays.push_back(k);
+    negative.push_back(taps_[k] < 0);
+  }
+  if (delays.empty()) return y;
+
+  if (resident) {
+    // Fused: each pinned tap row is a broadcast constant, so the undelayed
+    // block |x| staged once against every tap row gives the complete
+    // product streams p[k][n] = x[n] * taps[k]; the delay is pure host
+    // reindexing (y[n] += p[k][n-k]). One compiled macro program, same
+    // products the delayed op-at-a-time path computes.
+    const auto partials = ops.mult_forward_resident(x, tap_handles_, negative);
+    for (std::size_t k = 0; k < partials.size(); ++k) {
+      const RunStats& run = ops.last_batch_runs()[k];
+      stats_.macs += x.size();
+      stats_.cycles += run.elapsed_cycles;
+      stats_.load_cycles += run.load_cycles;
+      stats_.load_cycles_saved += run.load_cycles_saved;
+      stats_.fused_cycles_saved += run.fused_cycles_saved;
+      stats_.energy += run.energy;
+      const std::size_t d = delays[k];
+      for (std::size_t n = d; n < x.size(); ++n) y[n] += partials[k][n - d];
+    }
+    if (ops.server() == nullptr) stats_.pipelined_cycles = ops.last_batch().pipelined_cycles;
+    return y;
+  }
+
+  // Unpinned: each non-zero tap multiplies the stream delayed by k against
+  // the broadcast tap; all taps go down as one double-buffered engine batch.
+  std::vector<std::vector<std::int64_t>> delayed_streams, tap_vectors;
+  for (const std::size_t k : delays) {
     std::vector<std::int64_t> delayed(x.size(), 0);
     for (std::size_t n = k; n < x.size(); ++n) delayed[n] = x[n - k];
     delayed_streams.push_back(std::move(delayed));
-    if (resident) {
-      handles.push_back(tap_handles_[nonzero]);
-      negative.push_back(taps_[k] < 0);
-    } else {
-      tap_vectors.emplace_back(x.size(), taps_[k]);
-    }
-    ++nonzero;
+    tap_vectors.emplace_back(x.size(), taps_[k]);
   }
-  if (delayed_streams.empty()) return y;
-
-  const auto partials = resident
-                            ? ops.mult_batch_resident(delayed_streams, handles, negative)
-                            : ops.mult_batch(delayed_streams, tap_vectors);
+  const auto partials = ops.mult_batch(delayed_streams, tap_vectors);
   for (std::size_t k = 0; k < partials.size(); ++k) {
     const RunStats& run = ops.last_batch_runs()[k];
     stats_.macs += x.size();

@@ -25,6 +25,9 @@ struct FirStats {
   /// Operand-load traffic, and what resident tap rows saved vs re-poking.
   std::uint64_t load_cycles = 0;
   std::uint64_t load_cycles_saved = 0;
+  /// Compute cycles the fused whole-filter program saved vs op-at-a-time
+  /// Table-1 issue (pinned blocks only; `cycles` is already net of this).
+  std::uint64_t fused_cycles_saved = 0;
   Joule energy{0.0};
 };
 
@@ -33,9 +36,16 @@ struct FirStats {
 /// magnitude rows resident (engine/residency.hpp): apply() calls on
 /// blocks of that length reference the handles instead of re-poking the
 /// same tap rows every block -- the steady-state shape of a streaming
-/// filter. Other block lengths (or other engines) transparently fall back
-/// to the re-poke path with identical results. Pinning makes the filter
-/// move-only; destroy it before the engine/server it pinned on.
+/// filter. A pinned filter's apply is also *fused*: because each pinned
+/// tap row is a broadcast constant, the block's |x| is staged once and
+/// multiplied against every tap row by one compiled macro program
+/// (engine::ExecutionEngine::run_forward); the host assembles the tap
+/// delays from the undelayed product streams. Outputs are bit-identical to
+/// the op-at-a-time path; only the cycle account improves
+/// (FirStats::fused_cycles_saved). Other block lengths (or other engines)
+/// transparently fall back to the re-poke path with identical results.
+/// Pinning makes the filter move-only; destroy it before the engine/server
+/// it pinned on.
 class FirFilter {
  public:
   /// `taps` are signed integer coefficients fitting `bits` (two's complement).

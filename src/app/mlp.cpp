@@ -57,6 +57,7 @@ void merge_layer(LayerStats& total, const LayerStats& s) {
   total.pipelined_cycles += s.pipelined_cycles;
   total.load_cycles += s.load_cycles;
   total.load_cycles_saved += s.load_cycles_saved;
+  total.fused_cycles_saved += s.fused_cycles_saved;
   total.energy += s.energy;
   total.elapsed += s.elapsed;
 }

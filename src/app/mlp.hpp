@@ -21,8 +21,9 @@ class Mlp {
   explicit Mlp(std::vector<MlpLayerSpec> layers);
   /// Pin every layer's weights resident on `eng` at construction: repeated
   /// forward(eng, ...) calls reference the handles instead of re-poking
-  /// identical weight rows (engine/residency.hpp). Bit-identical results;
-  /// destroy the Mlp before the engine.
+  /// identical weight rows (engine/residency.hpp), and each layer runs as
+  /// one fused compiled macro program (QuantizedLinear). Bit-identical
+  /// results; destroy the Mlp before the engine.
   Mlp(std::vector<MlpLayerSpec> layers, engine::ExecutionEngine& eng);
   /// Same, pinned behind a serving frontend (single- or multi-memory).
   Mlp(std::vector<MlpLayerSpec> layers, serve::Server& server);

@@ -48,6 +48,10 @@ QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsig
   VectorEngine ve(eng, bits_);
   pin_weights(ve);
   pinned_engine_ = &eng;
+  // Compile-at-pin: the fused whole-forward program is built (and the
+  // weights materialized) now, so the first forward already runs fused.
+  // Unfusable shapes simply stay on the op-at-a-time path.
+  (void)ve.compile_forward(weight_handles_);
 }
 
 QuantizedLinear::QuantizedLinear(std::vector<std::vector<double>> weights, unsigned bits,
@@ -90,9 +94,20 @@ QuantizedLinear& QuantizedLinear::operator=(QuantizedLinear&& other) noexcept {
 }
 
 void QuantizedLinear::pin_weights(VectorEngine& ve) {
+  // All rows of one layer pin under one colocate key so a multi-memory
+  // server homes them together -- the fused forward needs every weight on
+  // the memory that runs the program.
+  std::uint64_t key = 1469598103934665603ull;
+  const auto mix = [&key](std::uint64_t v) {
+    key ^= v;
+    key *= 1099511628211ull;
+  };
+  mix(bits_);
+  for (const auto& w : weights_)
+    for (const std::uint64_t v : w.values) mix(v);
   weight_handles_.reserve(weights_.size());
   for (const auto& w : weights_)
-    weight_handles_.push_back(ve.pin_operand(w.values, engine::OperandLayout::MultUnit));
+    weight_handles_.push_back(ve.pin_operand(w.values, engine::OperandLayout::MultUnit, key));
 }
 
 void QuantizedLinear::release_handles() noexcept {
@@ -134,24 +149,26 @@ std::vector<double> QuantizedLinear::forward_on(VectorEngine& ve,
   BPIM_REQUIRE(x.size() == in_features(), "input size mismatch");
   const Quantized qx = quantize(x, bits_);
 
-  // One engine batch: every output neuron's product vector is an
-  // independent op, so loads double-buffer against computes across
-  // neurons. With pinned weights only the activation side loads at all.
-  std::vector<engine::VecOp> ops;
-  ops.reserve(weights_.size());
-  for (std::size_t j = 0; j < weights_.size(); ++j) {
-    engine::VecOp op;
-    op.kind = engine::OpKind::Mult;
-    op.bits = bits_;
-    if (resident) {
-      op.ra = weight_handles_[j];
-    } else {
+  // Resident weights run as one fused whole-forward program (the engine
+  // falls back to op-at-a-time transparently when the shape is unfusable).
+  // Otherwise, one engine batch: every output neuron's product vector is an
+  // independent op, so loads double-buffer against computes across neurons.
+  std::vector<engine::OpResult> results;
+  if (resident) {
+    results = ve.run_forward(weight_handles_, qx.values);
+  } else {
+    std::vector<engine::VecOp> ops;
+    ops.reserve(weights_.size());
+    for (std::size_t j = 0; j < weights_.size(); ++j) {
+      engine::VecOp op;
+      op.kind = engine::OpKind::Mult;
+      op.bits = bits_;
       op.a = weights_[j].values;
+      op.b = qx.values;
+      ops.push_back(op);
     }
-    op.b = qx.values;
-    ops.push_back(op);
+    results = ve.run_ops(ops);
   }
-  const auto results = ve.run_ops(ops);
 
   stats_ = LayerStats{};
   std::vector<double> y;
@@ -164,6 +181,7 @@ std::vector<double> QuantizedLinear::forward_on(VectorEngine& ve,
     stats_.cycles += results[j].stats.elapsed_cycles;
     stats_.load_cycles += results[j].stats.load_cycles;
     stats_.load_cycles_saved += results[j].stats.load_cycles_saved;
+    stats_.fused_cycles_saved += results[j].stats.fused_cycles_saved;
     stats_.energy += results[j].stats.energy;
     stats_.elapsed += results[j].stats.elapsed_time;
     const double real = static_cast<double>(acc) * weights_[j].scale * qx.scale;

@@ -38,6 +38,9 @@ struct LayerStats {
   /// saved against re-poking (both routes; see engine/residency.hpp).
   std::uint64_t load_cycles = 0;
   std::uint64_t load_cycles_saved = 0;
+  /// Compute cycles the fused whole-forward program saved vs op-at-a-time
+  /// Table-1 issue (pinned forwards only; `cycles` is already net of this).
+  std::uint64_t fused_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed{0.0};
 };
@@ -47,9 +50,16 @@ struct LayerStats {
 /// Constructed with an engine or server, the layer pins its quantised
 /// weight rows resident (engine/residency.hpp): repeated forward() calls
 /// on that engine/server reference the handles instead of re-poking the
-/// same rows, and last_stats() shows the saved load cycles. Results are
-/// bit-identical either way. Pinning makes the layer move-only; it unpins
-/// on destruction, so destroy it before the engine/server it pinned on.
+/// same rows, and last_stats() shows the saved load cycles. A pinned
+/// layer's forward is also *fused*: the whole layer compiles into one
+/// verified macro program per macro (compiled eagerly at pin time on the
+/// direct-engine route, lazily on first use behind a server), executed on
+/// the chained-MAC datapath with the activation staged once -- see
+/// engine::ExecutionEngine::run_forward. Results are bit-identical on
+/// every route; only the cycle/energy account improves
+/// (LayerStats::fused_cycles_saved). Pinning makes the layer move-only; it
+/// unpins on destruction, so destroy it before the engine/server it
+/// pinned on.
 class QuantizedLinear {
  public:
   /// `weights[j]` is the j-th output neuron's weight row.

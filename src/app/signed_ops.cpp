@@ -92,8 +92,9 @@ std::vector<std::int64_t> SignedVectorOps::mult(const std::vector<std::int64_t>&
 }
 
 engine::ResidentOperand SignedVectorOps::pin_mult_magnitudes(
-    const std::vector<std::int64_t>& b) {
-  return engine_.pin_operand(magnitudes(b, bits_), engine::OperandLayout::MultUnit);
+    const std::vector<std::int64_t>& b, std::optional<std::uint64_t> colocate_key) {
+  return engine_.pin_operand(magnitudes(b, bits_), engine::OperandLayout::MultUnit,
+                             colocate_key);
 }
 
 bool SignedVectorOps::unpin(const engine::ResidentOperand& handle) {
@@ -137,6 +138,36 @@ std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_batch_resident(
     out.push_back(std::move(signed_out));
   }
   return out;
+}
+
+std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_forward_resident(
+    const std::vector<std::int64_t>& a,
+    const std::vector<engine::ResidentOperand>& b_handles,
+    const std::vector<bool>& b_negative) {
+  BPIM_REQUIRE(b_handles.size() == b_negative.size(),
+               "handle and sign lists must have equal length");
+  const auto ma = magnitudes(a, bits_);
+  const auto results = engine_.run_forward(b_handles, ma);
+
+  batch_runs_.clear();
+  std::vector<std::vector<std::int64_t>> out;
+  out.reserve(results.size());
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    batch_runs_.push_back(results[k].stats);
+    std::vector<std::int64_t> signed_out;
+    signed_out.reserve(results[k].values.size());
+    for (std::size_t i = 0; i < results[k].values.size(); ++i) {
+      const bool neg = (a[i] < 0) != b_negative[k];
+      const auto mag = static_cast<std::int64_t>(results[k].values[i]);
+      signed_out.push_back(neg ? -mag : mag);
+    }
+    out.push_back(std::move(signed_out));
+  }
+  return out;
+}
+
+bool SignedVectorOps::compile_forward(const std::vector<engine::ResidentOperand>& handles) {
+  return engine_.compile_forward(handles);
 }
 
 std::vector<std::vector<std::int64_t>> SignedVectorOps::mult_batch(

@@ -9,6 +9,7 @@
 // weights.
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "app/vector_engine.hpp"
@@ -53,9 +54,10 @@ class SignedVectorOps {
   /// Pin |b| resident as a MULT operand (engine/residency.hpp): the
   /// magnitude rows stay in the array and mult_batch_resident() references
   /// them by handle. The sign is the caller's to re-apply -- pass
-  /// b_negative below.
+  /// b_negative below. `colocate_key` as in VectorEngine::pin_operand.
   [[nodiscard]] engine::ResidentOperand pin_mult_magnitudes(
-      const std::vector<std::int64_t>& b);
+      const std::vector<std::int64_t>& b,
+      std::optional<std::uint64_t> colocate_key = std::nullopt);
   bool unpin(const engine::ResidentOperand& handle);
 
   /// Batched sign-magnitude multiply against resident b-side magnitudes:
@@ -67,6 +69,21 @@ class SignedVectorOps {
       const std::vector<std::vector<std::int64_t>>& as,
       const std::vector<engine::ResidentOperand>& b_handles,
       const std::vector<bool>& b_negative);
+
+  /// Fused sign-magnitude forward: |a| is staged once and multiplied against
+  /// every resident magnitude handle in one compiled macro program
+  /// (VectorEngine::run_forward). out[k][i] = sign * (|a[i]| * |b_k[i]|)
+  /// with the sign from a[i] and b_negative[k] -- the per-handle products a
+  /// caller with broadcast constants (FIR taps) reassembles at any delay.
+  /// Bit-identical products to mult_batch_resident on the same operands.
+  [[nodiscard]] std::vector<std::vector<std::int64_t>> mult_forward_resident(
+      const std::vector<std::int64_t>& a,
+      const std::vector<engine::ResidentOperand>& b_handles,
+      const std::vector<bool>& b_negative);
+
+  /// Eagerly compile the fused forward for the handles (direct-engine route
+  /// only; see VectorEngine::compile_forward).
+  bool compile_forward(const std::vector<engine::ResidentOperand>& handles);
 
   /// The serving frontend ops route through, or nullptr on a direct engine.
   [[nodiscard]] serve::Server* server() const { return engine_.server(); }

@@ -109,9 +109,36 @@ std::vector<engine::OpResult> VectorEngine::run_ops(const std::vector<engine::Ve
   return results;
 }
 
+std::vector<engine::OpResult> VectorEngine::run_forward(
+    std::span<const engine::ResidentOperand> weights,
+    std::span<const std::uint64_t> activation) {
+  std::vector<engine::OpResult> results =
+      server_ ? server_->submit_forward(weights, activation).get()
+              : engine_->run_forward(weights, activation);
+  last_ = RunStats{};
+  for (const auto& r : results) {
+    last_.elements += r.stats.elements;
+    last_.elapsed_cycles += r.stats.elapsed_cycles;
+    last_.energy += r.stats.energy;
+    last_.elapsed_time += r.stats.elapsed_time;
+    last_.load_cycles += r.stats.load_cycles;
+    last_.load_cycles_saved += r.stats.load_cycles_saved;
+    last_.fused_cycles_saved += r.stats.fused_cycles_saved;
+  }
+  return results;
+}
+
+bool VectorEngine::compile_forward(std::span<const engine::ResidentOperand> weights) {
+  // A serving engine belongs to its scheduler; its lazy compile on first
+  // submit_forward is race-free because the lane thread is the run thread.
+  if (server_ != nullptr) return false;
+  return engine_->compile_forward(weights);
+}
+
 engine::ResidentOperand VectorEngine::pin_operand(std::span<const std::uint64_t> values,
-                                                  engine::OperandLayout layout) {
-  return server_ ? server_->pin(values, bits_, layout)
+                                                  engine::OperandLayout layout,
+                                                  std::optional<std::uint64_t> colocate_key) {
+  return server_ ? server_->pin(values, bits_, layout, colocate_key)
                  : engine_->pin(values, bits_, layout);
 }
 

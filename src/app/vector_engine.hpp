@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "engine/execution_engine.hpp"
@@ -81,13 +82,29 @@ class VectorEngine {
   /// submission order; last_run() aggregates the whole batch.
   [[nodiscard]] std::vector<engine::OpResult> run_ops(const std::vector<engine::VecOp>& ops);
 
+  /// Fused whole-forward: every pinned weight against one shared activation
+  /// as a single compiled macro program (ExecutionEngine::run_forward;
+  /// submit_forward through a server). Bit-identical to running the
+  /// equivalent MULT op per weight; only the cycle/energy account improves.
+  [[nodiscard]] std::vector<engine::OpResult> run_forward(
+      std::span<const engine::ResidentOperand> weights,
+      std::span<const std::uint64_t> activation);
+
+  /// Eagerly compile the fused forward program for `weights` (direct-engine
+  /// route only -- a serving engine belongs to its scheduler thread, which
+  /// compiles lazily on first use). False when unavailable or unfusable.
+  bool compile_forward(std::span<const engine::ResidentOperand> weights);
+
   // ---- persistent operand residency ---------------------------------------
   /// Pin a constant operand (e.g. a weight row) resident at this engine's
   /// precision; the handle goes into VecOp::ra / rb. Layout must match the
   /// op kind it will be used with (MultUnit for mult, Word otherwise).
-  /// Routed through the server when constructed from one.
-  [[nodiscard]] engine::ResidentOperand pin_operand(std::span<const std::uint64_t> values,
-                                                    engine::OperandLayout layout);
+  /// Routed through the server when constructed from one. `colocate_key`
+  /// (server route) makes handles pinned under one key share a pool memory
+  /// -- what a fused forward's weights need (Server::pin).
+  [[nodiscard]] engine::ResidentOperand pin_operand(
+      std::span<const std::uint64_t> values, engine::OperandLayout layout,
+      std::optional<std::uint64_t> colocate_key = std::nullopt);
   /// Drop a pinned operand (false when unknown).
   bool unpin(const engine::ResidentOperand& handle);
 

@@ -318,4 +318,342 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
   return results;
 }
 
+// ---- fusion (run_forward / compile_forward / run_chain) ---------------------
+
+std::vector<macro::PinnedRows> ExecutionEngine::pinned_rows() const {
+  std::vector<macro::PinnedRows> out;
+  for (const auto& [base, layers] : residency_.materialized_intervals())
+    out.push_back(macro::PinnedRows{2 * base, 2 * layers});
+  return out;
+}
+
+ExecutionEngine::ForwardPlan ExecutionEngine::prepare_forward(
+    std::span<const ResidentOperand> weights) {
+  BPIM_REQUIRE(!weights.empty(), "fused forward needs at least one weight");
+  ForwardPlan plan;
+  plan.bits = weights.front().bits;
+  plan.entries.reserve(weights.size());
+  for (const ResidentOperand& w : weights) {
+    BPIM_REQUIRE(static_cast<bool>(w), "fused forward weight has no handle");
+    ResidencyManager::Entry* e = residency_.touch(w.id);
+    BPIM_REQUIRE(e != nullptr,
+                 "unknown resident operand (unpinned, or pinned on another engine)");
+    BPIM_REQUIRE(e->handle.bits == plan.bits, "fused forward weights must share one precision");
+    BPIM_REQUIRE(e->handle.layout == OperandLayout::MultUnit,
+                 "fused forward weights must be pinned in MULT-unit layout");
+    BPIM_REQUIRE(e->handle.elements == weights.front().elements,
+                 "fused forward weights must share one length");
+    plan.entries.push_back(e);
+  }
+  plan.elements = static_cast<std::size_t>(weights.front().elements);
+  plan.per_op = mult_units_per_row(plan.bits);
+  plan.chunks = (plan.elements + plan.per_op - 1) / plan.per_op;
+  plan.layers = layers_for_elements(plan.elements, plan.bits, OperandLayout::MultUnit);
+  plan.loaded.assign(weights.size(), 0);
+
+  // The fused layout needs the activation region plus every weight resident
+  // at once; op-at-a-time dispatch has no such requirement, so an oversized
+  // shape simply stays unfusable and run_forward falls back.
+  if ((weights.size() + 1) * plan.layers > row_pair_capacity()) return plan;
+
+  residency_.reserve_transient(plan.layers);
+  for (std::size_t j = 0; j < plan.entries.size(); ++j) {
+    if (residency_.ensure_rows(*plan.entries[j])) {
+      materialize(*plan.entries[j]);
+      plan.load_cycles += plan.layers;
+      plan.loaded[j] = 1;
+    }
+  }
+  // Fragmentation -- or a sibling evicted while materializing a later
+  // weight -- can still break the layout; check before committing to it.
+  for (const ResidencyManager::Entry* e : plan.entries)
+    if (!e->materialized || e->base_pair < plan.layers) return plan;
+  plan.fusable = true;
+  return plan;
+}
+
+FusedForward& ExecutionEngine::fused_program_for(const ForwardPlan& plan) {
+  // FNV-1a over the handle ids; a (vanishingly rare) colliding id list just
+  // recompiles every call, it can never run the wrong program.
+  std::uint64_t key = 1469598103934665603ull;
+  for (const ResidencyManager::Entry* e : plan.entries) {
+    key ^= e->handle.id;
+    key *= 1099511628211ull;
+  }
+  FusedForward& ff = fused_[key];
+  const auto fresh = [&] {
+    if (ff.programs.empty() || ff.bits != plan.bits || ff.elements != plan.elements ||
+        ff.layers != plan.layers || ff.ids.size() != plan.entries.size())
+      return false;
+    for (std::size_t j = 0; j < plan.entries.size(); ++j)
+      if (ff.ids[j] != plan.entries[j]->handle.id ||
+          ff.base_pairs[j] != plan.entries[j]->base_pair)
+        return false;
+    return true;
+  };
+  if (fresh()) return ff;
+  const bool rebuild = !ff.programs.empty();
+
+  const std::size_t macros = mem_.macro_count();
+  const macro::FusionCompiler compiler(mem_.macro(0).config().geometry, pinned_rows());
+  FusedForward next;
+  next.bits = plan.bits;
+  next.elements = plan.elements;
+  next.layers = plan.layers;
+  for (const ResidencyManager::Entry* e : plan.entries) {
+    next.ids.push_back(e->handle.id);
+    next.base_pairs.push_back(e->base_pair);
+  }
+  next.programs.reserve(macros);
+  for (std::size_t m = 0; m < macros; ++m) {
+    // Macro m owns chunks m, m + M, ... (the run_one shard); its program
+    // walks them layer-major with the op loop inside, so every MULT of a
+    // layer shares the staged activation row and the chained datapath's
+    // D1-staging discount applies to all but the first.
+    const std::size_t layers_m = plan.chunks > m ? (plan.chunks - m - 1) / macros + 1 : 0;
+    macro::MacForwardSpec spec;
+    spec.bits = plan.bits;
+    for (std::size_t l = 0; l < layers_m; ++l)
+      for (const ResidencyManager::Entry* e : plan.entries)
+        spec.steps.push_back(macro::MacStep{2 * l, 2 * (e->base_pair + l)});
+    next.programs.push_back(spec.steps.empty() ? macro::Program{}
+                                               : compiler.compile_mac_forward(spec));
+  }
+  next.fused_static_cycles = macro::FusionCompiler::fused_static_cycles(next.programs.front());
+  ff = std::move(next);
+  if (rebuild)
+    ++fusion_stats_.recompiles;
+  else
+    ++fusion_stats_.compiles;
+  return ff;
+}
+
+bool ExecutionEngine::compile_forward(std::span<const ResidentOperand> weights) {
+  ForwardPlan plan = prepare_forward(weights);
+  if (!plan.fusable) return false;
+  (void)fused_program_for(plan);
+  pending_load_ += plan.load_cycles;
+  return true;
+}
+
+std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOperand> weights,
+                                                   std::span<const std::uint64_t> activation) {
+  ForwardPlan plan = prepare_forward(weights);
+  BPIM_REQUIRE(activation.size() == plan.elements,
+               "activation length must match the pinned weights");
+  if (!plan.fusable) {
+    ++fusion_stats_.fallback_runs;
+    std::vector<VecOp> ops(weights.size());
+    for (std::size_t j = 0; j < weights.size(); ++j) {
+      ops[j].kind = OpKind::Mult;
+      ops[j].bits = plan.bits;
+      ops[j].ra = weights[j];
+      ops[j].b = activation;
+    }
+    std::vector<OpResult> out = run_batch(ops);
+    // Weights prepare_forward already materialized load nothing inside
+    // run_batch; keep their writes on this batch's account.
+    batch_.load_cycles += plan.load_cycles;
+    batch_.serial_cycles += plan.load_cycles;
+    batch_.pipelined_cycles += plan.load_cycles;
+    return out;
+  }
+
+  FusedForward& ff = fused_program_for(plan);
+  const std::size_t ops = weights.size();
+  const std::size_t macros = mem_.macro_count();
+  const std::size_t active = std::min(plan.chunks, macros);
+  mem_.reset_counters();
+
+  // Stage the shared activation (even row of transient pair l for chunk
+  // c = l*M + m) and run each macro's fused program on the chained datapath.
+  // Per-macro programs and RNG streams are independent, so the parallel walk
+  // stays bit-identical to a serial one.
+  std::vector<std::vector<macro::TraceEntry>> traces(macros);
+  pool_.parallel_for(active, [&](std::size_t m) {
+    auto& mac = mem_.macro(m);
+    for (std::size_t c = m; c < plan.chunks; c += macros) {
+      const std::size_t pos = c * plan.per_op;
+      const std::size_t len = std::min(plan.per_op, plan.elements - pos);
+      mac.poke_mult_operands(2 * (c / macros), 0, plan.bits, activation.subspan(pos, len));
+    }
+    macro::MacroController ctl(mac, macro::VerifyMode::VerifyFirst);
+    traces[m].reserve(ff.programs[m].size());
+    (void)ctl.run(ff.programs[m], &traces[m], /*fuse_mac_chains=*/true);
+  });
+
+  // Extraction: macro m's trace entry l*J + j is layer l of op j, covering
+  // elements of chunk c = l*M + m.
+  std::vector<OpResult> results(ops);
+  for (OpResult& r : results) r.values.assign(plan.elements, 0);
+  for (std::size_t m = 0; m < active; ++m) {
+    auto& mac = mem_.macro(m);
+    const std::size_t layers_m = traces[m].size() / ops;
+    for (std::size_t l = 0; l < layers_m; ++l) {
+      const std::size_t pos = (l * macros + m) * plan.per_op;
+      const std::size_t len = std::min(plan.per_op, plan.elements - pos);
+      for (std::size_t j = 0; j < ops; ++j) {
+        const BitVector& product = traces[m][l * ops + j].result;
+        for (std::size_t i = 0; i < len; ++i)
+          results[j].values[pos + i] = mac.peek_mult_product(product, i, plan.bits);
+      }
+    }
+  }
+
+  // Per-op accounting: cycles from macro 0 (the max-layer macro; instruction
+  // costs match across macros, so its walk is the lock-step critical path
+  // and the per-op shares sum to mem_.elapsed_cycles()); energy merged in
+  // fixed macro-then-layer order. Load: the activation (plus any weights
+  // compile_forward staged early) bills to op 0, a weight materialized this
+  // call bills to its own op; the baseline is 2 row writes per layer per op.
+  const double tick = mem_.macro(0).cycle_time().si();
+  const std::uint64_t table_mult = macro::op_cycles(macro::Op::Mult, plan.bits);
+  const std::uint64_t pending = pending_load_;
+  pending_load_ = 0;
+  const std::size_t layers0 = traces[0].size() / ops;
+  std::uint64_t saved_total = 0;
+  std::uint64_t fused_saved_total = 0;
+  for (std::size_t j = 0; j < ops; ++j) {
+    RunStats& s = results[j].stats;
+    s.elements = plan.elements;
+    for (std::size_t l = 0; l < layers0; ++l) s.elapsed_cycles += traces[0][l * ops + j].cycles;
+    for (std::size_t m = 0; m < active; ++m) {
+      const std::size_t layers_m = traces[m].size() / ops;
+      for (std::size_t l = 0; l < layers_m; ++l) s.energy += traces[m][l * ops + j].op_energy;
+    }
+    s.elapsed_time = Second(static_cast<double>(s.elapsed_cycles) * tick);
+    s.fused_cycles_saved = table_mult * layers0 - s.elapsed_cycles;
+    fused_saved_total += s.fused_cycles_saved;
+    s.load_cycles = (plan.loaded[j] ? plan.layers : 0) +
+                    (j == 0 ? plan.layers + pending : 0);
+    const std::uint64_t baseline = 2 * plan.layers;
+    s.load_cycles_saved = s.load_cycles >= baseline ? 0 : baseline - s.load_cycles;
+    saved_total += s.load_cycles_saved;
+  }
+  if (saved_total > 0) residency_.note_saved(saved_total);
+
+  batch_ = BatchStats{};
+  batch_.ops = ops;
+  batch_.elements = static_cast<std::uint64_t>(ops) * plan.elements;
+  batch_.load_cycles = plan.load_cycles + pending + plan.layers;
+  batch_.load_cycles_saved = saved_total;
+  batch_.compute_cycles = mem_.elapsed_cycles();
+  batch_.serial_cycles = batch_.load_cycles + batch_.compute_cycles;
+  // One fused program: there is no op boundary left to ping-pong loads
+  // across, and nothing to hide the single activation load behind.
+  batch_.pipelined_cycles = batch_.serial_cycles;
+  batch_.fused_cycles_saved = fused_saved_total;
+  batch_.energy = mem_.total_energy();
+  batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) * tick);
+  ++fusion_stats_.fused_runs;
+  return results;
+}
+
+OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
+  BPIM_REQUIRE(!req.links.empty(), "a chain needs at least one link");
+  BPIM_REQUIRE(macro::is_supported_precision(req.bits), "unsupported precision");
+  BPIM_REQUIRE(macro::is_supported_precision(2 * req.bits),
+               "chain links run at 2x the head precision, which the ISA lacks here");
+  BPIM_REQUIRE(!req.a.empty(), "chain operands must be non-empty");
+  BPIM_REQUIRE(req.a.size() == req.b.size(), "operand vectors must have equal length");
+  for (const ChainLink& link : req.links)
+    BPIM_REQUIRE(link.values.size() == req.a.size(),
+                 "link operand length must match the head operands");
+
+  const std::size_t n = req.a.size();
+  const std::size_t per_op = mult_units_per_row(req.bits);
+  const std::size_t macros = mem_.macro_count();
+  const std::size_t chunks = (n + per_op - 1) / per_op;
+  const std::size_t layers = (chunks + macros - 1) / macros;
+  const std::size_t links = req.links.size();
+  // Rows per layer: head operands a + b plus one row per link operand.
+  const std::size_t pairs_per_layer = (2 + links + 1) / 2;
+  BPIM_REQUIRE(pairs_per_layer * layers <= row_pair_capacity(), "chain exceeds memory capacity");
+  residency_.reserve_transient(pairs_per_layer * layers);
+
+  const macro::FusionCompiler compiler(mem_.macro(0).config().geometry, pinned_rows());
+  std::vector<macro::Program> programs;
+  programs.reserve(macros);
+  for (std::size_t m = 0; m < macros; ++m) {
+    const std::size_t layers_m = chunks > m ? (chunks - m - 1) / macros + 1 : 0;
+    macro::ChainSpec spec;
+    spec.bits = req.bits;
+    for (std::size_t l = 0; l < layers_m; ++l) {
+      macro::ChainLayerSpec layer;
+      layer.a_row = 2 * pairs_per_layer * l;
+      layer.b_row = layer.a_row + 1;
+      for (std::size_t j = 0; j < links; ++j)
+        layer.links.emplace_back(req.links[j].kind, layer.a_row + 2 + j);
+      spec.layers.push_back(std::move(layer));
+    }
+    programs.push_back(spec.layers.empty() ? macro::Program{} : compiler.compile_chain(spec));
+  }
+  mem_.reset_counters();
+
+  std::vector<std::vector<macro::TraceEntry>> traces(macros);
+  const std::size_t active = std::min(chunks, macros);
+  pool_.parallel_for(active, [&](std::size_t m) {
+    auto& mac = mem_.macro(m);
+    for (std::size_t c = m; c < chunks; c += macros) {
+      const std::size_t base = 2 * pairs_per_layer * (c / macros);
+      const std::size_t pos = c * per_op;
+      const std::size_t len = std::min(per_op, n - pos);
+      mac.poke_mult_operands(base, 0, req.bits, req.a.subspan(pos, len));
+      mac.poke_mult_operands(base + 1, 0, req.bits, req.b.subspan(pos, len));
+      // Link operands are full 2N-bit fields, aligned with the product
+      // units (words_per_row(2N) == mult_units_per_row(N)).
+      for (std::size_t j = 0; j < links; ++j)
+        mac.poke_words(base + 2 + j, 0, 2 * req.bits, req.links[j].values.subspan(pos, len));
+    }
+    macro::MacroController ctl(mac, macro::VerifyMode::VerifyFirst);
+    traces[m].reserve(programs[m].size());
+    (void)ctl.run(programs[m], &traces[m], /*fuse_mac_chains=*/true);
+  });
+
+  // The last link of each layer block drives the chain's value out.
+  OpResult res;
+  res.values.assign(n, 0);
+  const std::size_t block = 1 + links;
+  for (std::size_t m = 0; m < active; ++m) {
+    auto& mac = mem_.macro(m);
+    const std::size_t layers_m = traces[m].size() / block;
+    for (std::size_t l = 0; l < layers_m; ++l) {
+      const std::size_t pos = (l * macros + m) * per_op;
+      const std::size_t len = std::min(per_op, n - pos);
+      const BitVector& out = traces[m][l * block + links].result;
+      for (std::size_t i = 0; i < len; ++i)
+        res.values[pos + i] = mac.peek_mult_product(out, i, req.bits);
+    }
+  }
+
+  // Load account: a, b and each link operand stage once per layer. The
+  // op-at-a-time equivalent re-stages the spilled intermediate next to every
+  // link operand -- 2 rows per link per layer -- so the chain saves one row
+  // write per link per layer.
+  const std::uint64_t load = (2 + links) * layers;
+  const std::uint64_t saved = links * layers;
+  residency_.note_saved(saved);
+
+  const double tick = mem_.macro(0).cycle_time().si();
+  res.stats.elements = n;
+  res.stats.elapsed_cycles = mem_.elapsed_cycles();
+  res.stats.energy = mem_.total_energy();
+  res.stats.elapsed_time = Second(static_cast<double>(res.stats.elapsed_cycles) * tick);
+  res.stats.load_cycles = load;
+  res.stats.load_cycles_saved = saved;
+
+  batch_ = BatchStats{};
+  batch_.ops = 1;
+  batch_.elements = n;
+  batch_.load_cycles = load;
+  batch_.load_cycles_saved = saved;
+  batch_.compute_cycles = res.stats.elapsed_cycles;
+  batch_.serial_cycles = load + batch_.compute_cycles;
+  batch_.pipelined_cycles = batch_.serial_cycles;
+  batch_.energy = res.stats.energy;
+  batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) * tick);
+  ++fusion_stats_.chain_runs;
+  return res;
+}
+
 }  // namespace bpim::engine

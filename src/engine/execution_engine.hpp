@@ -30,8 +30,10 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
+#include "engine/fusion.hpp"
 #include "engine/residency.hpp"
 #include "engine/run_stats.hpp"
 #include "engine/thread_pool.hpp"
@@ -132,6 +134,36 @@ class ExecutionEngine {
   /// of one).
   [[nodiscard]] const BatchStats& last_batch() const { return batch_; }
 
+  // ---- fusion (engine/fusion.hpp; compiler in macro/compiler.hpp) ---------
+
+  /// Execute a whole forward -- every weight handle against one shared
+  /// activation -- as one fused macro program per macro. The activation is
+  /// staged once in the bottom transient pairs and every MULT reads it in
+  /// place, so consecutive ops run on the chained datapath (D1 staging
+  /// skipped within a layer, FF load pipelined across all of them) and the
+  /// activation loads once instead of once per op. Values are bit-identical
+  /// to the op-at-a-time path (the product is exact, so swapping
+  /// multiplicand and multiplier roles changes nothing). Falls back to
+  /// run_batch() transparently when the shape cannot fuse (weights +
+  /// activation exceed capacity, or fragmentation scattered the weights).
+  /// Results are in `weights` order; last_batch() covers the whole forward.
+  [[nodiscard]] std::vector<OpResult> run_forward(std::span<const ResidentOperand> weights,
+                                                  std::span<const std::uint64_t> activation);
+
+  /// Compile (and cache) the fused program for `weights` ahead of the first
+  /// forward -- the compile-at-pin path. Materializes the weights now; the
+  /// load cycles are charged to the next run_forward()'s account. False when
+  /// the shape cannot fuse (run_forward would fall back anyway).
+  bool compile_forward(std::span<const ResidentOperand> weights);
+
+  /// Execute one MULT->ADD(->ADD-Shift) dependency chain as a single fused
+  /// program: the head products stay in the in-array accumulator and every
+  /// link folds its operand (2N-bit fields) into them, so intermediates are
+  /// never driven out and re-staged. Result elements are 2*bits wide.
+  [[nodiscard]] OpResult run_chain(const ChainRequest& req);
+
+  [[nodiscard]] const FusionStats& fusion_stats() const { return fusion_stats_; }
+
  private:
   /// Cycle-model footprint of one executed op, for the batch scheduler's
   /// overlap-feasibility check and the load/saved accounting.
@@ -150,10 +182,39 @@ class ExecutionEngine {
   /// walk as run_one, one row per pair).
   void materialize(ResidencyManager::Entry& entry);
 
+  /// Residency state of one run_forward()/compile_forward() call: the
+  /// resolved weight entries, the shared chunk geometry, and whether the
+  /// fused layout holds (all weights materialized above the activation's
+  /// transient region).
+  struct ForwardPlan {
+    std::vector<ResidencyManager::Entry*> entries;
+    unsigned bits = 0;
+    std::size_t elements = 0;  ///< per op
+    std::size_t per_op = 0;
+    std::size_t chunks = 0;
+    std::size_t layers = 0;            ///< L, per handle and for the activation
+    std::uint64_t load_cycles = 0;     ///< materializing writes this call
+    std::vector<std::uint8_t> loaded;  ///< per weight: materialized this call
+    bool fusable = false;
+  };
+  /// Resolve + validate the weights, then (when the shape fits) reserve the
+  /// activation region and materialize every weight for the fused layout.
+  ForwardPlan prepare_forward(std::span<const ResidentOperand> weights);
+  /// Cached per-macro programs for the plan, (re)compiled when the weights
+  /// moved since the last compile.
+  FusedForward& fused_program_for(const ForwardPlan& plan);
+  /// The materialized pinned set as verifier row intervals.
+  [[nodiscard]] std::vector<macro::PinnedRows> pinned_rows() const;
+
   macro::ImcMemory& mem_;
   ThreadPool pool_;
   ResidencyManager residency_;
   BatchStats batch_{};
+  FusionStats fusion_stats_{};
+  std::unordered_map<std::uint64_t, FusedForward> fused_;  ///< by id-list hash
+  /// Load cycles of weights materialized inside compile_forward(), charged
+  /// to the next run_forward() so the account never loses the writes.
+  std::uint64_t pending_load_ = 0;
 };
 
 }  // namespace bpim::engine

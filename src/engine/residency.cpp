@@ -147,4 +147,14 @@ void ResidencyManager::note_saved(std::uint64_t cycles) {
   load_cycles_saved_ += cycles;
 }
 
+std::vector<std::pair<std::size_t, std::size_t>> ResidencyManager::materialized_intervals()
+    const {
+  MutexLock lk(mutex_);
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (const auto& [id, e] : entries_)
+    if (e->materialized) out.emplace_back(e->base_pair, e->handle.layers);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace bpim::engine

@@ -127,6 +127,12 @@ class ResidencyManager {
   /// Accumulate the load cycles an op avoided by referencing handles.
   void note_saved(std::uint64_t cycles) BPIM_EXCLUDES(mutex_);
 
+  /// Snapshot of the materialized intervals as (base_pair, layers) pairs --
+  /// the pinned-row map a fusion compiler verifies emitted programs
+  /// against (macro::PinnedRows, after the pair->row conversion).
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> materialized_intervals() const
+      BPIM_EXCLUDES(mutex_);
+
  private:
   /// Highest-fitting base pair for `layers`, or capacity_ when nothing fits.
   [[nodiscard]] std::size_t find_gap(std::size_t layers) const BPIM_REQUIRES(mutex_);

@@ -24,6 +24,9 @@ struct RunStats {
   /// materializing write, and the difference is load_cycles_saved.
   std::uint64_t load_cycles = 0;
   std::uint64_t load_cycles_saved = 0;
+  /// Compute cycles the fused (chained-MAC) execution path saved vs issuing
+  /// each op through Table 1 alone; elapsed_cycles is already net of this.
+  std::uint64_t fused_cycles_saved = 0;
 
   [[nodiscard]] double cycles_per_element() const {
     return elements == 0 ? 0.0
@@ -48,6 +51,9 @@ struct BatchStats {
   std::uint64_t compute_cycles = 0;    ///< total in-array compute cycles
   std::uint64_t serial_cycles = 0;     ///< load + compute with no overlap
   std::uint64_t pipelined_cycles = 0;  ///< double-buffered: load(k+1) || compute(k)
+  /// Compute cycles fused program execution saved vs op-at-a-time Table 1
+  /// issue (0 for unfused batches; compute_cycles is net of this).
+  std::uint64_t fused_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed_time{0.0};  ///< pipelined_cycles at the macro cycle time
 
@@ -69,6 +75,7 @@ struct BatchStats {
     compute_cycles += o.compute_cycles;
     serial_cycles += o.serial_cycles;
     pipelined_cycles += o.pipelined_cycles;
+    fused_cycles_saved += o.fused_cycles_saved;
     energy += o.energy;
     elapsed_time += o.elapsed_time;
     return *this;

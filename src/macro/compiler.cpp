@@ -1,0 +1,75 @@
+#include "macro/compiler.hpp"
+
+#include "common/require.hpp"
+
+namespace bpim::macro {
+
+using array::RowRef;
+
+Program FusionCompiler::compile_mac_forward(const MacForwardSpec& spec) const {
+  BPIM_REQUIRE(!spec.steps.empty(), "fused forward needs at least one MAC");
+  BPIM_REQUIRE(is_supported_precision(spec.bits), "unsupported MAC precision");
+  Program p;
+  for (const MacStep& s : spec.steps) {
+    BPIM_REQUIRE(s.a_row != s.b_row, "MAC needs two distinct rows");
+    p.mult(RowRef::main(s.a_row), RowRef::main(s.b_row), spec.bits);
+  }
+  verify_emitted(p, "compile_mac_forward");
+  return p;
+}
+
+Program FusionCompiler::compile_chain(const ChainSpec& spec) const {
+  BPIM_REQUIRE(!spec.layers.empty(), "chain needs at least one layer");
+  BPIM_REQUIRE(is_supported_precision(spec.bits), "unsupported chain head precision");
+  BPIM_REQUIRE(is_supported_precision(2 * spec.bits),
+               "chain links run at 2x the head precision, which the ISA lacks here");
+  const RowRef d2 = RowRef::dummy(ImcMacro::kDummyAccum);
+  Program p;
+  for (const ChainLayerSpec& layer : spec.layers) {
+    BPIM_REQUIRE(!layer.links.empty(), "chain layer needs at least one link");
+    BPIM_REQUIRE(layer.a_row != layer.b_row, "chain head needs two distinct rows");
+    p.mult(RowRef::main(layer.a_row), RowRef::main(layer.b_row), spec.bits);
+    for (std::size_t j = 0; j < layer.links.size(); ++j) {
+      const auto& [kind, operand_row] = layer.links[j];
+      const RowRef rb = RowRef::main(operand_row);
+      const bool last = j + 1 == layer.links.size();
+      if (kind == ChainLinkKind::Add) {
+        // Intermediate sums accumulate back into D2; the final sum is
+        // driven out for the trace to capture.
+        p.add(d2, rb, 2 * spec.bits, last ? std::nullopt : std::optional<RowRef>(d2));
+      } else {
+        // ADD-Shift must write back. Intermediates stay in D2; the final
+        // value retires into the layer's own activation row -- dead since
+        // the head MULT consumed it, and never pinned.
+        p.add_shift(d2, rb, 2 * spec.bits, last ? RowRef::main(layer.a_row) : d2);
+      }
+    }
+  }
+  verify_emitted(p, "compile_chain");
+  return p;
+}
+
+std::uint64_t FusionCompiler::fused_static_cycles(const Program& p) {
+  std::uint64_t c = 0;
+  const Instruction* prev = nullptr;
+  for (const Instruction& i : p.instructions()) {
+    std::uint64_t cost = op_cycles(i.op, i.bits);
+    if (i.op == Op::Mult && prev != nullptr && prev->op == Op::Mult && prev->bits == i.bits) {
+      --cost;                          // FF load pipelined behind prior write-back
+      if (prev->a == i.a) --cost;      // D1 already staged with this multiplicand
+    }
+    c += cost;
+    prev = &i;
+  }
+  return c;
+}
+
+void FusionCompiler::verify_emitted(const Program& p, const char* what) const {
+  const VerifyReport rep = verify_program(p, geom_, pinned_);
+  if (rep.errors == 0 && rep.warnings == 0) return;
+  throw std::invalid_argument(std::string(what) +
+                              ": emitted program drew verifier diagnostics:\n" +
+                              rep.annotate(p));
+}
+
+}  // namespace bpim::macro

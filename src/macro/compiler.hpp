@@ -1,0 +1,107 @@
+#pragma once
+// Fusion compiler: turns dependent op chains into single verified macro ISA
+// programs, so a whole forward pass executes in-array -- intermediates live
+// in the dummy accumulator row (D2), never leaving the subarray. This is
+// the IMAC organization applied to the seed's row-level ISA: the multi-bit
+// MAC is the primitive, and the verifier (macro/verifier.hpp) is the
+// contract every emitted program is checked against before it ever reaches
+// a macro.
+//
+// Two program shapes are emitted:
+//
+//   compile_mac_forward  One MULT per (activation row, weight row) pair.
+//                        The per-MAC products are captured from the
+//                        execution trace; back-to-back MULTs of one staged
+//                        activation row run on the chained datapath (FF load
+//                        overlapped, D1 staging skipped), which is where the
+//                        fused cycle win comes from.
+//
+//   compile_chain        MULT -> ADD(-> ADD-Shift) dependency chains: the
+//                        head product stays in D2 and each link folds a
+//                        2N-bit operand row into it. The final link drives
+//                        the result out (ADD) or retires it into the layer's
+//                        own dead activation row (ADD-Shift needs a dest).
+//
+// The compiler knows the residency map: programs are verified against the
+// pinned intervals (DiagKind::ResidentClobber) and must come back with ZERO
+// diagnostics -- warnings included -- or compilation throws with the
+// annotated disassembly. Nothing here depends on the engine layer; the
+// engine hands in geometry + pinned intervals and gets Programs back.
+
+#include <cstdint>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "array/sram_array.hpp"
+#include "macro/program.hpp"
+#include "macro/verifier.hpp"
+
+namespace bpim::macro {
+
+/// One MAC of a fused forward: MULT of two staged main rows, product in D2.
+struct MacStep {
+  std::size_t a_row = 0;  ///< multiplicand row (the shared activation)
+  std::size_t b_row = 0;  ///< multiplier row (typically a resident weight)
+};
+
+/// A whole forward at one precision: the per-macro MAC sequence, in issue
+/// order. Steps sharing `a_row` should be adjacent -- the chained datapath
+/// only discounts back-to-back repeats.
+struct MacForwardSpec {
+  unsigned bits = 8;
+  std::vector<MacStep> steps;
+};
+
+/// How one chain link folds its operand into the D2 accumulator.
+enum class ChainLinkKind {
+  Add,       ///< acc += operand
+  AddShift,  ///< acc = (acc + operand) << 1 (in-field)
+};
+
+/// One MULT->links chain: the head MAC plus the rows folded into it. Link
+/// operands are 2N-bit fields (the product width).
+struct ChainLayerSpec {
+  std::size_t a_row = 0;
+  std::size_t b_row = 0;
+  std::vector<std::pair<ChainLinkKind, std::size_t>> links;
+};
+
+struct ChainSpec {
+  unsigned bits = 8;  ///< head MULT precision; links run at 2*bits
+  std::vector<ChainLayerSpec> layers;
+};
+
+class FusionCompiler {
+ public:
+  /// `pinned` is the residency map of the target macro's main rows; emitted
+  /// programs may read pinned rows (that is the point) but never write them.
+  explicit FusionCompiler(array::ArrayGeometry g, std::vector<PinnedRows> pinned = {})
+      : geom_(g), pinned_(std::move(pinned)) {}
+
+  /// Emit and verify the fused whole-forward MAC program. Throws
+  /// std::invalid_argument (with annotated disassembly) if the emitted
+  /// program draws any verifier diagnostic.
+  [[nodiscard]] Program compile_mac_forward(const MacForwardSpec& spec) const;
+
+  /// Emit and verify a MULT->ADD(->ADD-Shift) chain program. The last link
+  /// of an ADD chain carries no dest (result driven out and captured from
+  /// the trace); a final ADD-Shift retires into the layer's own `a_row`,
+  /// dead since the head MULT consumed it.
+  [[nodiscard]] Program compile_chain(const ChainSpec& spec) const;
+
+  /// Cycle cost of `p` on the chained-MAC execution path -- Table 1 minus
+  /// the discounts MacroController::run applies with fuse_mac_chains set.
+  [[nodiscard]] static std::uint64_t fused_static_cycles(const Program& p);
+
+  [[nodiscard]] const array::ArrayGeometry& geometry() const { return geom_; }
+  [[nodiscard]] const std::vector<PinnedRows>& pinned() const { return pinned_; }
+
+ private:
+  void verify_emitted(const Program& p, const char* what) const;
+
+  array::ArrayGeometry geom_;
+  std::vector<PinnedRows> pinned_;
+};
+
+}  // namespace bpim::macro

@@ -315,6 +315,17 @@ BitVector ImcMacro::sub_rows(RowRef a, RowRef b, unsigned bits) {
 }
 
 BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
+  return mult_impl(a, b, bits, /*d1_staged=*/false, /*pipelined=*/false);
+}
+
+BitVector ImcMacro::mult_rows_chained(RowRef a, RowRef b, unsigned bits, bool d1_staged,
+                                      bool pipelined) {
+  BPIM_REQUIRE(!d1_staged || pipelined, "D1 staging implies a pipelined chain link");
+  return mult_impl(a, b, bits, d1_staged, pipelined);
+}
+
+BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, bool d1_staged,
+                              bool pipelined) {
   BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
   const std::size_t units = mult_units_per_row(bits);
   const unsigned unit_bits = 2 * bits;
@@ -335,15 +346,21 @@ BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
     ff[u] = rb.bl_and.extract_bits(u * unit_bits, bits);
 
   // Cycle 2: copy the multiplicand into the dummy operand row (low halves):
-  // mask off the high half of every unit in one word-parallel AND.
-  const BlReadout ra = array_.read_single(a);
-  std::uint64_t low_halves = 0;  // low `bits` of each unit set (unit_bits divides 64)
-  for (std::size_t i = 0; i < 64; i += unit_bits) low_halves |= ((1ull << bits) - 1) << i;
-  BitVector a_copy = ra.bl_and;
-  for (std::size_t w = 0; w < a_copy.word_count(); ++w)
-    a_copy.set_word(w, a_copy.word(w) & low_halves);
-  charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
-  write_back(d1, a_copy, static_cast<double>(bits) * n_units);
+  // mask off the high half of every unit in one word-parallel AND. A
+  // d1-staged chain link skips the whole cycle -- the previous MULT of the
+  // same multiplicand left exactly this masked copy in D1 (the add-shift
+  // iterations only write D2), so neither the read nor the staging
+  // write-back happens.
+  if (!d1_staged) {
+    const BlReadout ra = array_.read_single(a);
+    std::uint64_t low_halves = 0;  // low `bits` of each unit set (unit_bits divides 64)
+    for (std::size_t i = 0; i < 64; i += unit_bits) low_halves |= ((1ull << bits) - 1) << i;
+    BitVector a_copy = ra.bl_and;
+    for (std::size_t w = 0; w < a_copy.word_count(); ++w)
+      a_copy.set_word(w, a_copy.word(w) & low_halves);
+    charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
+    write_back(d1, a_copy, static_cast<double>(bits) * n_units);
+  }
 
   // Cycles 3..N+2: (N-1) add-and-shift iterations plus the final ADD.
   // acc <- (ff_bit ? acc + A : acc), shifted left except on the last cycle.
@@ -373,7 +390,10 @@ BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
     write_back(d2, next, static_cast<double>(cols()) * p.mult_wb_activity);
   }
 
-  finish_op(op_cycles(Op::Mult, bits));
+  unsigned cycles = op_cycles(Op::Mult, bits);
+  if (pipelined) --cycles;  // cycle 1 hides behind the predecessor's write-back
+  if (d1_staged) --cycles;  // cycle 2 skipped outright
+  finish_op(cycles);
   return array_.row(d2);
 }
 

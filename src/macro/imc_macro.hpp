@@ -115,6 +115,15 @@ class ImcMacro {
   /// halves of each unit of rows a (multiplicand) and b (multiplier);
   /// returns the row of 2N-bit products (also left in dummy row D2).
   BitVector mult_rows(array::RowRef a, array::RowRef b, unsigned bits);
+  /// MULT as the non-head link of a fused MAC chain. `pipelined` overlaps
+  /// cycle 1 (D2 zero-init + FF load) with the predecessor MULT's final
+  /// write-back (-1 cycle, same energy); `d1_staged` additionally skips the
+  /// D1 staging cycle -- valid only when the immediately preceding op was a
+  /// MULT of the same multiplicand row at the same precision, so D1 still
+  /// holds the masked copy (-1 cycle and its staging energy). Products are
+  /// bit-identical to mult_rows().
+  BitVector mult_rows_chained(array::RowRef a, array::RowRef b, unsigned bits,
+                              bool d1_staged, bool pipelined);
 
   // ---- accounting ---------------------------------------------------------
   [[nodiscard]] ExecStats last_op() const { return last_; }
@@ -138,6 +147,8 @@ class ImcMacro {
   static constexpr std::size_t kDummyAccum = 2;    ///< MULT accumulator / results
 
  private:
+  BitVector mult_impl(array::RowRef a, array::RowRef b, unsigned bits, bool d1_staged,
+                      bool pipelined);
   [[nodiscard]] energy::Component compute_price(array::RowRef a, array::RowRef b) const;
   [[nodiscard]] energy::Component wb_price() const;
   void charge(energy::Component c, double bits);

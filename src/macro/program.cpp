@@ -97,6 +97,32 @@ std::uint64_t Program::static_cycles() const {
   return c;
 }
 
+std::string Program::dump() const {
+  std::ostringstream os;
+  for (std::size_t k = 0; k < instructions_.size(); ++k) {
+    const Instruction& i = instructions_[k];
+    os << "#" << k << "\t" << to_string(i);
+    switch (i.op) {
+      case Op::Mult:
+        os << "\t; D1 <- masked a, FF <- b, product -> D2";
+        break;
+      case Op::Sub:
+        os << "\t; D1 <- ~b, difference driven out";
+        break;
+      case Op::Add:
+        if (!i.dest) os << "\t; sum driven out";
+        break;
+      case Op::AddShift:
+        os << "\t; (a+b)<<1 in-field";
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 void MacroController::check_row(const array::RowRef& r, std::size_t index) const {
   const auto& g = macro_.config().geometry;
   const std::size_t limit = r.is_dummy() ? g.dummy_rows : g.rows;
@@ -138,15 +164,18 @@ void MacroController::validate(const Program& p) const {
   }
 }
 
-ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* trace) {
+ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* trace,
+                                  bool fuse_mac_chains) {
   if (mode_ == VerifyMode::VerifyFirst) {
     const VerifyReport report = verify_program(p, macro_);
     if (!report.ok())
-      throw std::invalid_argument("program rejected by verifier: " + report.error_summary());
+      throw std::invalid_argument("program rejected by verifier: " + report.error_summary() +
+                                  "\n" + report.annotate(p));
   } else {
     validate(p);
   }
   ProgramStats stats;
+  const Instruction* prev = nullptr;
   for (const Instruction& i : p.instructions()) {
     BitVector result;
     switch (i.op) {
@@ -172,15 +201,28 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
       case Op::Sub:
         result = macro_.sub_rows(i.a, i.b, i.bits);
         break;
-      case Op::Mult:
-        result = macro_.mult_rows(i.a, i.b, i.bits);
+      case Op::Mult: {
+        // Chain discount: a MULT directly after a MULT at the same precision
+        // loads its FF while the predecessor's final D2 write-back drains;
+        // if the multiplier row repeats, D1 still holds the masked copy and
+        // the staging cycle drops out as well.
+        const bool pipelined =
+            fuse_mac_chains && prev != nullptr && prev->op == Op::Mult && prev->bits == i.bits;
+        const bool d1_staged = pipelined && prev->a == i.a;
+        result = pipelined ? macro_.mult_rows_chained(i.a, i.b, i.bits, d1_staged,
+                                                      /*pipelined=*/true)
+                           : macro_.mult_rows(i.a, i.b, i.bits);
         break;
+      }
     }
     const ExecStats es = macro_.last_op();
     ++stats.instructions;
     stats.cycles += es.cycles;
+    const unsigned table_cycles = op_cycles(i.op, i.bits);
+    if (table_cycles > es.cycles) stats.fused_cycles_saved += table_cycles - es.cycles;
     stats.energy += es.op_energy;
     if (trace) trace->push_back(TraceEntry{i, es.cycles, es.op_energy, result});
+    prev = &i;
   }
   stats.elapsed = macro_.cycle_time() * static_cast<double>(stats.cycles);
   return stats;

@@ -63,6 +63,11 @@ class Program {
   /// Total cycle cost per Table 1 (static, before execution).
   [[nodiscard]] std::uint64_t static_cycles() const;
 
+  /// Disassembly: one instruction per line ("#k  MULT R4, R1 @8b  ; ..."),
+  /// annotated with the scratch-row roles each op implies. The text the
+  /// verifier's diagnostics and test failure messages lean on.
+  [[nodiscard]] std::string dump() const;
+
  private:
   std::vector<Instruction> instructions_;
 };
@@ -78,6 +83,9 @@ struct TraceEntry {
 struct ProgramStats {
   std::uint64_t instructions = 0;
   std::uint64_t cycles = 0;
+  /// Cycles the chained-MAC execution path saved vs Table 1's per-op cost
+  /// (0 unless run() was asked to fuse). `cycles` is already net of this.
+  std::uint64_t fused_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed{0.0};
 };
@@ -107,7 +115,15 @@ class MacroController {
   /// Checks (per VerifyMode) and runs; returns stats. If `trace` is
   /// non-null, appends one entry per instruction. Rejected programs leave
   /// the macro untouched.
-  ProgramStats run(const Program& p, std::vector<TraceEntry>* trace = nullptr);
+  ///
+  /// With `fuse_mac_chains` set, back-to-back MULTs at one precision run on
+  /// the chained datapath: the FF load of cycle 1 overlaps the predecessor's
+  /// final D2 write-back (-1 cycle), and when the multiplier row repeats the
+  /// D1 staging cycle is skipped too (-1 more). Results are bit-identical;
+  /// only the cycle/energy account changes (fused_cycles_saved reports the
+  /// discount).
+  ProgramStats run(const Program& p, std::vector<TraceEntry>* trace = nullptr,
+                   bool fuse_mac_chains = false);
 
   [[nodiscard]] VerifyMode mode() const { return mode_; }
 

@@ -50,8 +50,9 @@ struct RowState {
 
 class Checker {
  public:
-  Checker(const Program& p, const array::ArrayGeometry& g, const VerifyLimits& limits)
-      : prog_(p), geom_(g), limits_(limits) {}
+  Checker(const Program& p, const array::ArrayGeometry& g, const VerifyLimits& limits,
+          std::span<const PinnedRows> pinned = {})
+      : prog_(p), geom_(g), limits_(limits), pinned_(pinned) {}
 
   VerifyReport run() {
     const auto& insts = prog_.instructions();
@@ -131,17 +132,33 @@ class Checker {
 
   /// Implicit scratch-row write (SUB -> D1; MULT -> D1 and D2). Scratch
   /// churn over scratch is the sequencer's normal business -- only an
-  /// explicit, still-live definition turns this into a pending RAW.
+  /// explicit definition that was never read turns this into a pending RAW.
+  /// A consumed definition is dead by then: accumulating into D2 and letting
+  /// the next MULT reclaim it is the ISA's intended MAC-chain idiom.
   void note_implicit_write(std::size_t k, std::size_t dummy_index) {
     const array::RowRef r = array::RowRef::dummy(dummy_index);
     if (!in_range(r)) return;
     RowState& st = rows_[key(r)];
-    if (st.has_explicit_def) {
+    if (st.has_explicit_def && !st.read_since_def) {
       st.clobbered = true;
       st.clobberer = k;
-      st.has_explicit_def = false;
     }
+    st.has_explicit_def = false;
     st.write_bits = 0;
+  }
+
+  /// Residency discipline: explicit write-back into a pinned main row.
+  void check_resident(std::size_t k, const array::RowRef& r) {
+    if (r.is_dummy() || pinned_.empty()) return;
+    for (const PinnedRows& iv : pinned_) {
+      if (r.index < iv.first_row || r.index >= iv.first_row + iv.row_count) continue;
+      std::ostringstream os;
+      os << "destination " << row_name(r) << " lies inside the pinned interval ["
+         << iv.first_row << ", " << iv.first_row + iv.row_count
+         << ") -- the write would corrupt a resident operand";
+      diag(Severity::Error, DiagKind::ResidentClobber, k, os.str());
+      return;
+    }
   }
 
   void check_instruction(std::size_t k, const Instruction& i) {
@@ -224,6 +241,7 @@ class Checker {
     if (i.dest && !(i.op == Op::Sub || i.op == Op::Mult || is_dual_logic(i.op))) {
       // NOT/COPY write bitwise images; SHIFT/ADD/ADD-Shift write N-bit fields.
       const unsigned wb = (i.op == Op::Not || i.op == Op::Copy) ? 0 : i.bits;
+      check_resident(k, *i.dest);
       note_write(k, *i.dest, wb);
     }
 
@@ -245,6 +263,7 @@ class Checker {
   const Program& prog_;
   const array::ArrayGeometry& geom_;
   const VerifyLimits& limits_;
+  std::span<const PinnedRows> pinned_;
   VerifyReport report_;
   std::unordered_map<std::size_t, RowState> rows_;
   bool cycle_budget_reported_ = false;
@@ -269,6 +288,7 @@ const char* to_string(DiagKind k) {
     case DiagKind::PrecisionMismatch: return "precision-mismatch";
     case DiagKind::CycleBudget: return "cycle-budget";
     case DiagKind::InstructionBudget: return "instruction-budget";
+    case DiagKind::ResidentClobber: return "resident-clobber";
   }
   return "unknown";
 }
@@ -294,9 +314,32 @@ std::string VerifyReport::error_summary() const {
   return os.str();
 }
 
+std::string VerifyReport::annotate(const Program& p) const {
+  std::ostringstream os;
+  std::istringstream lines(p.dump());
+  std::string line;
+  for (std::size_t k = 0; std::getline(lines, line); ++k) {
+    os << line << "\n";
+    for (const auto& d : diagnostics)
+      if (d.instruction == k) {
+        os << "    ^ ";
+        format_diag(os, d);
+      }
+  }
+  // Budget faults indexed past the last instruction (whole-program).
+  for (const auto& d : diagnostics)
+    if (d.instruction >= p.size()) format_diag(os, d);
+  return os.str();
+}
+
 VerifyReport verify_program(const Program& p, const array::ArrayGeometry& g,
                             const VerifyLimits& limits) {
   return Checker(p, g, limits).run();
+}
+
+VerifyReport verify_program(const Program& p, const array::ArrayGeometry& g,
+                            std::span<const PinnedRows> pinned, const VerifyLimits& limits) {
+  return Checker(p, g, limits, pinned).run();
 }
 
 VerifyReport verify_program(const Program& p, const ImcMacro& m, const VerifyLimits& limits) {

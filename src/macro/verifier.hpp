@@ -33,6 +33,7 @@
 // Errors is accepted: report.ok().
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -57,6 +58,7 @@ enum class DiagKind {
   PrecisionMismatch,  ///< field-structured read at a different width than the write
   CycleBudget,        ///< static cycles exceed VerifyLimits::max_cycles
   InstructionBudget,  ///< instruction count exceeds VerifyLimits::max_instructions
+  ResidentClobber,    ///< explicit write into a row the residency map pins
 };
 
 [[nodiscard]] const char* to_string(Severity s);
@@ -75,6 +77,15 @@ struct VerifyLimits {
   std::size_t max_instructions = 0;   ///< program length budget
 };
 
+/// One interval of main rows the ResidencyManager has pinned (weights kept
+/// materialized across calls). A program may *read* these rows -- that is
+/// the whole point of residency -- but an explicit write-back into one is an
+/// Error (ResidentClobber): it would silently corrupt a pinned operand.
+struct PinnedRows {
+  std::size_t first_row = 0;  ///< first main-row index of the interval
+  std::size_t row_count = 0;  ///< rows covered (contiguous)
+};
+
 struct VerifyReport {
   std::vector<Diagnostic> diagnostics;  ///< program order, then budgets
   std::uint64_t static_cycles = 0;      ///< Table-1 total (malformed ops priced 0)
@@ -87,11 +98,20 @@ struct VerifyReport {
   [[nodiscard]] std::string to_string() const;
   /// Like to_string() but Errors only -- the verify-first rejection text.
   [[nodiscard]] std::string error_summary() const;
+  /// Program::dump() with each instruction's diagnostics interleaved under
+  /// it -- the debuggable form of a rejected fused program.
+  [[nodiscard]] std::string annotate(const Program& p) const;
 };
 
 /// Verify `p` against an array geometry (no macro instance needed -- a
 /// compiler can check emitted programs before the target array exists).
 [[nodiscard]] VerifyReport verify_program(const Program& p, const array::ArrayGeometry& g,
+                                          const VerifyLimits& limits = {});
+
+/// Residency-aware verify: additionally flags explicit main-row writes that
+/// land inside any pinned interval (ResidentClobber, Error).
+[[nodiscard]] VerifyReport verify_program(const Program& p, const array::ArrayGeometry& g,
+                                          std::span<const PinnedRows> pinned,
                                           const VerifyLimits& limits = {});
 
 /// Convenience: verify against a live macro's geometry.

@@ -63,11 +63,21 @@ class DeadlineExceeded : public std::runtime_error {
 
 namespace detail {
 
+/// What a ticket asks the engine for. Op is the classic single VecOp;
+/// Chain and Forward are fused requests (engine/fusion.hpp) that execute
+/// as one verified macro program and always dispatch as their own group.
+enum class ReqKind { Op, Chain, Forward };
+
 /// One admitted request in flight. Move-only; the op's spans point into
 /// this ticket's own a/b storage.
 struct Ticket {
-  engine::VecOp op;
+  ReqKind kind = ReqKind::Op;
+  engine::VecOp op;  ///< the op; fused kinds use only its kind/bits labels
   std::vector<std::uint64_t> a, b;
+  /// Chain requests: the owned link operands, in fold order.
+  std::vector<std::pair<engine::ChainLinkKind, std::vector<std::uint64_t>>> links;
+  /// Forward requests: the pinned weight handles, in op order.
+  std::vector<engine::ResidentOperand> fwd_weights;
   int priority = 0;
   std::optional<Clock::time_point> deadline;
   std::uint64_t seq = 0;  ///< admission order, the FIFO tiebreak
@@ -77,12 +87,26 @@ struct Ticket {
   /// Pool memory that holds the op's resident operand(s); requests with a
   /// handle must run there, everything else is free for placement.
   std::optional<std::size_t> home;
-  std::promise<engine::OpResult> promise;
+  std::promise<engine::OpResult> promise;  ///< Op and Chain results
+  std::promise<std::vector<engine::OpResult>> fwd_promise;  ///< Forward results
 
   /// Row-pair layers the request stages through the transient region: a
-  /// resident-operand request computes in its handle's own pairs and
-  /// consumes none (the coalescer's budget math packs against this).
-  [[nodiscard]] std::size_t transient_layers() const { return home ? 0 : layers; }
+  /// resident-operand Op computes in its handle's own pairs and consumes
+  /// none; a fused Forward stages its shared activation (`layers` counts
+  /// exactly that region) even though its weights are resident; a Chain is
+  /// fully transient (the coalescer's budget math packs against this).
+  [[nodiscard]] std::size_t transient_layers() const {
+    if (kind == ReqKind::Op) return home ? 0 : layers;
+    return layers;
+  }
+
+  /// Surface a scheduling failure on whichever promise the client holds.
+  void fail(std::exception_ptr err) {
+    if (kind == ReqKind::Forward)
+      fwd_promise.set_exception(std::move(err));
+    else
+      promise.set_exception(std::move(err));
+  }
 };
 
 }  // namespace detail

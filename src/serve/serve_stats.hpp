@@ -77,6 +77,10 @@ struct ServeStats {
   /// and what resident operands (Server::pin) saved against re-poking.
   std::uint64_t modeled_load_cycles = 0;
   std::uint64_t modeled_load_cycles_saved = 0;
+  /// Compute cycles fused program execution (submit_forward / submit_chain,
+  /// chained-MAC datapath) saved vs op-at-a-time Table 1 issue; the
+  /// pipelined/serial totals are already net of this.
+  std::uint64_t modeled_fused_cycles_saved = 0;
   /// Busiest memory's pipelined total: the modeled finish line when the
   /// pool's memories run in parallel. Equals modeled_pipelined_cycles on a
   /// single-memory server.

@@ -146,6 +146,122 @@ std::future<OpResult> Server::submit(const VecOp& op, SubmitOptions opts) {
   return fut;
 }
 
+detail::Ticket Server::make_forward_ticket(std::span<const engine::ResidentOperand> weights,
+                                           std::span<const std::uint64_t> activation,
+                                           SubmitOptions opts) {
+  BPIM_REQUIRE(!weights.empty(), "fused forward needs at least one weight");
+  const unsigned bits = weights.front().bits;
+  BPIM_REQUIRE(macro::is_supported_precision(bits), "unsupported precision");
+  std::optional<std::size_t> home;
+  {
+    MutexLock lk(pin_mutex_);
+    for (const engine::ResidentOperand& w : weights) {
+      BPIM_REQUIRE(static_cast<bool>(w), "fused forward weight has no handle");
+      BPIM_REQUIRE(w.bits == bits, "fused forward weights must share one precision");
+      BPIM_REQUIRE(w.layout == engine::OperandLayout::MultUnit,
+                   "fused forward weights must be pinned in MULT-unit layout");
+      BPIM_REQUIRE(w.elements == weights.front().elements,
+                   "fused forward weights must share one length");
+      const auto it = pin_home_.find(w.id);
+      BPIM_REQUIRE(it != pin_home_.end(), "resident operand was not pinned through this server");
+      BPIM_REQUIRE(!home || *home == it->second,
+                   "fused forward weights live on different pool memories -- pin them "
+                   "under one colocate_key");
+      home = it->second;
+    }
+  }
+  BPIM_REQUIRE(activation.size() == weights.front().elements,
+               "activation length must match the pinned weights");
+
+  detail::Ticket t;
+  t.kind = detail::ReqKind::Forward;
+  t.op.kind = OpKind::Mult;  // labels for BatchRecord/compatibility checks
+  t.op.bits = bits;
+  t.a.assign(activation.begin(), activation.end());
+  t.fwd_weights.assign(weights.begin(), weights.end());
+  t.home = home;
+  // The budget the ticket occupies is its transient activation region; the
+  // weights' rows are already down on the home memory.
+  t.layers = weights.front().layers;
+  t.priority = opts.priority;
+  t.deadline = opts.deadline;
+  t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  t.submit_time = Clock::now();
+  return t;
+}
+
+detail::Ticket Server::make_chain_ticket(const engine::ChainRequest& chain,
+                                         SubmitOptions opts) {
+  BPIM_REQUIRE(!chain.links.empty(), "a chain needs at least one link");
+  BPIM_REQUIRE(macro::is_supported_precision(chain.bits), "unsupported precision");
+  BPIM_REQUIRE(macro::is_supported_precision(2 * chain.bits),
+               "chain links run at 2x the head precision, which the ISA lacks here");
+  BPIM_REQUIRE(!chain.a.empty(), "chain operands must be non-empty");
+  BPIM_REQUIRE(chain.a.size() == chain.b.size(), "operand vectors must have equal length");
+  for (const engine::ChainLink& link : chain.links)
+    BPIM_REQUIRE(link.values.size() == chain.a.size(),
+                 "link operand length must match the head operands");
+
+  detail::Ticket t;
+  t.kind = detail::ReqKind::Chain;
+  t.op.kind = OpKind::Mult;
+  t.op.bits = chain.bits;
+  t.a.assign(chain.a.begin(), chain.a.end());
+  t.b.assign(chain.b.begin(), chain.b.end());
+  t.links.reserve(chain.links.size());
+  for (const engine::ChainLink& link : chain.links)
+    t.links.emplace_back(link.kind,
+                         std::vector<std::uint64_t>(link.values.begin(), link.values.end()));
+  // One chain layer stages the head pair plus one row per link operand.
+  const std::size_t pairs_per_layer = (2 + chain.links.size() + 1) / 2;
+  VecOp head;
+  head.kind = OpKind::Mult;
+  head.bits = chain.bits;
+  head.a = t.a;
+  head.b = t.b;
+  t.layers = pairs_per_layer * pool_->layers_for(head);
+  BPIM_REQUIRE(t.layers <= pool_->row_pair_capacity(), "chain exceeds memory capacity");
+  if (pool_->placement() == Placement::StickyByOperand) {
+    t.op.a = t.a;
+    t.op.b = t.b;
+    t.operand_hash = hash_operands(t.op);
+    t.op.a = {};
+    t.op.b = {};
+  }
+  t.priority = opts.priority;
+  t.deadline = opts.deadline;
+  t.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  t.submit_time = Clock::now();
+  return t;
+}
+
+std::future<std::vector<OpResult>> Server::submit_forward(
+    std::span<const engine::ResidentOperand> weights,
+    std::span<const std::uint64_t> activation, SubmitOptions opts) {
+  if (stopped()) throw ServerStopped();
+  detail::Ticket t = make_forward_ticket(weights, activation, opts);
+  std::future<std::vector<OpResult>> fut = t.fwd_promise.get_future();
+  ledger_.on_submitted();
+  if (!queue_.push(std::move(t))) {
+    ledger_.on_submit_rescinded();
+    t.fwd_promise.set_exception(std::make_exception_ptr(ServerStopped()));
+  }
+  return fut;
+}
+
+std::future<OpResult> Server::submit_chain(const engine::ChainRequest& chain,
+                                           SubmitOptions opts) {
+  if (stopped()) throw ServerStopped();
+  detail::Ticket t = make_chain_ticket(chain, opts);
+  std::future<OpResult> fut = t.promise.get_future();
+  ledger_.on_submitted();
+  if (!queue_.push(std::move(t))) {
+    ledger_.on_submit_rescinded();
+    t.promise.set_exception(std::make_exception_ptr(ServerStopped()));
+  }
+  return fut;
+}
+
 std::optional<std::future<OpResult>> Server::try_submit(const VecOp& op, SubmitOptions opts) {
   if (stopped()) throw ServerStopped();
   // Fail fast before the operand deep-copy; try_push below stays the
@@ -167,13 +283,16 @@ std::optional<std::future<OpResult>> Server::try_submit(const VecOp& op, SubmitO
 }
 
 engine::ResidentOperand Server::pin(std::span<const std::uint64_t> values, unsigned bits,
-                                    engine::OperandLayout layout) {
+                                    engine::OperandLayout layout,
+                                    std::optional<std::uint64_t> colocate_key) {
   if (stopped()) throw ServerStopped();
   // Deterministic hash placement: the same weight values always pin to the
   // same node, whatever the batch placement policy is -- exactly the
-  // affinity the sticky policy approximates for span operands.
-  const std::size_t m =
-      pool_->size() == 1 ? 0 : hash_pin(values, bits, layout) % pool_->size();
+  // affinity the sticky policy approximates for span operands. A colocate
+  // key overrides the value hash so a fused forward's weights share a node.
+  const std::size_t m = pool_->size() == 1 ? 0
+                        : colocate_key     ? *colocate_key % pool_->size()
+                                           : hash_pin(values, bits, layout) % pool_->size();
   const engine::ResidentOperand handle = pool_->engine(m).pin(values, bits, layout);
   {
     MutexLock lk(pin_mutex_);
@@ -256,10 +375,24 @@ void Server::scheduler_loop() {
     });
     if (!lapsed.empty()) {
       ledger_.on_expired(lapsed.size());
-      for (auto& t : lapsed)
-        t.promise.set_exception(std::make_exception_ptr(DeadlineExceeded()));
+      for (auto& t : lapsed) t.fail(std::make_exception_ptr(DeadlineExceeded()));
     }
     if (backlog.empty()) continue;
+
+    // A fused request at the head (Chain/Forward) dispatches as its own
+    // group: it is already one whole program, there is nothing to coalesce
+    // it with. Its home memory (a Forward's weights) binds placement.
+    if (backlog.front().kind != detail::ReqKind::Op) {
+      std::vector<std::vector<detail::Ticket>> subs(1);
+      std::vector<MemoryPool::Slot> slots(1);
+      slots[0].layers = backlog.front().layers;
+      slots[0].operand_hash = backlog.front().operand_hash;
+      slots[0].home = backlog.front().home;
+      subs[0].push_back(std::move(backlog.front()));
+      backlog.erase(backlog.begin());
+      execute_group(subs, pool_->place(slots));
+      continue;
+    }
 
     // Budgets account for pinned layers: transient (span) operands can only
     // stage into capacity minus each memory's resident set, while requests
@@ -283,8 +416,8 @@ void Server::scheduler_loop() {
     std::vector<detail::Ticket> rest;
     std::size_t transient_layers = 0;
     for (auto& t : backlog) {
-      const bool compatible = t.op.kind == kind && t.op.bits == bits &&
-                              (kind != OpKind::Logic || t.op.fn == fn);
+      const bool compatible = t.kind == detail::ReqKind::Op && t.op.kind == kind &&
+                              t.op.bits == bits && (kind != OpKind::Logic || t.op.fn == fn);
       if (compatible &&
           (selected.empty() ||
            (selected.size() < group_op_budget &&
@@ -338,6 +471,10 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
   const auto run_sub = [&](std::size_t i) {
     auto& batch = subs[i];
     engine::ExecutionEngine& eng = pool_->engine(where[i]);
+    if (batch.front().kind != detail::ReqKind::Op) {
+      execute_fused(batch.front(), eng, where[i]);
+      return;
+    }
     std::vector<VecOp> ops;
     ops.reserve(batch.size());
     for (const auto& t : batch) ops.push_back(t.op);
@@ -393,6 +530,54 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
   lane_pool_.parallel_for(by_memory.size(), [&](std::size_t l) {
     for (const std::size_t i : by_memory[l]) run_sub(i);
   });
+}
+
+void Server::execute_fused(detail::Ticket& t, engine::ExecutionEngine& eng, std::size_t mem) {
+  // One fused request is one engine call; like run_sub it accounts before
+  // settling the promise and never throws into the scheduler.
+  engine::BatchStats bs;
+  std::vector<OpResult> fwd_results;
+  OpResult chain_result;
+  try {
+    if (t.kind == detail::ReqKind::Forward) {
+      fwd_results = eng.run_forward(t.fwd_weights, t.a);
+    } else {
+      engine::ChainRequest req;
+      req.bits = t.op.bits;
+      req.a = t.a;
+      req.b = t.b;
+      req.links.reserve(t.links.size());
+      for (const auto& [kind, values] : t.links)
+        req.links.push_back(engine::ChainLink{kind, values});
+      chain_result = eng.run_chain(req);
+    }
+  } catch (...) {
+    // Validation happens at submit, so this is a defect; surface it on the
+    // client's future rather than killing the scheduler.
+    t.fail(std::current_exception());
+    return;
+  }
+  bs = eng.last_batch();
+  const auto done = Clock::now();
+
+  BatchRecord rec;
+  rec.kind = t.op.kind;
+  rec.bits = t.op.bits;
+  rec.ops = 1;
+  rec.layers = t.layers;
+  rec.memory = mem;
+  rec.pipelined_cycles = bs.pipelined_cycles;
+  rec.serial_cycles = bs.serial_cycles;
+  pool_->on_batch_done(mem, rec.layers, bs.pipelined_cycles);
+  const std::vector<double> host_us = {
+      std::chrono::duration<double, std::micro>(done - t.submit_time).count()};
+  // Ledger before promises, as everywhere: a woken client sees its batch.
+  ledger_.on_batch(rec, bs, host_us, {t.layers});
+
+  if (t.kind == detail::ReqKind::Forward)
+    t.fwd_promise.set_value(std::move(fwd_results));
+  else
+    t.promise.set_value(std::move(chain_result));
 }
 
 }  // namespace bpim::serve

@@ -83,15 +83,38 @@ class Server {
   [[nodiscard]] std::optional<std::future<engine::OpResult>> try_submit(
       const engine::VecOp& op, SubmitOptions opts = {}) BPIM_EXCLUDES(pin_mutex_);
 
+  /// Admit a fused whole-forward request: every weight handle (all pinned
+  /// through this server onto one pool memory) against one shared
+  /// activation, executed as one fused macro program on the weights' home
+  /// memory (ExecutionEngine::run_forward; falls back to op-at-a-time there
+  /// when the shape cannot fuse -- values are identical either way). The
+  /// activation is copied; results come back in `weights` order.
+  [[nodiscard]] std::future<std::vector<engine::OpResult>> submit_forward(
+      std::span<const engine::ResidentOperand> weights,
+      std::span<const std::uint64_t> activation, SubmitOptions opts = {})
+      BPIM_EXCLUDES(pin_mutex_);
+
+  /// Admit a fused MULT->ADD(->ADD-Shift) chain (ExecutionEngine::run_chain):
+  /// the head product never leaves the array while the links fold in. All
+  /// operand spans (head and links) are copied at admission.
+  [[nodiscard]] std::future<engine::OpResult> submit_chain(const engine::ChainRequest& chain,
+                                                           SubmitOptions opts = {})
+      BPIM_EXCLUDES(pin_mutex_);
+
   /// Pin an operand resident behind the serving frontend: a deterministic
   /// operand hash picks the pool memory (so re-pinning the same values
   /// lands on the same node), the handle is registered there, and every
   /// later request referencing it is routed to that memory. The values are
   /// copied; the materializing write happens on the scheduler side at
   /// first use. Thread-safe; throws ServerStopped after stop().
+  /// `colocate_key`, when set, overrides the hash placement: handles pinned
+  /// with the same key land on the same pool memory. submit_forward needs
+  /// every weight of a layer on one node, so callers pin them under one key
+  /// (e.g. a hash of the layer's identity).
   [[nodiscard]] engine::ResidentOperand pin(std::span<const std::uint64_t> values,
-                                            unsigned bits, engine::OperandLayout layout)
-      BPIM_EXCLUDES(pin_mutex_);
+                                            unsigned bits, engine::OperandLayout layout,
+                                            std::optional<std::uint64_t> colocate_key =
+                                                std::nullopt) BPIM_EXCLUDES(pin_mutex_);
   /// Drop a pinned operand (false when unknown). Safe after stop() as long
   /// as the pool is alive; must not race requests that reference it.
   bool unpin(const engine::ResidentOperand& handle) BPIM_EXCLUDES(pin_mutex_);
@@ -123,7 +146,14 @@ class Server {
   /// Validate + package one request (throws std::invalid_argument).
   detail::Ticket make_ticket(const engine::VecOp& op, SubmitOptions opts)
       BPIM_EXCLUDES(pin_mutex_);
+  detail::Ticket make_forward_ticket(std::span<const engine::ResidentOperand> weights,
+                                     std::span<const std::uint64_t> activation,
+                                     SubmitOptions opts) BPIM_EXCLUDES(pin_mutex_);
+  detail::Ticket make_chain_ticket(const engine::ChainRequest& chain, SubmitOptions opts);
   void scheduler_loop();
+  /// Run one fused (Chain/Forward) ticket on its memory's engine and settle
+  /// its promise; fused requests always dispatch as their own group.
+  void execute_fused(detail::Ticket& t, engine::ExecutionEngine& eng, std::size_t mem);
   /// Run one dispatch group: sub-batch i on pool memory where[i], distinct
   /// memories concurrently; each lane accounts and fulfills its own
   /// promises as it finishes (no cross-lane barrier for clients).

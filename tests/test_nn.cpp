@@ -123,15 +123,23 @@ TEST(QuantizedLinear, PinnedRepeatedForwardBitIdentical) {
     const auto want = fresh.forward(fresh_eng, x);
     const auto got = pinned.forward(pinned_eng, x);
     EXPECT_EQ(want, got) << "forward " << i;  // bit-identical doubles
-    EXPECT_EQ(fresh.last_stats().cycles, pinned.last_stats().cycles);
-    EXPECT_EQ(fresh.last_stats().energy.si(), pinned.last_stats().energy.si());
+    // The pinned layer runs fused: identical values, fewer cycles, and the
+    // chained-MAC discount is exactly what fused_cycles_saved accounts.
+    EXPECT_EQ(fresh.last_stats().cycles,
+              pinned.last_stats().cycles + pinned.last_stats().fused_cycles_saved);
+    EXPECT_GT(pinned.last_stats().fused_cycles_saved, 0u);
+    EXPECT_LE(pinned.last_stats().energy.si(), fresh.last_stats().energy.si());
     if (i == 0) {
-      EXPECT_EQ(pinned.last_stats().load_cycles, fresh.last_stats().load_cycles);
+      // Compile-at-pin materialized the weights (their deferred load lands
+      // on this first call), but the activation stages once, not per-op.
+      EXPECT_LE(pinned.last_stats().load_cycles, fresh.last_stats().load_cycles);
+      EXPECT_GT(pinned.last_stats().load_cycles, 0u);
     } else {
       EXPECT_LT(pinned.last_stats().load_cycles, fresh.last_stats().load_cycles);
       EXPECT_GT(pinned.last_stats().load_cycles_saved, 0u);
     }
     EXPECT_EQ(fresh.last_stats().load_cycles_saved, 0u);
+    EXPECT_EQ(fresh.last_stats().fused_cycles_saved, 0u);
   }
 }
 

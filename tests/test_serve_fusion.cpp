@@ -1,0 +1,224 @@
+// serve::Server fusion routes: submit_forward / submit_chain through the
+// admission queue -- single- and multi-memory -- must be bit-identical to
+// the direct engine, account the fused discount in ServeStats, and survive
+// concurrent clients (the fused serving stress the TSan CI job runs).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+#include "serve/memory_pool.hpp"
+#include "serve/server.hpp"
+
+namespace bpim::serve {
+namespace {
+
+using engine::ChainLinkKind;
+using engine::ChainRequest;
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OperandLayout;
+using engine::OpKind;
+using engine::OpResult;
+using engine::ResidentOperand;
+using engine::VecOp;
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+TEST(ServeFusion, SubmitForwardBitIdenticalToDirectEngine) {
+  macro::ImcMemory direct_mem(tiny_memory());
+  ExecutionEngine direct(direct_mem, EngineConfig{1});
+
+  macro::ImcMemory served_mem(tiny_memory());
+  ExecutionEngine served_eng(served_mem, EngineConfig{1});
+  Server server(served_eng);
+
+  const unsigned bits = 8;
+  const std::size_t n = 48;
+  std::vector<std::vector<std::uint64_t>> w;
+  std::vector<ResidentOperand> direct_handles, served_handles;
+  for (std::size_t j = 0; j < 4; ++j) {
+    w.push_back(random_vec(n, bits, 10 + j));
+    direct_handles.push_back(direct.pin(w.back(), bits, OperandLayout::MultUnit));
+    served_handles.push_back(server.pin(w.back(), bits, OperandLayout::MultUnit));
+  }
+  for (std::size_t call = 0; call < 3; ++call) {
+    const auto x = random_vec(n, bits, 50 + call);
+    const auto want = direct.run_forward(direct_handles, x);
+    const auto got = server.submit_forward(served_handles, x).get();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t j = 0; j < want.size(); ++j) {
+      EXPECT_EQ(want[j].values, got[j].values) << "call " << call << " op " << j;
+      EXPECT_EQ(want[j].stats.elapsed_cycles, got[j].stats.elapsed_cycles);
+      EXPECT_EQ(want[j].stats.fused_cycles_saved, got[j].stats.fused_cycles_saved);
+    }
+  }
+  server.stop();
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, 3u);
+  EXPECT_GT(s.modeled_fused_cycles_saved, 0u);
+}
+
+TEST(ServeFusion, SubmitForwardThroughMemoryPoolColocatesAndMatches) {
+  macro::ImcMemory direct_mem(tiny_memory());
+  ExecutionEngine direct(direct_mem, EngineConfig{1});
+
+  MemoryPoolConfig pcfg;
+  pcfg.memory = tiny_memory();
+  pcfg.memories = 2;
+  pcfg.threads_per_memory = 1;
+  MemoryPool pool(pcfg);
+  Server server(pool);
+
+  const unsigned bits = 4;
+  const std::size_t n = 64;
+  std::vector<std::vector<std::uint64_t>> w;
+  std::vector<ResidentOperand> direct_handles, served_handles;
+  for (std::size_t j = 0; j < 3; ++j) {
+    w.push_back(random_vec(n, bits, 20 + j));
+    direct_handles.push_back(direct.pin(w.back(), bits, OperandLayout::MultUnit));
+    // One colocate key: every weight must land on the same pool memory.
+    served_handles.push_back(server.pin(w.back(), bits, OperandLayout::MultUnit, 7));
+  }
+  const auto x = random_vec(n, bits, 90);
+  const auto want = direct.run_forward(direct_handles, x);
+  const auto got = server.submit_forward(served_handles, x).get();
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t j = 0; j < want.size(); ++j) EXPECT_EQ(want[j].values, got[j].values);
+  server.stop();
+  EXPECT_GT(server.stats().modeled_fused_cycles_saved, 0u);
+}
+
+TEST(ServeFusion, SplitHomesAreRejectedWithColocateHint) {
+  MemoryPoolConfig pcfg;
+  pcfg.memory = tiny_memory();
+  pcfg.memories = 2;
+  pcfg.threads_per_memory = 1;
+  MemoryPool pool(pcfg);
+  Server server(pool);
+
+  const auto w0 = random_vec(32, 8, 1);
+  const auto w1 = random_vec(32, 8, 2);
+  // Explicit keys onto different memories.
+  const std::vector<ResidentOperand> handles{
+      server.pin(w0, 8, OperandLayout::MultUnit, 0),
+      server.pin(w1, 8, OperandLayout::MultUnit, 1)};
+  const auto x = random_vec(32, 8, 3);
+  try {
+    (void)server.submit_forward(handles, x);
+    FAIL() << "expected split-home weights to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("colocate_key"), std::string::npos) << e.what();
+  }
+  server.stop();
+}
+
+TEST(ServeFusion, SubmitChainMatchesDirectEngine) {
+  macro::ImcMemory direct_mem(tiny_memory());
+  ExecutionEngine direct(direct_mem, EngineConfig{1});
+
+  macro::ImcMemory served_mem(tiny_memory());
+  ExecutionEngine served_eng(served_mem, EngineConfig{1});
+  Server server(served_eng);
+
+  const unsigned bits = 4;
+  const std::size_t n = 56;
+  const auto a = random_vec(n, bits, 30);
+  const auto b = random_vec(n, bits, 31);
+  const auto c = random_vec(n, 2 * bits, 32);
+
+  ChainRequest req;
+  req.bits = bits;
+  req.a = a;
+  req.b = b;
+  req.links = {{ChainLinkKind::Add, c}};
+  const OpResult want = direct.run_chain(req);
+  const OpResult got = server.submit_chain(req).get();
+  EXPECT_EQ(want.values, got.values);
+  EXPECT_EQ(want.stats.elapsed_cycles, got.stats.elapsed_cycles);
+  EXPECT_EQ(want.stats.load_cycles_saved, got.stats.load_cycles_saved);
+  server.stop();
+  EXPECT_EQ(server.stats().completed, 1u);
+}
+
+TEST(ServeFusion, ConcurrentFusedAndPlainClientsStayBitIdentical) {
+  // The fused serving stress: forward, chain and plain-op clients hammer
+  // one server concurrently; every result must match a serial reference.
+  macro::ImcMemory served_mem(tiny_memory());
+  ExecutionEngine served_eng(served_mem, EngineConfig{2});
+  Server server(served_eng);
+
+  const unsigned bits = 8;
+  const std::size_t n = 32;
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kCallsPerClient = 8;
+
+  // Per-client pinned layer (colocated per client) plus a serial twin.
+  std::vector<std::vector<std::vector<std::uint64_t>>> w(kClients);
+  std::vector<std::vector<ResidentOperand>> handles(kClients);
+  for (std::size_t cl = 0; cl < kClients; ++cl) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      w[cl].push_back(random_vec(n, bits, 1000 + 10 * cl + j));
+      handles[cl].push_back(
+          server.pin(w[cl].back(), bits, OperandLayout::MultUnit, cl));
+    }
+  }
+
+  std::vector<std::thread> clients;
+  std::vector<std::string> failures(kClients);
+  for (std::size_t cl = 0; cl < kClients; ++cl) {
+    clients.emplace_back([&, cl] {
+      for (std::size_t call = 0; call < kCallsPerClient; ++call) {
+        const auto x = random_vec(n, bits, 2000 + 100 * cl + call);
+        if (call % 2 == 0) {
+          const auto got = server.submit_forward(handles[cl], x).get();
+          for (std::size_t j = 0; j < got.size(); ++j)
+            for (std::size_t i = 0; i < n; ++i)
+              if (got[j].values[i] != w[cl][j][i] * x[i]) {
+                failures[cl] = "forward mismatch";
+                return;
+              }
+        } else {
+          const auto y = random_vec(n, bits, 3000 + 100 * cl + call);
+          VecOp op;
+          op.kind = OpKind::Mult;
+          op.bits = bits;
+          op.a = x;
+          op.b = y;
+          const OpResult got = server.submit(op).get();
+          for (std::size_t i = 0; i < n; ++i)
+            if (got.values[i] != x[i] * y[i]) {
+              failures[cl] = "plain op mismatch";
+              return;
+            }
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  for (std::size_t cl = 0; cl < kClients; ++cl) EXPECT_EQ(failures[cl], "") << "client " << cl;
+  server.stop();
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, kClients * kCallsPerClient);
+  EXPECT_GT(s.modeled_fused_cycles_saved, 0u);
+}
+
+}  // namespace
+}  // namespace bpim::serve
