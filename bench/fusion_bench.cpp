@@ -25,7 +25,8 @@
 #include <string>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "common/json_writer.hpp"
+#include "obs_flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
@@ -157,8 +158,10 @@ PointResult run_point(unsigned bits, const Shape& shape, std::size_t forwards) {
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::ObsFlags obs;
   bool forwards_given = false;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse(argc, argv, i)) continue;
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       opt.smoke = true;
@@ -173,7 +176,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out_path = argv[++i];
     } else {
-      std::cerr << "usage: fusion_bench [--forwards N] [--smoke] [--out <path>]\n";
+      std::cerr << "usage: fusion_bench [--forwards N] [--smoke] [--out <path>]"
+                << bench::ObsFlags::kUsage << "\n";
       return 2;
     }
   }
@@ -189,6 +193,7 @@ int main(int argc, char** argv) {
   const unsigned precisions[] = {2, 4, 8};
   const Shape shapes[] = {{8, 64}, {16, 128}, {32, 64}};
 
+  obs.arm();
   std::vector<PointResult> points;
   for (const unsigned bits : precisions)
     for (const Shape& s : shapes) points.push_back(run_point(bits, s, opt.forwards));
@@ -213,7 +218,8 @@ int main(int argc, char** argv) {
   std::cout << "min 8-bit cycles-per-inference win: " << TextTable::ratio(min_win_8bit)
             << " (gate " << TextTable::ratio(kGate) << ")\n";
 
-  bench::JsonWriter w(opt.out_path);
+  obs.finish();
+  JsonWriter w(opt.out_path);
   w.begin_object();
   w.field("schema", "bpim.fusion.v1");
   w.field("mode", opt.smoke ? "smoke" : "full");

@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "app/mlp.hpp"
-#include "bench_json.hpp"
+#include "common/json_writer.hpp"
 #include "baseline/naive_datapath.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -167,7 +167,7 @@ MlpResult bench_mlp(std::size_t forwards) {
 
 void write_json(const std::string& path, bool smoke, const std::vector<KernelResult>& kernels,
                 const MlpResult& mlp) {
-  bench::JsonWriter w(path);
+  JsonWriter w(path);
   w.begin_object();
   w.field("schema", "bpim.hotpath.v1");
   w.field("mode", smoke ? "smoke" : "full");

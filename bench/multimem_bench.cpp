@@ -33,7 +33,8 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "common/json_writer.hpp"
+#include "obs_flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
@@ -162,7 +163,7 @@ SweepPoint run_pool(const std::vector<ClientLoad>& loads, const Options& opt,
 
 void write_json(const Options& opt, std::size_t elements,
                 const std::vector<SweepPoint>& sweep, double speedup4) {
-  bench::JsonWriter w(opt.out_path);
+  JsonWriter w(opt.out_path);
   w.begin_object();
   w.field("schema", "bpim.multimem.v1");
   w.field("mode", opt.smoke ? "smoke" : "full");
@@ -197,8 +198,10 @@ void write_json(const Options& opt, std::size_t elements,
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::ObsFlags obs;
   bool ops_given = false;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse(argc, argv, i)) continue;
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -237,7 +240,8 @@ int main(int argc, char** argv) {
         opt.out_path = value();
       } else {
         std::cerr << "usage: multimem_bench [--clients C] [--ops K] [--layers L] "
-                     "[--bits B] [--window US] [--placement P] [--smoke] [--out <path>]\n";
+                     "[--bits B] [--window US] [--placement P] [--smoke] [--out <path>]"
+                  << bench::ObsFlags::kUsage << "\n";
         return 2;
       }
     } catch (const std::exception&) {
@@ -273,6 +277,7 @@ int main(int argc, char** argv) {
             << serve::to_string(opt.placement) << ", coalesce window "
             << opt.window.count() << " us\n";
 
+  obs.arm();
   std::vector<SweepPoint> sweep;
   for (const std::size_t memories : {1u, 2u, 4u})
     sweep.push_back(run_pool(loads, opt, memories));
@@ -301,6 +306,7 @@ int main(int argc, char** argv) {
 
   write_json(opt, elements, sweep, speedup4);
   std::cout << "wrote " << opt.out_path << "\n";
+  obs.finish();
 
   // Acceptance gate: four memories must at least double the single-memory
   // modeled throughput.

@@ -1,0 +1,87 @@
+#pragma once
+// Shared --trace/--metrics flag handling for the bench executables.
+//
+//   --trace <path>     record a Perfetto trace of the benched section and
+//                      export it to <path> (open at ui.perfetto.dev)
+//   --metrics <path>   write the process metrics registry snapshot to
+//                      <path> as JSON (schema bpim.metrics.v1)
+//
+// Usage in a bench's main():
+//   bench::ObsFlags obs;
+//   for (...) { if (obs.parse(argc, argv, i)) continue; ... }
+//   obs.arm();        // right before the section worth tracing
+//   ... benched work ...
+//   obs.finish();     // export artifacts (no-op without the flags)
+
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bpim::bench {
+
+struct ObsFlags {
+  std::string trace_path;
+  std::string metrics_path;
+  /// Also record per-macro-program events (high volume; microscope view).
+  bool macro_events = false;
+
+  /// Usage-string suffix for the flags parse() consumes.
+  static constexpr const char* kUsage =
+      " [--trace <path>] [--metrics <path>] [--trace-macros]";
+
+  /// Consume argv[i] if it is one of ours (advances i over the value).
+  bool parse(int argc, char** argv, int& i) {
+    const std::string arg = argv[i];
+    const auto take = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--trace") {
+      trace_path = take();
+      return true;
+    }
+    if (arg == "--metrics") {
+      metrics_path = take();
+      return true;
+    }
+    if (arg == "--trace-macros") {
+      macro_events = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Start recording (call right before the section worth tracing).
+  void arm() const {
+    if (trace_path.empty()) return;
+    auto& session = obs::TraceSession::global();
+    session.set_macro_events(macro_events);
+    session.enable();
+  }
+
+  /// Export the requested artifacts; disables tracing again.
+  void finish() const {
+    if (!trace_path.empty()) {
+      auto& session = obs::TraceSession::global();
+      session.disable();
+      if (session.export_file(trace_path))
+        std::cout << "wrote " << trace_path << " (" << session.dropped()
+                  << " events dropped)\n";
+      else
+        std::cerr << "WARNING: could not write trace to " << trace_path << "\n";
+    }
+    if (!metrics_path.empty()) {
+      if (obs::MetricsRegistry::global().write_json_file(metrics_path))
+        std::cout << "wrote " << metrics_path << "\n";
+      else
+        std::cerr << "WARNING: could not write metrics to " << metrics_path << "\n";
+    }
+  }
+};
+
+}  // namespace bpim::bench

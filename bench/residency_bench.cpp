@@ -27,7 +27,8 @@
 #include <vector>
 
 #include "app/mlp.hpp"
-#include "bench_json.hpp"
+#include "common/json_writer.hpp"
+#include "obs_flags.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
@@ -109,8 +110,10 @@ void require_identical(const std::vector<double>& a, const std::vector<double>& 
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::ObsFlags obs;
   bool forwards_given = false;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse(argc, argv, i)) continue;
     const std::string arg = argv[i];
     if (arg == "--smoke") {
       opt.smoke = true;
@@ -125,7 +128,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--out" && i + 1 < argc) {
       opt.out_path = argv[++i];
     } else {
-      std::cerr << "usage: residency_bench [--forwards N] [--smoke] [--out <path>]\n";
+      std::cerr << "usage: residency_bench [--forwards N] [--smoke] [--out <path>]"
+                << bench::ObsFlags::kUsage << "\n";
       return 2;
     }
   }
@@ -139,6 +143,7 @@ int main(int argc, char** argv) {
   const auto specs = make_specs(shape);
   const auto inputs = make_inputs(opt.forwards, shape.sizes.front());
 
+  obs.arm();
   // Re-poke baseline: identical weight rows loaded on every forward.
   macro::ImcMemory repoke_mem(node_memory());
   engine::ExecutionEngine repoke_eng(repoke_mem);
@@ -209,7 +214,8 @@ int main(int argc, char** argv) {
             << res_stats.materializations << " materializations, " << res_stats.evictions
             << " evictions\n";
 
-  bench::JsonWriter w(opt.out_path);
+  obs.finish();
+  JsonWriter w(opt.out_path);
   w.begin_object();
   w.field("schema", "bpim.residency.v1");
   w.field("mode", opt.smoke ? "smoke" : "full");

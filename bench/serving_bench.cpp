@@ -16,12 +16,15 @@
 //
 // Usage: serving_bench [--threads C] [--ops K] [--bits B] [--elements N]
 //                      [--window US] [--smoke] [--out <path>]
+//                      [--trace <path>] [--metrics <path>] [--trace-macros]
 //   --threads   concurrent closed-loop clients      (default 8)
 //   --ops       ops per client                      (default 64; smoke 12)
 //   --bits      operand precision                   (default 8)
 //   --elements  vector length per op                (default one MULT layer)
 //   --window    scheduler coalesce window, us       (default 200)
 //   --smoke     CI-sized run; same JSON shape
+//   --trace     Perfetto trace of both mode runs    (bench/obs_flags.hpp)
+//   --metrics   metrics registry snapshot JSON
 
 #include <algorithm>
 #include <chrono>
@@ -32,12 +35,13 @@
 #include <thread>
 #include <vector>
 
-#include "bench_json.hpp"
+#include "common/json_writer.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
 #include "macro/isa.hpp"
+#include "obs_flags.hpp"
 #include "serve/server.hpp"
 
 using namespace bpim;
@@ -104,7 +108,7 @@ struct ModeResult {
   std::uint64_t modeled_pipelined = 0;
   std::uint64_t modeled_serial = 0;
   std::uint64_t batches = 0;
-  double p50_us = 0.0, p99_us = 0.0;
+  double p50_us = 0.0, p90_us = 0.0, p99_us = 0.0, p999_us = 0.0;
   [[nodiscard]] double ops_per_s() const { return ops == 0 ? 0.0 : ops / wall_s; }
   [[nodiscard]] double cycles_per_op() const {
     return ops == 0 ? 0.0
@@ -154,7 +158,9 @@ ModeResult run_one_at_a_time(const std::vector<ClientLoad>& loads, ExecutionEngi
   for (const auto& v : latencies)
     for (const double us : v) all.add(us);
   r.p50_us = all.percentile(0.50);
+  r.p90_us = all.percentile(0.90);
   r.p99_us = all.percentile(0.99);
+  r.p999_us = all.percentile(0.999);
   return r;
 }
 
@@ -189,12 +195,14 @@ ModeResult run_served(const std::vector<ClientLoad>& loads, ExecutionEngine& eng
   r.modeled_serial = s.modeled_serial_cycles;
   r.batches = s.batches;
   r.p50_us = s.host_us.p50;
+  r.p90_us = s.host_us.p90;
   r.p99_us = s.host_us.p99;
+  r.p999_us = s.host_us.p999;
   return r;
 }
 
 void write_json(const Options& opt, const ModeResult& direct, const ModeResult& served) {
-  bench::JsonWriter w(opt.out_path);
+  JsonWriter w(opt.out_path);
   const auto mode_json = [&](const char* name, const ModeResult& m) {
     w.key(name);
     w.begin_object();
@@ -206,7 +214,9 @@ void write_json(const Options& opt, const ModeResult& direct, const ModeResult& 
     w.field("batches", m.batches);
     w.field("mean_batch_occupancy", m.occupancy());
     w.field("p50_host_us", m.p50_us);
+    w.field("p90_host_us", m.p90_us);
     w.field("p99_host_us", m.p99_us);
+    w.field("p999_host_us", m.p999_us);
     w.end_object();
   };
   w.begin_object();
@@ -228,8 +238,10 @@ void write_json(const Options& opt, const ModeResult& direct, const ModeResult& 
 
 int main(int argc, char** argv) {
   Options opt;
+  bench::ObsFlags obs;
   bool ops_given = false;
   for (int i = 1; i < argc; ++i) {
+    if (obs.parse(argc, argv, i)) continue;
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -256,7 +268,8 @@ int main(int argc, char** argv) {
         opt.out_path = value();
       } else {
         std::cerr << "usage: serving_bench [--threads C] [--ops K] [--bits B] "
-                     "[--elements N] [--window US] [--smoke] [--out <path>]\n";
+                     "[--elements N] [--window US] [--smoke] [--out <path>]"
+                  << bench::ObsFlags::kUsage << "\n";
         return 2;
       }
     } catch (const std::exception&) {
@@ -293,6 +306,7 @@ int main(int argc, char** argv) {
             << opt.elements << " x " << opt.bits << "-bit MULT each, " << kMacros
             << " macros, coalesce window " << opt.window.count() << " us\n";
 
+  obs.arm();
   const ModeResult direct = run_one_at_a_time(loads, eng);
   const ModeResult served = run_served(loads, eng, opt);
 
@@ -315,6 +329,7 @@ int main(int argc, char** argv) {
 
   write_json(opt, direct, served);
   std::cout << "wrote " << opt.out_path << "\n";
+  obs.finish();
 
   // Acceptance gate: with enough concurrency to coalesce, batching must win
   // the cycle model.

@@ -1,0 +1,323 @@
+#include "common/json.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bpim::json {
+
+namespace {
+
+[[noreturn]] void fail_kind(const char* want, Value::Kind got) {
+  static constexpr const char* kNames[] = {"null", "bool", "number", "string", "array",
+                                           "object"};
+  throw std::runtime_error(std::string("json: expected ") + want + ", got " +
+                           kNames[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (kind_ != Kind::Bool) fail_kind("bool", kind_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (kind_ != Kind::Number) fail_kind("number", kind_);
+  return num_;
+}
+
+std::uint64_t Value::as_u64() const {
+  const double d = as_number();
+  if (d < 0.0) throw std::runtime_error("json: negative number where u64 expected");
+  return static_cast<std::uint64_t>(std::llround(d));
+}
+
+const std::string& Value::as_string() const {
+  if (kind_ != Kind::String) fail_kind("string", kind_);
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (kind_ != Kind::Array) fail_kind("array", kind_);
+  return arr_;
+}
+
+const std::vector<Value::Member>& Value::as_object() const {
+  if (kind_ != Kind::Object) fail_kind("object", kind_);
+  return obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const Member& m : obj_)
+    if (m.first == key) return &m.second;
+  return nullptr;
+}
+
+const Value& Value::at(std::string_view key) const {
+  const Value* v = find(key);
+  if (v == nullptr)
+    throw std::runtime_error("json: missing object member \"" + std::string(key) + "\"");
+  return *v;
+}
+
+const Value& Value::at(std::size_t index) const {
+  const auto& a = as_array();
+  if (index >= a.size()) throw std::runtime_error("json: array index out of range");
+  return a[index];
+}
+
+std::size_t Value::size() const {
+  if (kind_ == Kind::Array) return arr_.size();
+  if (kind_ == Kind::Object) return obj_.size();
+  fail_kind("array", kind_);
+}
+
+Value Value::make_bool(bool b) {
+  Value v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::make_number(double d) {
+  Value v;
+  v.kind_ = Kind::Number;
+  v.num_ = d;
+  return v;
+}
+
+Value Value::make_string(std::string s) {
+  Value v;
+  v.kind_ = Kind::String;
+  v.str_ = std::move(s);
+  return v;
+}
+
+Value Value::make_array(std::vector<Value> elems) {
+  Value v;
+  v.kind_ = Kind::Array;
+  v.arr_ = std::move(elems);
+  return v;
+}
+
+Value Value::make_object(std::vector<Member> members) {
+  Value v;
+  v.kind_ = Kind::Object;
+  v.obj_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+/// Recursive-descent parser over one string_view. Depth-capped so a hostile
+/// bracket run cannot blow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value(0);
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  char next() {
+    if (eof()) fail("unexpected end of input");
+    return text_[pos_++];
+  }
+
+  void skip_ws() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\n' || peek() == '\r'))
+      ++pos_;
+  }
+
+  void expect_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) fail("malformed literal");
+    pos_ += lit.size();
+  }
+
+  Value parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    skip_ws();
+    if (eof()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Value::make_string(parse_string());
+      case 't':
+        expect_literal("true");
+        return Value::make_bool(true);
+      case 'f':
+        expect_literal("false");
+        return Value::make_bool(false);
+      case 'n':
+        expect_literal("null");
+        return Value::make_null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object(int depth) {
+    ++pos_;  // '{'
+    std::vector<Value::Member> members;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return Value::make_object(std::move(members));
+    }
+    for (;;) {
+      skip_ws();
+      if (eof() || peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      members.emplace_back(std::move(key), parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == '}') return Value::make_object(std::move(members));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array(int depth) {
+    ++pos_;  // '['
+    std::vector<Value> elems;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return Value::make_array(std::move(elems));
+    }
+    for (;;) {
+      elems.push_back(parse_value(depth + 1));
+      skip_ws();
+      const char c = next();
+      if (c == ']') return Value::make_array(std::move(elems));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    while (!eof() && ((peek() >= '0' && peek() <= '9') || peek() == '.' || peek() == '+' ||
+                      peek() == '-' || peek() == 'e' || peek() == 'E'))
+      ++pos_;
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double d = std::strtod(token.c_str(), &end);
+    if (end == token.c_str() || *end != '\0') fail("malformed number");
+    return Value::make_number(d);
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("malformed \\u escape");
+    }
+    return v;
+  }
+
+  static void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening quote
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = next();
+      switch (esc) {
+        case '"':  out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/':  out.push_back('/'); break;
+        case 'b':  out.push_back('\b'); break;
+        case 'f':  out.push_back('\f'); break;
+        case 'n':  out.push_back('\n'); break;
+        case 'r':  out.push_back('\r'); break;
+        case 't':  out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate must follow for a full pair.
+            if (next() != '\\' || next() != 'u') fail("unpaired surrogate");
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("json: cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+}  // namespace bpim::json

@@ -1,0 +1,77 @@
+#pragma once
+// Minimal JSON reader -- the counterpart of common/json_writer.hpp.
+//
+// Parses the documents this repo itself emits (BENCH_*.json, trace-event
+// exports, metrics snapshots) into a small DOM so tests can round-trip what
+// the writers produce and tools can post-process artifacts without a
+// third-party library (the container has none). Full JSON is accepted:
+// nested containers, all escape sequences including \uXXXX with surrogate
+// pairs (decoded to UTF-8), scientific-notation numbers.
+//
+// Numbers are held as double -- exact for the unsigned 53-bit counters and
+// timestamps the emitters produce. Object member order is preserved.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace bpim::json {
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  using Member = std::pair<std::string, Value>;
+
+  Value() = default;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::Null; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::Bool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::Number; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::String; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::Array; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw std::runtime_error on a kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] std::uint64_t as_u64() const;  ///< number, rounded to nearest
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const std::vector<Value>& as_array() const;
+  [[nodiscard]] const std::vector<Member>& as_object() const;
+
+  /// Object member lookup: nullptr when absent (or not an object).
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  /// Object member lookup; throws std::runtime_error when absent.
+  [[nodiscard]] const Value& at(std::string_view key) const;
+  /// Array element; throws std::runtime_error out of range.
+  [[nodiscard]] const Value& at(std::size_t index) const;
+  [[nodiscard]] std::size_t size() const;  ///< array/object element count
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(double d);
+  static Value make_string(std::string s);
+  static Value make_array(std::vector<Value> elems);
+  static Value make_object(std::vector<Member> members);
+
+ private:
+  Kind kind_ = Kind::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<Member> obj_;
+};
+
+/// Parse a complete document (one value plus surrounding whitespace).
+/// Throws std::runtime_error with the byte offset on malformed input.
+[[nodiscard]] Value parse(std::string_view text);
+
+/// Parse a file; throws std::runtime_error when unreadable or malformed.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+}  // namespace bpim::json

@@ -1,0 +1,162 @@
+#pragma once
+// Shared JSON emission (promoted from bench/bench_json.hpp now that the
+// observability layer emits JSON too: BENCH_*.json artifacts, trace-event
+// files, metrics snapshots).
+//
+// The writer keeps the schemas the benches emit, centralises comma /
+// precision / escaping handling, and is dependency-free on purpose (the
+// container has no JSON library, and the artifacts are flat enough that one
+// is not worth vendoring). The matching reader lives in common/json.hpp.
+//
+// Usage:
+//   JsonWriter w(path);
+//   w.begin_object();
+//   w.field("schema", "bpim.residency.v1");
+//   w.key("sweep"); w.begin_array();
+//     w.begin_object(); w.field("x", 1); w.end_object();
+//   w.end_array();
+//   w.end_object();   // newline-terminated on the way out
+//
+// Values: strings (escaped, including control characters), bools, integers,
+// doubles (fixed, default 6 digits), and numeric vectors. Layout is
+// pretty-printed, two-space indent, one key or element per line.
+
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace bpim {
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path, int precision = 6)
+      : file_(path), out_(&file_), precision_(precision) {}
+  /// Write into a caller-owned stream (trace export, tests).
+  explicit JsonWriter(std::ostream& out, int precision = 6)
+      : out_(&out), precision_(precision) {}
+
+  [[nodiscard]] bool ok() const { return out_->good(); }
+
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Key of the next value inside an object.
+  void key(std::string_view k) {
+    separate();
+    *out_ << '"';
+    escape(k);
+    *out_ << "\": ";
+    pending_key_ = true;
+  }
+
+  void value(std::string_view v) {
+    separate();
+    *out_ << '"';
+    escape(v);
+    *out_ << '"';
+  }
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(bool v) {
+    separate();
+    *out_ << (v ? "true" : "false");
+  }
+  void value(double v) {
+    separate();
+    *out_ << std::fixed << std::setprecision(precision_) << v;
+  }
+  template <class T, std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                                      int> = 0>
+  void value(T v) {
+    separate();
+    *out_ << v;
+  }
+
+  /// key + scalar value in one go.
+  template <class T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// key + flat numeric array (one line per element).
+  template <class T>
+  void field(std::string_view k, const std::vector<T>& values) {
+    key(k);
+    begin_array();
+    for (const T& v : values) value(v);
+    end_array();
+  }
+
+ private:
+  void open(char c) {
+    separate();
+    *out_ << c;
+    ++depth_;
+    first_ = true;
+  }
+
+  void close(char c) {
+    --depth_;
+    if (!first_) newline();
+    *out_ << c;
+    first_ = false;
+    if (depth_ == 0) *out_ << '\n';
+  }
+
+  /// Comma/newline bookkeeping before a key, value, or container. A value
+  /// directly after its key stays on the key's line.
+  void separate() {
+    if (pending_key_) {
+      pending_key_ = false;
+      return;
+    }
+    if (depth_ > 0) {
+      if (!first_) *out_ << ',';
+      newline();
+    }
+    first_ = false;
+  }
+
+  void newline() {
+    *out_ << '\n';
+    for (int i = 0; i < depth_; ++i) *out_ << "  ";
+  }
+
+  void escape(std::string_view s) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    for (const char ch : s) {
+      const auto c = static_cast<unsigned char>(ch);
+      switch (c) {
+        case '"':  *out_ << "\\\""; break;
+        case '\\': *out_ << "\\\\"; break;
+        case '\n': *out_ << "\\n"; break;
+        case '\t': *out_ << "\\t"; break;
+        case '\r': *out_ << "\\r"; break;
+        case '\b': *out_ << "\\b"; break;
+        case '\f': *out_ << "\\f"; break;
+        default:
+          // Remaining control characters must be \u-escaped or the emitted
+          // document is not JSON at all.
+          if (c < 0x20)
+            *out_ << "\\u00" << kHex[c >> 4] << kHex[c & 0xF];
+          else
+            *out_ << ch;
+      }
+    }
+  }
+
+  std::ofstream file_;  ///< backing stream of the path constructor (else unused)
+  std::ostream* out_;
+  int precision_;
+  int depth_ = 0;
+  bool first_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace bpim

@@ -1,6 +1,7 @@
 #include "engine/execution_engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 
 #include "common/require.hpp"
@@ -56,7 +57,13 @@ std::size_t useful_threads(const EngineConfig& cfg, const macro::ImcMemory& mem)
 }  // namespace
 
 ExecutionEngine::ExecutionEngine(macro::ImcMemory& mem, EngineConfig cfg)
-    : mem_(mem), pool_(useful_threads(cfg, mem)), residency_(mem.macro(0).rows() / 2) {}
+    : mem_(mem), pool_(useful_threads(cfg, mem)), residency_(mem.macro(0).rows() / 2) {
+#if BPIM_OBS_ENABLED
+  static std::atomic<std::uint64_t> instance_counter{0};
+  trace_track_ = obs::TraceSession::global().register_track(
+      "engine " + std::to_string(instance_counter.fetch_add(1, std::memory_order_relaxed)));
+#endif
+}
 
 std::size_t ExecutionEngine::words_per_row(unsigned bits) const {
   return mem_.macro(0).words_per_row(bits);
@@ -113,6 +120,9 @@ bool ExecutionEngine::unpin(const ResidentOperand& handle) {
 }
 
 void ExecutionEngine::materialize(ResidencyManager::Entry& entry) {
+  BPIM_TRACE_INSTANT("residency.materialize", trace_track_,
+                     {{"handle", static_cast<double>(entry.handle.id)},
+                      {"layers", static_cast<double>(entry.handle.layers)}});
   const unsigned bits = entry.handle.bits;
   const bool mult_layout = entry.handle.layout == OperandLayout::MultUnit;
   const std::size_t per_op = elements_per_chunk(bits, entry.handle.layout);
@@ -271,6 +281,7 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
     batch_ = BatchStats{};
     return {};
   }
+  BPIM_TRACE_SPAN(span, "engine.run_batch", trace_track_);
 
   std::vector<OpResult> results;
   results.reserve(ops.size());
@@ -315,6 +326,9 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
   batch_.serial_cycles = batch_.load_cycles + batch_.compute_cycles;
   batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) *
                                mem_.macro(0).cycle_time().si());
+  span.arg("ops", static_cast<double>(batch_.ops));
+  span.arg("pipelined_cycles", static_cast<double>(batch_.pipelined_cycles));
+  span.arg("load_cycles_saved", static_cast<double>(batch_.load_cycles_saved));
   return results;
 }
 
@@ -393,6 +407,9 @@ FusedForward& ExecutionEngine::fused_program_for(const ForwardPlan& plan) {
   };
   if (fresh()) return ff;
   const bool rebuild = !ff.programs.empty();
+  BPIM_TRACE_INSTANT(rebuild ? "fusion.recompile" : "fusion.compile", trace_track_,
+                     {{"weights", static_cast<double>(plan.entries.size())},
+                      {"layers", static_cast<double>(plan.layers)}});
 
   const std::size_t macros = mem_.macro_count();
   const macro::FusionCompiler compiler(mem_.macro(0).config().geometry, pinned_rows());
@@ -438,11 +455,14 @@ bool ExecutionEngine::compile_forward(std::span<const ResidentOperand> weights) 
 
 std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOperand> weights,
                                                    std::span<const std::uint64_t> activation) {
+  BPIM_TRACE_SPAN(span, "engine.run_forward", trace_track_);
   ForwardPlan plan = prepare_forward(weights);
   BPIM_REQUIRE(activation.size() == plan.elements,
                "activation length must match the pinned weights");
   if (!plan.fusable) {
     ++fusion_stats_.fallback_runs;
+    BPIM_TRACE_INSTANT("fusion.fallback", trace_track_,
+                       {{"weights", static_cast<double>(weights.size())}});
     std::vector<VecOp> ops(weights.size());
     for (std::size_t j = 0; j < weights.size(); ++j) {
       ops[j].kind = OpKind::Mult;
@@ -546,10 +566,14 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
   batch_.energy = mem_.total_energy();
   batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) * tick);
   ++fusion_stats_.fused_runs;
+  span.arg("ops", static_cast<double>(ops));
+  span.arg("pipelined_cycles", static_cast<double>(batch_.pipelined_cycles));
+  span.arg("fused_cycles_saved", static_cast<double>(batch_.fused_cycles_saved));
   return results;
 }
 
 OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
+  BPIM_TRACE_SPAN(span, "engine.run_chain", trace_track_);
   BPIM_REQUIRE(!req.links.empty(), "a chain needs at least one link");
   BPIM_REQUIRE(macro::is_supported_precision(req.bits), "unsupported precision");
   BPIM_REQUIRE(macro::is_supported_precision(2 * req.bits),

@@ -38,6 +38,7 @@
 #include "engine/run_stats.hpp"
 #include "engine/thread_pool.hpp"
 #include "macro/memory.hpp"
+#include "obs/trace.hpp"
 #include "periph/falogics.hpp"
 
 namespace bpim::engine {
@@ -209,6 +210,9 @@ class ExecutionEngine {
   macro::ImcMemory& mem_;
   ThreadPool pool_;
   ResidencyManager residency_;
+  /// Synthetic trace track "engine N": batch/forward/chain spans render on
+  /// one timeline row whichever host thread drives the engine.
+  obs::TrackId trace_track_ = 0;
   BatchStats batch_{};
   FusionStats fusion_stats_{};
   std::unordered_map<std::uint64_t, FusedForward> fused_;  ///< by id-list hash

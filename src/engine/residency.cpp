@@ -3,8 +3,39 @@
 #include <algorithm>
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bpim::engine {
+
+namespace {
+
+/// Process-wide residency counters (all managers aggregate; per-manager
+/// numbers stay in ResidencyStats). Function-local static so first use
+/// orders construction after the registry.
+struct ResidencyMetrics {
+  obs::Counter& pins;
+  obs::Counter& unpins;
+  obs::Counter& evictions;
+  obs::Counter& materializations;
+};
+
+ResidencyMetrics& residency_metrics() {
+  static ResidencyMetrics m{
+      obs::MetricsRegistry::global().counter(
+          "residency.pins", "Operands pinned resident (all managers)"),
+      obs::MetricsRegistry::global().counter(
+          "residency.unpins", "Pinned operands dropped"),
+      obs::MetricsRegistry::global().counter(
+          "residency.evictions", "Materialized handles evicted LRU-first"),
+      obs::MetricsRegistry::global().counter(
+          "residency.materializations",
+          "Handle loads into array rows, including re-loads after eviction"),
+  };
+  return m;
+}
+
+}  // namespace
 
 std::atomic<std::uint64_t> ResidencyManager::id_counter_{1};
 
@@ -39,6 +70,12 @@ ResidentOperand ResidencyManager::pin(std::span<const std::uint64_t> values, uns
   entry->handle = h;
   entry->values.assign(values.begin(), values.end());
 
+  residency_metrics().pins.add();
+  BPIM_TRACE_INSTANT("residency.pin", 0,
+                     {{"handle", static_cast<double>(h.id)},
+                      {"layers", static_cast<double>(h.layers)},
+                      {"bits", static_cast<double>(h.bits)}});
+
   MutexLock lk(mutex_);
   entry->last_use = ++tick_;
   entries_.emplace(h.id, std::move(entry));
@@ -47,7 +84,12 @@ ResidentOperand ResidencyManager::pin(std::span<const std::uint64_t> values, uns
 
 bool ResidencyManager::unpin(std::uint64_t id) {
   MutexLock lk(mutex_);
-  return entries_.erase(id) > 0;
+  const bool erased = entries_.erase(id) > 0;
+  if (erased) {
+    residency_metrics().unpins.add();
+    BPIM_TRACE_INSTANT("residency.unpin", 0, {{"handle", static_cast<double>(id)}});
+  }
+  return erased;
 }
 
 ResidencyStats ResidencyManager::stats() const {
@@ -90,6 +132,10 @@ bool ResidencyManager::evict_lru(Pred&& victim_ok) {
   if (victim == nullptr) return false;
   victim->materialized = false;
   ++evictions_;
+  residency_metrics().evictions.add();
+  BPIM_TRACE_INSTANT("residency.evict", 0,
+                     {{"handle", static_cast<double>(victim->handle.id)},
+                      {"layers", static_cast<double>(victim->handle.layers)}});
   return true;
 }
 
@@ -132,6 +178,7 @@ bool ResidencyManager::ensure_rows(Entry& e, const Entry* keep) {
       e.materialized = true;
       e.last_use = ++tick_;
       ++materializations_;
+      residency_metrics().materializations.add();
       return true;
     }
     const bool evicted = evict_lru(

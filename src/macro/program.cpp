@@ -4,6 +4,7 @@
 
 #include "common/require.hpp"
 #include "macro/verifier.hpp"
+#include "obs/trace.hpp"
 
 namespace bpim::macro {
 
@@ -225,6 +226,18 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
     prev = &i;
   }
   stats.elapsed = macro_.cycle_time() * static_cast<double>(stats.cycles);
+#if BPIM_OBS_ENABLED
+  // Per-program events are high volume (one per macro per batch step), so
+  // they stay behind the extra macro-events gate; a bench opts in when it
+  // wants the microscope view.
+  if (auto& session = obs::TraceSession::global(); session.macro_events_on()) {
+    session.instant("macro.program", 0,
+                    obs::EventArgs{{"instructions", static_cast<double>(stats.instructions)},
+                                   {"cycles", static_cast<double>(stats.cycles)},
+                                   {"fused_cycles_saved",
+                                    static_cast<double>(stats.fused_cycles_saved)}});
+  }
+#endif
   return stats;
 }
 

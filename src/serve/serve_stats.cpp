@@ -15,34 +15,59 @@ LatencySummary summarize(const SampleSet& samples) {
   s.count = samples.count();
   s.mean = samples.mean();
   s.p50 = samples.percentile(0.50);
+  s.p90 = samples.percentile(0.90);
   s.p99 = samples.percentile(0.99);
+  s.p999 = samples.percentile(0.999);
   s.max = samples.max();
   return s;
 }
 
 }  // namespace
 
-ServeLedger::ServeLedger(std::size_t memories) {
+ServeLedger::ServeLedger(std::size_t memories)
+    : metrics_{obs::MetricsRegistry::global().counter(
+                   "serve.requests.submitted", "requests admitted into the queue"),
+               obs::MetricsRegistry::global().counter(
+                   "serve.requests.rescinded", "admissions undone by a racing stop"),
+               obs::MetricsRegistry::global().counter(
+                   "serve.requests.rejected", "try_submit refusals (queue full)"),
+               obs::MetricsRegistry::global().counter(
+                   "serve.requests.expired", "requests failed with DeadlineExceeded"),
+               obs::MetricsRegistry::global().counter(
+                   "serve.requests.completed", "futures fulfilled with a result"),
+               obs::MetricsRegistry::global().counter("serve.batches",
+                                                      "run_batch calls issued"),
+               obs::MetricsRegistry::global().histogram(
+                   "serve.latency.host_us", "per-request wall latency, microseconds"),
+               obs::MetricsRegistry::global().histogram(
+                   "serve.batch.ops", "requests coalesced per executed batch"),
+               obs::MetricsRegistry::global().histogram(
+                   "serve.latency.modeled_cycles",
+                   "per-request share of its batch's pipelined cycles")} {
   BPIM_REQUIRE(memories > 0, "ledger needs at least one memory lane");
   totals_.per_memory.resize(memories);
 }
 
 void ServeLedger::on_submitted() {
+  metrics_.submitted.add();
   MutexLock lk(mutex_);
   ++totals_.submitted;
 }
 
 void ServeLedger::on_submit_rescinded() {
+  metrics_.rescinded.add();
   MutexLock lk(mutex_);
   --totals_.submitted;
 }
 
 void ServeLedger::on_rejected() {
+  metrics_.rejected.add();
   MutexLock lk(mutex_);
   ++totals_.rejected;
 }
 
 void ServeLedger::on_expired(std::size_t n) {
+  metrics_.expired.add(n);
   MutexLock lk(mutex_);
   totals_.expired += n;
 }
@@ -50,6 +75,9 @@ void ServeLedger::on_expired(std::size_t n) {
 void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
                            const std::vector<double>& host_us_samples,
                            const std::vector<std::size_t>& op_layers) {
+  metrics_.completed.add(rec.ops);
+  metrics_.batches.add();
+  metrics_.batch_ops.observe(rec.ops);
   MutexLock lk(mutex_);
   BPIM_REQUIRE(rec.memory < totals_.per_memory.size(), "batch memory out of range");
   ++totals_.batches;
@@ -62,7 +90,10 @@ void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
   lane.ops += rec.ops;
   lane.layers += rec.layers;
   lane.modeled_pipelined_cycles += bs.pipelined_cycles;
-  for (const double us : host_us_samples) host_us_.add(us);
+  for (const double us : host_us_samples) {
+    host_us_.add(us);
+    metrics_.host_us.observe(static_cast<std::uint64_t>(us < 0.0 ? 0.0 : us));
+  }
   // Attribute the batch cost once across its riders: each op's modeled
   // latency is its layer-weighted share, so the samples of a batch sum to
   // its cost and p50/p99 neither overcount under coalescing nor charge a
@@ -76,7 +107,9 @@ void ServeLedger::on_batch(const BatchRecord& rec, const engine::BatchStats& bs,
     const double weight = layer_sum > 0 ? static_cast<double>(op_layers[i]) /
                                               static_cast<double>(layer_sum)
                                         : 1.0 / static_cast<double>(rec.ops);
-    modeled_cycles_.add(pipelined * weight);
+    const double share = pipelined * weight;
+    modeled_cycles_.add(share);
+    metrics_.modeled_cycles.observe(static_cast<std::uint64_t>(share));
   }
   if (recent_.size() < kRecentBatches) {
     recent_.push_back(rec);

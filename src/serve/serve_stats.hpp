@@ -26,6 +26,7 @@
 #include "common/thread_annotations.hpp"
 #include "common/units.hpp"
 #include "engine/execution_engine.hpp"
+#include "obs/metrics.hpp"
 
 namespace bpim::serve {
 
@@ -35,7 +36,9 @@ struct LatencySummary {
   std::uint64_t count = 0;
   double mean = 0.0;
   double p50 = 0.0;
+  double p90 = 0.0;
   double p99 = 0.0;
+  double p999 = 0.0;  ///< p99.9 -- tail resolution for overload work
   double max = 0.0;
 };
 
@@ -155,6 +158,23 @@ class ServeLedger {
                                     std::size_t peak_queue_depth) const BPIM_EXCLUDES(mutex_);
 
  private:
+  /// Global obs instruments mirroring the ledger (resolved once at
+  /// construction; updates are lock-free atomics). The ledger stays the
+  /// source of truth for stats(); these exist for exposition (metrics
+  /// snapshot / Prometheus scrape) without a Server handle.
+  struct Metrics {
+    obs::Counter& submitted;
+    obs::Counter& rescinded;  ///< counters are monotonic: rescinds count up
+    obs::Counter& rejected;
+    obs::Counter& expired;
+    obs::Counter& completed;
+    obs::Counter& batches;
+    obs::Histogram& host_us;
+    obs::Histogram& batch_ops;
+    obs::Histogram& modeled_cycles;
+  };
+
+  Metrics metrics_;
   mutable Mutex mutex_;
   /// Counter and lane fields only: the cycle/energy aggregates
   /// (modeled_pipelined/serial/makespan, energy) are derived from

@@ -52,7 +52,37 @@ std::uint64_t hash_pin(std::span<const std::uint64_t> values, unsigned bits,
   return f.h;
 }
 
+/// Trace lineage of one request: an async "request" bar from admission to
+/// settlement, plus a flow arrow tail inside the caller's submit span. The
+/// bar's id correlates every event of one request across tracks.
+void trace_request_admitted(std::uint64_t rid, const detail::Ticket& t) {
+  if (!BPIM_TRACE_ON()) return;
+  auto& trace = obs::TraceSession::global();
+  trace.async_begin("request", rid,
+                    obs::EventArgs{{"priority", static_cast<double>(t.priority)},
+                                   {"layers", static_cast<double>(t.layers)}});
+  trace.flow_start("req", rid);
+}
+
+/// Close a request bar that never executed (rescinded admission, expiry).
+void trace_request_dropped(std::uint64_t rid, const char* why) {
+  if (!BPIM_TRACE_ON()) return;
+  obs::TraceSession::global().async_end("request", rid,
+                                        obs::EventArgs{{why, 1.0}});
+}
+
 }  // namespace
+
+void Server::init_tracing() {
+  // Request ids: server instance in the top bits, admission seq below.
+  // 2^40 requests per server before the spaces could touch.
+  static std::atomic<std::uint64_t> server_counter{0};
+  trace_id_base_ = server_counter.fetch_add(1, std::memory_order_relaxed) << 40;
+  obs::TraceSession& trace = obs::TraceSession::global();
+  lane_tracks_.reserve(pool_->size());
+  for (std::size_t m = 0; m < pool_->size(); ++m)
+    lane_tracks_.push_back(trace.register_track("lane " + std::to_string(m)));
+}
 
 Server::Server(engine::ExecutionEngine& eng, ServerConfig cfg)
     : owned_pool_(std::in_place, std::vector<engine::ExecutionEngine*>{&eng},
@@ -63,6 +93,7 @@ Server::Server(engine::ExecutionEngine& eng, ServerConfig cfg)
       ledger_(pool_->size()),
       lane_pool_(pool_->size()) {
   BPIM_REQUIRE(cfg_.max_batch_ops > 0, "max_batch_ops must be positive");
+  init_tracing();
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -73,6 +104,7 @@ Server::Server(MemoryPool& pool, ServerConfig cfg)
       ledger_(pool.size()),
       lane_pool_(pool.size()) {
   BPIM_REQUIRE(cfg_.max_batch_ops > 0, "max_batch_ops must be positive");
+  init_tracing();
   scheduler_ = std::thread([this] { scheduler_loop(); });
 }
 
@@ -132,8 +164,11 @@ detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
 
 std::future<OpResult> Server::submit(const VecOp& op, SubmitOptions opts) {
   if (stopped()) throw ServerStopped();
+  BPIM_TRACE_SPAN(span, "serve.submit");
   detail::Ticket t = make_ticket(op, opts);
   std::future<OpResult> fut = t.promise.get_future();
+  const std::uint64_t rid = trace_id(t.seq);
+  trace_request_admitted(rid, t);
   // Count before the push: once the ticket is in the queue the scheduler may
   // complete it, and a stats() snapshot must never show completed > submitted.
   ledger_.on_submitted();
@@ -141,6 +176,7 @@ std::future<OpResult> Server::submit(const VecOp& op, SubmitOptions opts) {
     // The queue closed while we were blocked on backpressure: the request
     // was never accepted, so its future carries the stop.
     ledger_.on_submit_rescinded();
+    trace_request_dropped(rid, "rescinded");
     t.promise.set_exception(std::make_exception_ptr(ServerStopped()));
   }
   return fut;
@@ -239,11 +275,15 @@ std::future<std::vector<OpResult>> Server::submit_forward(
     std::span<const engine::ResidentOperand> weights,
     std::span<const std::uint64_t> activation, SubmitOptions opts) {
   if (stopped()) throw ServerStopped();
+  BPIM_TRACE_SPAN(span, "serve.submit_forward");
   detail::Ticket t = make_forward_ticket(weights, activation, opts);
   std::future<std::vector<OpResult>> fut = t.fwd_promise.get_future();
+  const std::uint64_t rid = trace_id(t.seq);
+  trace_request_admitted(rid, t);
   ledger_.on_submitted();
   if (!queue_.push(std::move(t))) {
     ledger_.on_submit_rescinded();
+    trace_request_dropped(rid, "rescinded");
     t.fwd_promise.set_exception(std::make_exception_ptr(ServerStopped()));
   }
   return fut;
@@ -252,11 +292,15 @@ std::future<std::vector<OpResult>> Server::submit_forward(
 std::future<OpResult> Server::submit_chain(const engine::ChainRequest& chain,
                                            SubmitOptions opts) {
   if (stopped()) throw ServerStopped();
+  BPIM_TRACE_SPAN(span, "serve.submit_chain");
   detail::Ticket t = make_chain_ticket(chain, opts);
   std::future<OpResult> fut = t.promise.get_future();
+  const std::uint64_t rid = trace_id(t.seq);
+  trace_request_admitted(rid, t);
   ledger_.on_submitted();
   if (!queue_.push(std::move(t))) {
     ledger_.on_submit_rescinded();
+    trace_request_dropped(rid, "rescinded");
     t.promise.set_exception(std::make_exception_ptr(ServerStopped()));
   }
   return fut;
@@ -268,15 +312,23 @@ std::optional<std::future<OpResult>> Server::try_submit(const VecOp& op, SubmitO
   // authoritative full/closed check.
   if (queue_.depth() >= queue_.capacity()) {
     ledger_.on_rejected();
+    BPIM_TRACE_INSTANT("serve.reject");
     return std::nullopt;
   }
+  BPIM_TRACE_SPAN(span, "serve.submit");
   detail::Ticket t = make_ticket(op, opts);
   std::future<OpResult> fut = t.promise.get_future();
+  const std::uint64_t rid = trace_id(t.seq);
+  trace_request_admitted(rid, t);
   ledger_.on_submitted();
   if (!queue_.try_push(std::move(t))) {
     ledger_.on_submit_rescinded();
-    if (queue_.closed()) throw ServerStopped();
+    if (queue_.closed()) {
+      trace_request_dropped(rid, "rescinded");
+      throw ServerStopped();
+    }
     ledger_.on_rejected();
+    trace_request_dropped(rid, "rejected");
     return std::nullopt;
   }
   return fut;
@@ -336,6 +388,9 @@ ServeStats Server::stats() const {
 }
 
 void Server::scheduler_loop() {
+#if BPIM_OBS_ENABLED
+  obs::TraceSession::global().set_thread_name("scheduler");
+#endif
   // One dispatch group spans the whole pool: up to max_batch_ops requests
   // and one array's worth of layers per memory.
   const std::size_t capacity = pool_->row_pair_capacity();
@@ -354,6 +409,10 @@ void Server::scheduler_loop() {
     }
     for (auto& t : incoming) backlog.push_back(std::move(t));
     if (backlog.empty()) continue;
+
+    // One scheduling decision: sort, expire, coalesce, place, dispatch.
+    BPIM_TRACE_SPAN(sched_span, "serve.schedule");
+    sched_span.arg("backlog", static_cast<double>(backlog.size()));
 
     // Serve order: priority desc, admission order within a priority level.
     std::sort(backlog.begin(), backlog.end(),
@@ -375,7 +434,10 @@ void Server::scheduler_loop() {
     });
     if (!lapsed.empty()) {
       ledger_.on_expired(lapsed.size());
-      for (auto& t : lapsed) t.fail(std::make_exception_ptr(DeadlineExceeded()));
+      for (auto& t : lapsed) {
+        trace_request_dropped(trace_id(t.seq), "expired");
+        t.fail(std::make_exception_ptr(DeadlineExceeded()));
+      }
     }
     if (backlog.empty()) continue;
 
@@ -475,6 +537,14 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
       execute_fused(batch.front(), eng, where[i]);
       return;
     }
+    const auto started = Clock::now();
+    BPIM_TRACE_SPAN(lane_span, "serve.batch", lane_tracks_[where[i]]);
+    if (BPIM_TRACE_ON()) {
+      // Arrow heads from every rider's submit span into this batch.
+      auto& trace = obs::TraceSession::global();
+      for (const auto& t : batch)
+        trace.flow_finish("req", trace_id(t.seq), lane_tracks_[where[i]]);
+    }
     std::vector<VecOp> ops;
     ops.reserve(batch.size());
     for (const auto& t : batch) ops.push_back(t.op);
@@ -486,7 +556,10 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
       // Validation happens at submit, so this is a defect; surface it on
       // every rider's future rather than killing the scheduler.
       const std::exception_ptr err = std::current_exception();
-      for (auto& t : batch) t.promise.set_exception(err);
+      for (auto& t : batch) {
+        trace_request_dropped(trace_id(t.seq), "error");
+        t.promise.set_exception(err);
+      }
       return;
     }
     const engine::BatchStats bs = eng.last_batch();
@@ -516,6 +589,29 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
     // stats() must already see its own batch.
     ledger_.on_batch(rec, bs, host_us, op_layers);
 
+    lane_span.arg("ops", static_cast<double>(rec.ops));
+    lane_span.arg("memory", static_cast<double>(rec.memory));
+    lane_span.arg("pipelined_cycles", static_cast<double>(bs.pipelined_cycles));
+    lane_span.arg("load_cycles_saved", static_cast<double>(bs.load_cycles_saved));
+    if (BPIM_TRACE_ON()) {
+      // Settle each rider's request bar with its waiting/served breakdown:
+      // queue_us up to dispatch, host_us end to end, batch_share its
+      // layer-weighted slice of the batch cost.
+      auto& trace = obs::TraceSession::global();
+      for (std::size_t k = 0; k < batch.size(); ++k) {
+        const double queue_us = std::chrono::duration<double, std::micro>(
+                                    started - batch[k].submit_time)
+                                    .count();
+        const double share = rec.layers > 0 ? static_cast<double>(op_layers[k]) /
+                                                  static_cast<double>(rec.layers)
+                                            : 1.0 / static_cast<double>(rec.ops);
+        trace.async_end("request", trace_id(batch[k].seq),
+                        obs::EventArgs{{"queue_us", queue_us},
+                                       {"host_us", host_us[k]},
+                                       {"batch_share", share}});
+      }
+    }
+
     for (std::size_t k = 0; k < batch.size(); ++k)
       batch[k].promise.set_value(std::move(results[k]));
   };
@@ -535,6 +631,10 @@ void Server::execute_group(std::vector<std::vector<detail::Ticket>>& subs,
 void Server::execute_fused(detail::Ticket& t, engine::ExecutionEngine& eng, std::size_t mem) {
   // One fused request is one engine call; like run_sub it accounts before
   // settling the promise and never throws into the scheduler.
+  const auto started = Clock::now();
+  BPIM_TRACE_SPAN(lane_span, "serve.fused", lane_tracks_[mem]);
+  if (BPIM_TRACE_ON())
+    obs::TraceSession::global().flow_finish("req", trace_id(t.seq), lane_tracks_[mem]);
   engine::BatchStats bs;
   std::vector<OpResult> fwd_results;
   OpResult chain_result;
@@ -554,6 +654,7 @@ void Server::execute_fused(detail::Ticket& t, engine::ExecutionEngine& eng, std:
   } catch (...) {
     // Validation happens at submit, so this is a defect; surface it on the
     // client's future rather than killing the scheduler.
+    trace_request_dropped(trace_id(t.seq), "error");
     t.fail(std::current_exception());
     return;
   }
@@ -573,6 +674,17 @@ void Server::execute_fused(detail::Ticket& t, engine::ExecutionEngine& eng, std:
       std::chrono::duration<double, std::micro>(done - t.submit_time).count()};
   // Ledger before promises, as everywhere: a woken client sees its batch.
   ledger_.on_batch(rec, bs, host_us, {t.layers});
+
+  lane_span.arg("memory", static_cast<double>(mem));
+  lane_span.arg("pipelined_cycles", static_cast<double>(bs.pipelined_cycles));
+  lane_span.arg("fused_cycles_saved", static_cast<double>(bs.fused_cycles_saved));
+  if (BPIM_TRACE_ON()) {
+    const double queue_us =
+        std::chrono::duration<double, std::micro>(started - t.submit_time).count();
+    obs::TraceSession::global().async_end(
+        "request", trace_id(t.seq),
+        obs::EventArgs{{"queue_us", queue_us}, {"host_us", host_us[0]}});
+  }
 
   if (t.kind == detail::ReqKind::Forward)
     t.fwd_promise.set_value(std::move(fwd_results));

@@ -48,6 +48,7 @@
 
 #include "common/thread_annotations.hpp"
 #include "engine/execution_engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/admission_queue.hpp"
 #include "serve/memory_pool.hpp"
 #include "serve/request.hpp"
@@ -160,6 +161,16 @@ class Server {
   void execute_group(std::vector<std::vector<detail::Ticket>>& subs,
                      const std::vector<std::size_t>& where);
 
+  /// Per-request trace correlation key: unique across servers (the base is
+  /// a per-server counter shifted clear of any realistic seq), so async
+  /// "request" bars and submit->batch flow arrows never alias between two
+  /// servers in one process.
+  [[nodiscard]] std::uint64_t trace_id(std::uint64_t seq) const {
+    return trace_id_base_ | seq;
+  }
+  /// Register the per-lane synthetic trace tracks; shared ctor tail.
+  void init_tracing();
+
   std::optional<MemoryPool> owned_pool_;  ///< set by the single-engine ctor
   MemoryPool* pool_;
   const ServerConfig cfg_;
@@ -172,6 +183,10 @@ class Server {
   /// thread included); workers start lazily, so a pool-of-one server never
   /// spawns any.
   engine::ThreadPool lane_pool_;
+  /// One synthetic trace track per pool memory: a lane's batches render on
+  /// one timeline row whichever worker thread ran them.
+  std::vector<obs::TrackId> lane_tracks_;
+  std::uint64_t trace_id_base_ = 0;
   std::atomic<std::uint64_t> seq_{0};
   /// Set (under stop_mutex_) before admission closes; read lock-free by
   /// stopped()/submit fast paths. The release store in stop() pairs with

@@ -88,6 +88,23 @@ TEST(ServeLedger, MixedSizeBatchSharesAreLayerWeighted) {
   EXPECT_DOUBLE_EQ(s.modeled_cycles.mean, 200.0);
 }
 
+TEST(ServeLedger, LatencySummaryCoversTailQuantiles) {
+  // Host latencies 1..1000 us: SampleSet interpolates between order
+  // statistics, so the tail quantiles land at exact known points.
+  ServeLedger ledger;
+  for (int us = 1; us <= 1000; ++us) {
+    const std::vector<double> host_us{static_cast<double>(us)};
+    ledger.on_batch(make_record(1, 1, 100), make_stats(1, 100, 102), host_us);
+  }
+  const ServeStats s = ledger.snapshot(0, 0);
+  EXPECT_EQ(s.host_us.count, 1000u);
+  EXPECT_NEAR(s.host_us.p50, 500.5, 1e-9);
+  EXPECT_NEAR(s.host_us.p90, 900.1, 1e-9);
+  EXPECT_NEAR(s.host_us.p99, 990.01, 1e-9);
+  EXPECT_NEAR(s.host_us.p999, 999.001, 1e-9);
+  EXPECT_DOUBLE_EQ(s.host_us.max, 1000.0);
+}
+
 TEST(ServeLedger, EmptySnapshotHasZeroSummaries) {
   ServeLedger ledger(3);
   const ServeStats s = ledger.snapshot(0, 0);

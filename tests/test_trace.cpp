@@ -1,0 +1,224 @@
+// TraceSession: the exported Chrome trace-event JSON must stay well-formed
+// and internally consistent -- balanced async pairs, matched flow arrows,
+// events only on declared tracks -- including under concurrent multi-client
+// serving load. The stress test here is the one the TSan CI job leans on:
+// clients, the scheduler, lane workers and the exporter all touch the
+// session at once.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+#include "obs/trace.hpp"
+#include "serve/server.hpp"
+
+namespace bpim::obs {
+namespace {
+
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OpKind;
+using engine::VecOp;
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+std::vector<std::uint64_t> random_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::uint64_t mask = bits >= 64 ? ~0ull : (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = rng.next_u64() & mask;
+  return v;
+}
+
+json::Value export_and_parse(TraceSession& session) {
+  std::ostringstream out;
+  session.export_json(out);
+  return json::parse(out.str());
+}
+
+/// Drop whatever earlier tests (or earlier sections of this one) left in
+/// the global session's rings, so each test asserts only on its own events.
+void drain_global() {
+  std::ostringstream discard;
+  TraceSession::global().export_json(discard);
+}
+
+/// Structural invariants any export must satisfy; returns the events.
+const std::vector<json::Value>& check_well_formed(const json::Value& doc) {
+  EXPECT_EQ(doc.at("displayTimeUnit").as_string(), "ns");
+  const std::vector<json::Value>& events = doc.at("traceEvents").as_array();
+
+  std::set<std::uint64_t> declared_tids;
+  for (const json::Value& e : events) {
+    EXPECT_EQ(e.at("pid").as_u64(), 1u);
+    const std::string& ph = e.at("ph").as_string();
+    if (ph == "M") {
+      if (e.at("name").as_string() == "thread_name")
+        declared_tids.insert(e.at("tid").as_u64());
+      continue;
+    }
+    EXPECT_GE(e.at("ts").as_number(), 0.0);
+    if (ph == "X") {
+      EXPECT_GE(e.at("dur").as_number(), 0.0);
+    }
+    if (ph == "b" || ph == "e" || ph == "s" || ph == "f") {
+      EXPECT_NE(e.find("id"), nullptr) << ph << " event without an id";
+    }
+  }
+  // Every non-metadata event renders on a declared track.
+  for (const json::Value& e : events) {
+    if (e.at("ph").as_string() == "M") continue;
+    EXPECT_TRUE(declared_tids.count(e.at("tid").as_u64()))
+        << "event on undeclared tid " << e.at("tid").as_u64();
+  }
+  return events;
+}
+
+TEST(TraceSession, DisabledSessionRecordsNothing) {
+  TraceSession& session = TraceSession::global();
+  drain_global();
+  session.disable();
+  {
+    BPIM_TRACE_SPAN(span, "test.disabled");
+    span.arg("x", 1.0);
+  }
+  BPIM_TRACE_INSTANT("test.disabled.instant");
+  const json::Value doc = export_and_parse(session);
+  for (const json::Value& e : doc.at("traceEvents").as_array())
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+}
+
+TEST(TraceSession, SpansInstantsAsyncAndFlowsExport) {
+  TraceSession& session = TraceSession::global();
+  drain_global();
+  session.enable();
+  session.set_thread_name("test-main");
+  const TrackId track = session.register_track("test track");
+  {
+    BPIM_TRACE_SPAN(span, "test.span");
+    span.arg("ops", 3.0);
+    BPIM_TRACE_INSTANT("test.instant", track, {{"k", 2.0}});
+  }
+  session.async_begin("test.request", 42, EventArgs{{"priority", 1.0}});
+  session.flow_start("test.flow", 42);
+  session.flow_finish("test.flow", 42, track);
+  session.async_end("test.request", 42);
+  session.disable();
+
+  const json::Value doc = export_and_parse(session);
+  const auto& events = check_well_formed(doc);
+
+  std::map<std::string, int> by_ph;
+  bool saw_span = false, saw_instant = false, saw_thread_name = false;
+  for (const json::Value& e : events) {
+    ++by_ph[e.at("ph").as_string()];
+    if (e.at("ph").as_string() == "X" && e.at("name").as_string() == "test.span") {
+      saw_span = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("ops").as_number(), 3.0);
+    }
+    if (e.at("ph").as_string() == "i" && e.at("name").as_string() == "test.instant") {
+      saw_instant = true;
+      EXPECT_DOUBLE_EQ(e.at("args").at("k").as_number(), 2.0);
+    }
+    if (e.at("ph").as_string() == "M" && e.at("name").as_string() == "thread_name" &&
+        e.at("args").at("name").as_string() == "test-main")
+      saw_thread_name = true;
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_thread_name);
+  EXPECT_EQ(by_ph["b"], 1);
+  EXPECT_EQ(by_ph["e"], 1);
+  EXPECT_EQ(by_ph["s"], 1);
+  EXPECT_EQ(by_ph["f"], 1);
+
+  // Export drains: a second export sees only re-emitted metadata.
+  const json::Value again = export_and_parse(session);
+  for (const json::Value& e : again.at("traceEvents").as_array())
+    EXPECT_EQ(e.at("ph").as_string(), "M");
+}
+
+TEST(TraceSession, ConcurrentServeStressExportsWellNestedTrace) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kOpsPerClient = 16;
+  constexpr unsigned kBits = 8;
+
+  TraceSession& session = TraceSession::global();
+  drain_global();
+  session.enable();
+
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  const std::size_t elements = eng.mult_units_per_row(kBits) * mem.macro_count();
+  json::Value racing_doc;
+  {
+    serve::ServerConfig cfg;
+    cfg.queue_capacity = 8;
+    cfg.max_batch_ops = 8;
+    cfg.coalesce_window = std::chrono::microseconds(100);
+    serve::Server server(eng, cfg);
+
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+          const auto a = random_vec(elements, kBits, 1000 * c + i);
+          const auto b = random_vec(elements, kBits, 2000 * c + i);
+          const VecOp op{OpKind::Mult, kBits, periph::LogicFn::And, a, b};
+          (void)server.submit(op).get();
+        }
+      });
+    }
+    // Exporter races the writers on purpose: a partial drain must still
+    // produce valid JSON and leave the rings consistent.
+    std::ostringstream racing;
+    session.export_json(racing);
+    for (auto& t : clients) t.join();
+    server.stop();
+    racing_doc = json::parse(racing.str());
+  }
+  session.disable();
+
+  const json::Value doc = export_and_parse(session);
+  check_well_formed(racing_doc);
+  const auto& events = check_well_formed(doc);
+
+  // Across both exports, every request bar is balanced: exactly one "b"
+  // and one "e" per id, and the spans of both layers showed up.
+  std::map<std::uint64_t, int> bars;
+  std::size_t submit_spans = 0, batch_spans = 0;
+  const auto tally = [&](const std::vector<json::Value>& evs) {
+    for (const json::Value& e : evs) {
+      const std::string& ph = e.at("ph").as_string();
+      if (ph == "b") ++bars[e.at("id").as_u64()];
+      if (ph == "e") --bars[e.at("id").as_u64()];
+      if (ph == "X" && e.at("name").as_string() == "serve.submit") ++submit_spans;
+      if (ph == "X" && e.at("name").as_string() == "serve.batch") ++batch_spans;
+    }
+  };
+  tally(racing_doc.at("traceEvents").as_array());
+  tally(events);
+  for (const auto& [id, balance] : bars)
+    EXPECT_EQ(balance, 0) << "request bar " << id << " out of balance";
+  EXPECT_EQ(bars.size(), kClients * kOpsPerClient);
+  EXPECT_EQ(submit_spans, kClients * kOpsPerClient);
+  EXPECT_GT(batch_spans, 0u);
+  EXPECT_EQ(session.dropped(), 0u)
+      << "ring overflow in a test this small points at a sizing regression";
+}
+
+}  // namespace
+}  // namespace bpim::obs
