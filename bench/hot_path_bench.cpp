@@ -9,6 +9,10 @@
 //   mult       ImcMacro::mult_rows (N+2-cycle sequence) vs the naive per-bit
 //              add-and-shift datapath (reference excludes array/energy
 //              traffic, so the reported speedup is conservative)
+//   mult_program  the same MULT dispatched the way the engine now issues
+//              every op: cached OpCompiler program run by a VerifyFirst
+//              MacroController. Its reference is the direct mult_rows call,
+//              so the reported ratio IS the unified-dispatch overhead.
 //   logic      ImcMacro::logic_rows (word-parallel before and after this PR;
 //              reported for the trajectory, no reference)
 //
@@ -30,7 +34,9 @@
 #include "common/rng.hpp"
 #include "common/table.hpp"
 #include "engine/execution_engine.hpp"
+#include "macro/compiler.hpp"
 #include "macro/imc_macro.hpp"
+#include "macro/program.hpp"
 
 using namespace bpim;
 using array::BlReadout;
@@ -107,6 +113,18 @@ std::vector<KernelResult> bench_kernels(std::size_t iters) {
     mult.ref_ns_per_op = time_ns(iters / 16 + 1,
                                  [&] { (void)baseline::naive_mult_datapath(row_a, row_b, bits); });
     out.push_back(mult);
+
+    // The unified execution model's dispatch cost: the same MULT through a
+    // cached single-op program and a VerifyFirst controller (the engine's
+    // hot path after this PR). Reference = the direct call above, so
+    // ref/ns is the dispatch overhead factor (close to 1.0 is good).
+    macro::OpCompiler oc(m.config().geometry);
+    const macro::Program& prog = oc.mult(RowRef::main(0), RowRef::main(1), bits);
+    macro::MacroController ctl(m, macro::VerifyMode::VerifyFirst);
+    KernelResult mp{"mult_program", bits, 0, 0};
+    mp.ns_per_op = time_ns(iters / 4 + 1, [&] { (void)ctl.run(prog); });
+    mp.ref_ns_per_op = mult.ns_per_op;
+    out.push_back(mp);
   }
 
   {
@@ -233,6 +251,12 @@ int main(int argc, char** argv) {
                    k.ref_ns_per_op > 0 ? TextTable::ratio(k.speedup()) : "-"});
   }
   table.print(std::cout);
+
+  for (const auto& k : kernels)
+    if (k.name == "mult_program" && k.bits == 8)
+      std::cout << "  unified dispatch (cached program + VerifyFirst controller) costs "
+                << TextTable::num(k.ns_per_op / k.ref_ns_per_op, 2)
+                << "x the direct 8-bit mult_rows call per op\n";
 
   print_banner(std::cout, "End-to-end MLP forward (ExecutionEngine, 1 thread, 8 macros)");
   std::cout << "  layers 64-48-32-10 @ 8/8/4 bit: " << TextTable::num(mlp.ns_per_forward / 1e3, 1)

@@ -66,6 +66,21 @@ std::vector<std::uint64_t> VectorEngine::logic(periph::LogicFn fn,
   return run_op(engine::OpKind::Logic, fn, a, b);
 }
 
+std::vector<std::uint64_t> VectorEngine::add_shift(const std::vector<std::uint64_t>& a,
+                                                   const std::vector<std::uint64_t>& b) {
+  return run_op(engine::OpKind::AddShift, periph::LogicFn::And, a, b);
+}
+
+std::vector<std::uint64_t> VectorEngine::bit_not(const std::vector<std::uint64_t>& a) {
+  engine::VecOp op;
+  op.kind = engine::OpKind::Not;
+  op.bits = bits_;
+  op.a = a;
+  engine::OpResult res = server_ ? server_->submit(op).get() : engine_->run(op);
+  last_ = res.stats;
+  return std::move(res.values);
+}
+
 std::vector<engine::OpResult> VectorEngine::mult_batch(
     const std::vector<std::pair<std::span<const std::uint64_t>,
                                 std::span<const std::uint64_t>>>& pairs) {
@@ -100,6 +115,7 @@ std::vector<engine::OpResult> VectorEngine::run_ops(const std::vector<engine::Ve
   last_ = RunStats{};
   for (const auto& r : results) {
     last_.elements += r.stats.elements;
+    last_.instructions += r.stats.instructions;
     last_.elapsed_cycles += r.stats.elapsed_cycles;
     last_.energy += r.stats.energy;
     last_.elapsed_time += r.stats.elapsed_time;
@@ -118,6 +134,7 @@ std::vector<engine::OpResult> VectorEngine::run_forward(
   last_ = RunStats{};
   for (const auto& r : results) {
     last_.elements += r.stats.elements;
+    last_.instructions += r.stats.instructions;
     last_.elapsed_cycles += r.stats.elapsed_cycles;
     last_.energy += r.stats.energy;
     last_.elapsed_time += r.stats.elapsed_time;

@@ -69,6 +69,12 @@ class VectorEngine {
   [[nodiscard]] std::vector<std::uint64_t> logic(periph::LogicFn fn,
                                                  const std::vector<std::uint64_t>& a,
                                                  const std::vector<std::uint64_t>& b);
+  /// Element-wise ((a + b) mod 2^bits) << 1, kept in-field (MSB dropped,
+  /// LSB zero) -- the macro's ADD-Shift step exposed as a vector op.
+  [[nodiscard]] std::vector<std::uint64_t> add_shift(const std::vector<std::uint64_t>& a,
+                                                     const std::vector<std::uint64_t>& b);
+  /// Element-wise bitwise complement within `bits` ((~a) masked).
+  [[nodiscard]] std::vector<std::uint64_t> bit_not(const std::vector<std::uint64_t>& a);
 
   /// Batched multiply: pairs[k] = (a_k, b_k) run as one double-buffered
   /// engine batch (per-op stats via the results; overlap via

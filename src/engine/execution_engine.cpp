@@ -11,24 +11,6 @@ namespace bpim::engine {
 
 using array::RowRef;
 
-namespace {
-
-BitVector exec_chunk(macro::ImcMacro& mac, const VecOp& op, RowRef ra, RowRef rb) {
-  switch (op.kind) {
-    case OpKind::Add:
-      return mac.add_rows(ra, rb, op.bits);
-    case OpKind::Sub:
-      return mac.sub_rows(ra, rb, op.bits);
-    case OpKind::Mult:
-      return mac.mult_rows(ra, rb, op.bits);
-    case OpKind::Logic:
-      break;
-  }
-  return mac.logic_rows(op.fn, ra, rb);
-}
-
-}  // namespace
-
 const char* to_string(OpKind kind) {
   switch (kind) {
     case OpKind::Add:
@@ -37,6 +19,10 @@ const char* to_string(OpKind kind) {
       return "SUB";
     case OpKind::Mult:
       return "MULT";
+    case OpKind::AddShift:
+      return "ADD-SHIFT";
+    case OpKind::Not:
+      return "NOT";
     case OpKind::Logic:
       return "LOGIC";
   }
@@ -57,7 +43,10 @@ std::size_t useful_threads(const EngineConfig& cfg, const macro::ImcMemory& mem)
 }  // namespace
 
 ExecutionEngine::ExecutionEngine(macro::ImcMemory& mem, EngineConfig cfg)
-    : mem_(mem), pool_(useful_threads(cfg, mem)), residency_(mem.macro(0).rows() / 2) {
+    : mem_(mem),
+      pool_(useful_threads(cfg, mem)),
+      residency_(mem.macro(0).rows() / 2),
+      op_compiler_(mem.macro(0).config().geometry) {
 #if BPIM_OBS_ENABLED
   static std::atomic<std::uint64_t> instance_counter{0};
   trace_track_ = obs::TraceSession::global().register_track(
@@ -143,8 +132,36 @@ void ExecutionEngine::materialize(ResidencyManager::Entry& entry) {
   }
 }
 
+const macro::Program& ExecutionEngine::program_for(const VecOp& op, std::size_t r_a,
+                                                   std::size_t r_b) {
+  const RowRef a = RowRef::main(r_a);
+  const RowRef b = RowRef::main(r_b);
+  switch (op.kind) {
+    case OpKind::Add:
+      return op_compiler_.add(a, b, op.bits);
+    case OpKind::Sub:
+      return op_compiler_.sub(a, b, op.bits);
+    case OpKind::Mult:
+      return op_compiler_.mult(a, b, op.bits);
+    case OpKind::AddShift:
+      // The shifted sum retires into the dummy accumulator: the driven-out
+      // row carries the value and no main row is written.
+      return op_compiler_.add_shift(a, b, op.bits,
+                                    RowRef::dummy(macro::ImcMacro::kDummyAccum));
+    case OpKind::Not:
+      // Unary: the inverted row lands in the dummy operand row and is
+      // driven out; side b never exists.
+      return op_compiler_.unary(macro::Op::Not, a,
+                                RowRef::dummy(macro::ImcMacro::kDummyOperand), op.bits);
+    case OpKind::Logic:
+      break;
+  }
+  return op_compiler_.logic(op.fn, a, b);
+}
+
 OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
   const bool mult_layout = op.kind == OpKind::Mult;
+  const bool unary = op.kind == OpKind::Not;
   const OperandLayout want = mult_layout ? OperandLayout::MultUnit : OperandLayout::Word;
 
   // Resolve each side to a data span plus (for handles) the live entry.
@@ -160,7 +177,10 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
   };
   const auto [a, ea] = resolve(op.a, op.ra);
   const auto [b, eb] = resolve(op.b, op.rb);
-  BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
+  if (unary)
+    BPIM_REQUIRE(b.empty() && eb == nullptr, "NOT is unary: operand side b must stay empty");
+  else
+    BPIM_REQUIRE(a.size() == b.size(), "operand vectors must have equal length");
   BPIM_REQUIRE(macro::is_supported_precision(op.bits), "unsupported precision");
   BPIM_REQUIRE(ea == nullptr || ea != eb, "a resident operand cannot be both sides of one op");
   // Two handles must fit the array together -- each side passed the
@@ -184,9 +204,10 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
   // pairs (activation in the odd row) and consumes no transient pairs.
   // Eviction (LRU) happens here when the pinned set and the transient
   // region collide, and evicted handles re-materialize on use.
+  const std::uint64_t rows_per_layer = unary ? 1 : 2;  // staged operand rows
   const std::size_t transient = (ea != nullptr || eb != nullptr) ? 0 : layers;
   if (transient > 0) residency_.reserve_transient(transient);
-  std::uint64_t load = transient > 0 ? 2 * layers : 0;
+  std::uint64_t load = transient > 0 ? rows_per_layer * layers : 0;
   if (ea != nullptr && residency_.ensure_rows(*ea, eb)) {
     materialize(*ea);
     load += layers;  // the one materializing write, charged to this batch
@@ -195,38 +216,57 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
     materialize(*eb);
     load += layers;
   }
-  if ((ea != nullptr) != (eb != nullptr)) load += layers;  // the activation side
+  if (!unary && (ea != nullptr) != (eb != nullptr)) load += layers;  // the activation side
 
   OpResult res;
   res.values.assign(n, 0);
 
+  // Row placement by layer -- identical for every macro of the layer, so
+  // the whole op dispatches through `layers` cached programs.
+  const std::size_t base_a = ea != nullptr ? ea->base_pair : 0;
+  const std::size_t base_b = eb != nullptr ? eb->base_pair : 0;
+  const ResidencyManager::Entry* res_a = ea;
+  const ResidencyManager::Entry* res_b = eb;
+  const auto place = [&](std::size_t row_pair) -> std::pair<std::size_t, std::size_t> {
+    if (res_a == nullptr && res_b == nullptr) return {2 * row_pair, 2 * row_pair + 1};
+    if (res_a != nullptr && res_b != nullptr)
+      return {2 * (base_a + row_pair), 2 * (base_b + row_pair)};
+    if (res_a != nullptr) {
+      const std::size_t r = 2 * (base_a + row_pair);
+      return {r, r + 1};
+    }
+    const std::size_t r = 2 * (base_b + row_pair);
+    return {r + 1, r};
+  };
+
+  // Compile (or fetch) the per-layer single-op programs up front, on the
+  // submitting thread: workers share the verified Program objects by
+  // reference and never touch the compiler cache.
+  std::vector<const macro::Program*> progs;
+  progs.reserve(layers);
+  for (std::size_t rp = 0; rp < layers; ++rp) {
+    const auto [pr_a, pr_b] = place(rp);
+    progs.push_back(&program_for(op, pr_a, pr_b));
+  }
+
   // Shard: macro m owns chunks m, m + M, m + 2M, ... -- the same per-macro
   // chunk sequence as the serial layer walk, so RNG streams and ledgers
   // advance identically and any thread count gives bit-identical results.
-  const std::size_t base_a = ea != nullptr ? ea->base_pair : 0;
-  const std::size_t base_b = eb != nullptr ? eb->base_pair : 0;
+  // Each worker runs its macro's programs through a VerifyFirst controller;
+  // the ProgramStats it returns (priced per instruction by macro::CostModel)
+  // are the op's accounting source.
   const std::span<const std::uint64_t> av = a;
   const std::span<const std::uint64_t> bv = b;
-  const ResidencyManager::Entry* res_a = ea;
-  const ResidencyManager::Entry* res_b = eb;
+  std::vector<std::uint64_t> cycles_m(macros, 0);
+  std::vector<std::uint64_t> insts_m(macros, 0);
+  std::vector<Joule> energy_m(macros, Joule(0.0));
   pool_.parallel_for(std::min(chunks, macros), [&](std::size_t m) {
     auto& mac = mem_.macro(m);
+    macro::MacroController ctl(mac, macro::VerifyMode::VerifyFirst);
+    std::vector<macro::TraceEntry> trace;
     for (std::size_t c = m; c < chunks; c += macros) {
       const std::size_t row_pair = c / macros;
-      std::size_t r_a, r_b;
-      if (res_a == nullptr && res_b == nullptr) {
-        r_a = 2 * row_pair;
-        r_b = 2 * row_pair + 1;
-      } else if (res_a != nullptr && res_b != nullptr) {
-        r_a = 2 * (base_a + row_pair);
-        r_b = 2 * (base_b + row_pair);
-      } else if (res_a != nullptr) {
-        r_a = 2 * (base_a + row_pair);
-        r_b = r_a + 1;
-      } else {
-        r_b = 2 * (base_b + row_pair);
-        r_a = r_b + 1;
-      }
+      const auto [r_a, r_b] = place(row_pair);
       const std::size_t pos = c * per_op;
       const std::size_t len = std::min(per_op, n - pos);
       if (mult_layout) {
@@ -234,9 +274,14 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
         if (res_b == nullptr) mac.poke_mult_operands(r_b, 0, op.bits, bv.subspan(pos, len));
       } else {
         if (res_a == nullptr) mac.poke_words(r_a, 0, op.bits, av.subspan(pos, len));
-        if (res_b == nullptr) mac.poke_words(r_b, 0, op.bits, bv.subspan(pos, len));
+        if (!unary && res_b == nullptr) mac.poke_words(r_b, 0, op.bits, bv.subspan(pos, len));
       }
-      const BitVector result = exec_chunk(mac, op, RowRef::main(r_a), RowRef::main(r_b));
+      trace.clear();
+      const macro::ProgramStats ps = ctl.run(*progs[row_pair], &trace);
+      cycles_m[m] += ps.cycles;
+      insts_m[m] += ps.instructions;
+      energy_m[m] += ps.energy;
+      const BitVector& result = trace.back().result;
       if (mult_layout) {
         for (std::size_t i = 0; i < len; ++i)
           res.values[pos + i] = mac.peek_mult_product(result, i, op.bits);
@@ -247,20 +292,35 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
     }
   });
 
-  // Deterministic merge: bank/macro traversal order is fixed, so the energy
-  // sum and cycle max are the same doubles/ints the serial path produced.
+  // Deterministic merge of the instruction-stream account: cycles are the
+  // lock-step max across macros, energy the fixed bank-then-macro nested sum
+  // -- the exact association the legacy ledger walk (Bank::total_energy
+  // inside ImcMemory::total_energy) uses, so the doubles are bit-identical
+  // to mem_.total_energy(). Cycle agreement with the ledger is asserted
+  // here; the energy half of the conservation law is asserted in tests.
   res.stats.elements = n;
-  res.stats.elapsed_cycles = mem_.elapsed_cycles();
-  res.stats.energy = mem_.total_energy();
+  for (std::size_t m = 0; m < macros; ++m) {
+    res.stats.elapsed_cycles = std::max(res.stats.elapsed_cycles, cycles_m[m]);
+    res.stats.instructions += insts_m[m];
+  }
+  const std::size_t per_bank = mem_.config().macros_per_bank;
+  for (std::size_t bk = 0; bk < mem_.bank_count(); ++bk) {
+    Joule bank_energy{0.0};
+    for (std::size_t i = 0; i < mem_.bank(bk).macro_count(); ++i)
+      bank_energy += energy_m[bk * per_bank + i];
+    res.stats.energy += bank_energy;
+  }
+  BPIM_REQUIRE(res.stats.elapsed_cycles == mem_.elapsed_cycles(),
+               "instruction-stream cycles diverge from the memory ledger");
   res.stats.elapsed_time =
       Second(static_cast<double>(res.stats.elapsed_cycles) * mem_.macro(0).cycle_time().si());
 
-  // Operand load in the cycle model: one row pair = 2 lock-step row-write
-  // cycles per layer (pokes carry no cycle cost in the seed semantics; this
-  // feeds only the batch double-buffering account). Resident sides load
-  // nothing beyond their one materializing write.
+  // Operand load in the cycle model: one staged row = one lock-step
+  // row-write cycle per layer (pokes carry no cycle cost in the seed
+  // semantics; this feeds only the batch double-buffering account).
+  // Resident sides load nothing beyond their one materializing write.
   acct.load_cycles = load;
-  acct.saved_cycles = 2 * layers - load;
+  acct.saved_cycles = rows_per_layer * layers - load;
   acct.layers = layers;
   acct.transient_layers = transient;
   acct.handle_a = op.ra.id;
@@ -296,6 +356,7 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
     results.push_back(run_one(ops[k], acct));
     const RunStats& s = results.back().stats;
     batch_.elements += s.elements;
+    batch_.instructions += s.instructions;
     batch_.load_cycles += acct.load_cycles;
     batch_.load_cycles_saved += acct.saved_cycles;
     batch_.compute_cycles += s.elapsed_cycles;
@@ -539,6 +600,7 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
     for (std::size_t l = 0; l < layers0; ++l) s.elapsed_cycles += traces[0][l * ops + j].cycles;
     for (std::size_t m = 0; m < active; ++m) {
       const std::size_t layers_m = traces[m].size() / ops;
+      s.instructions += layers_m;  // one MULT per layer per macro
       for (std::size_t l = 0; l < layers_m; ++l) s.energy += traces[m][l * ops + j].op_energy;
     }
     s.elapsed_time = Second(static_cast<double>(s.elapsed_cycles) * tick);
@@ -555,6 +617,7 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
   batch_ = BatchStats{};
   batch_.ops = ops;
   batch_.elements = static_cast<std::uint64_t>(ops) * plan.elements;
+  for (const OpResult& r : results) batch_.instructions += r.stats.instructions;
   batch_.load_cycles = plan.load_cycles + pending + plan.layers;
   batch_.load_cycles_saved = saved_total;
   batch_.compute_cycles = mem_.elapsed_cycles();
@@ -660,6 +723,7 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
 
   const double tick = mem_.macro(0).cycle_time().si();
   res.stats.elements = n;
+  for (const auto& t : traces) res.stats.instructions += t.size();
   res.stats.elapsed_cycles = mem_.elapsed_cycles();
   res.stats.energy = mem_.total_energy();
   res.stats.elapsed_time = Second(static_cast<double>(res.stats.elapsed_cycles) * tick);
@@ -669,6 +733,7 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
   batch_ = BatchStats{};
   batch_.ops = 1;
   batch_.elements = n;
+  batch_.instructions = res.stats.instructions;
   batch_.load_cycles = load;
   batch_.load_cycles_saved = saved;
   batch_.compute_cycles = res.stats.elapsed_cycles;

@@ -11,6 +11,16 @@
 // bit-identical to the serial walk; RunStats are merged after the join as
 // lock-step max (cycles) and fixed-order sum (energy).
 //
+// Unified execution model: every dispatched op -- run()/run_batch() exactly
+// like the fused paths -- is compiled to a verified macro ISA program
+// (macro::OpCompiler emits + caches the single-instruction program per
+// (kind, bits, row placement)) and executed through MacroController in
+// VerifyFirst mode. The engine never calls the macro row-op datapath
+// directly (a CI grep gate enforces this); RunStats are derived from the
+// instruction stream the controller prices through macro::CostModel, and
+// agree with the legacy per-macro ledgers exactly -- cycles are asserted
+// per run, the bitwise energy half lives in the conservation tests.
+//
 // run_batch() executes several independent ops as one batch and models a
 // double-buffered schedule in the cycle model: operands of op k+1 are
 // written to ping-pong row pairs while op k computes, so the batch costs
@@ -43,7 +53,11 @@
 
 namespace bpim::engine {
 
-enum class OpKind { Add, Sub, Mult, Logic };
+/// Every macro ISA op kind the engine dispatches. AddShift retires its
+/// shifted sum into the dummy accumulator (D2) and Not drives the inverted
+/// row out via the dummy operand row (D1), so no single-op program ever
+/// writes a main row -- resident operands cannot be clobbered by dispatch.
+enum class OpKind { Add, Sub, Mult, AddShift, Not, Logic };
 
 [[nodiscard]] const char* to_string(OpKind kind);
 
@@ -52,6 +66,7 @@ enum class OpKind { Add, Sub, Mult, Logic };
 /// call returns) or a resident handle from ExecutionEngine::pin(); a side
 /// with a handle must leave its span empty. Handle-backed ops compute in
 /// the handle's own row pairs and skip that side's operand-load cycles.
+/// Not is unary: side b (span and handle) must stay empty.
 struct VecOp {
   OpKind kind = OpKind::Add;
   unsigned bits = 8;
@@ -165,6 +180,12 @@ class ExecutionEngine {
 
   [[nodiscard]] const FusionStats& fusion_stats() const { return fusion_stats_; }
 
+  /// Single-op program cache traffic (macro::OpCompiler): compiled = verified
+  /// emissions, hits = dispatches served from the cache.
+  [[nodiscard]] macro::OpCompiler::CacheStats op_program_cache_stats() const {
+    return op_compiler_.cache_stats();
+  }
+
  private:
   /// Cycle-model footprint of one executed op, for the batch scheduler's
   /// overlap-feasibility check and the load/saved accounting.
@@ -179,6 +200,9 @@ class ExecutionEngine {
 
   /// Execute one op and fill its footprint account.
   OpResult run_one(const VecOp& op, OpAccount& acct);
+  /// The cached single-instruction program for `op` at one concrete row
+  /// placement (compiled + verified on first use).
+  const macro::Program& program_for(const VecOp& op, std::size_t r_a, std::size_t r_b);
   /// Write a pinned operand's values into its allocated rows (same chunk
   /// walk as run_one, one row per pair).
   void materialize(ResidencyManager::Entry& entry);
@@ -210,6 +234,10 @@ class ExecutionEngine {
   macro::ImcMemory& mem_;
   ThreadPool pool_;
   ResidencyManager residency_;
+  /// Single-op program compiler/cache; thread-safe, shared by all workers.
+  /// Engine-dispatched programs only write dummy rows, so the cache never
+  /// needs residency-driven invalidation.
+  macro::OpCompiler op_compiler_;
   /// Synthetic trace track "engine N": batch/forward/chain spans render on
   /// one timeline row whichever host thread drives the engine.
   obs::TrackId trace_track_ = 0;

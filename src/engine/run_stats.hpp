@@ -15,6 +15,10 @@ namespace bpim::engine {
 
 struct RunStats {
   std::uint64_t elements = 0;
+  /// Macro ISA instructions executed across all macros -- every op runs as
+  /// verified programs, and this counts the instruction stream the cycle and
+  /// energy figures below are priced from.
+  std::uint64_t instructions = 0;
   std::uint64_t elapsed_cycles = 0;  ///< lock-step across macros (max)
   Joule energy{0.0};
   Second elapsed_time{0.0};
@@ -44,6 +48,7 @@ struct RunStats {
 struct BatchStats {
   std::size_t ops = 0;
   std::uint64_t elements = 0;
+  std::uint64_t instructions = 0;  ///< macro ISA instructions, all macros
   std::uint64_t load_cycles = 0;       ///< total operand-load (row write) cycles
   /// Load cycles the batch avoided because ops referenced resident
   /// operands (engine/residency.hpp) instead of re-poking them.
@@ -70,6 +75,7 @@ struct BatchStats {
   BatchStats& operator+=(const BatchStats& o) {
     ops += o.ops;
     elements += o.elements;
+    instructions += o.instructions;
     load_cycles += o.load_cycles;
     load_cycles_saved += o.load_cycles_saved;
     compute_cycles += o.compute_cycles;

@@ -1,10 +1,34 @@
 #include "macro/compiler.hpp"
 
 #include "common/require.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bpim::macro {
 
 using array::RowRef;
+
+namespace {
+
+obs::Counter& programs_compiled_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "macro.programs.compiled", "macro ISA programs emitted and verified");
+  return c;
+}
+
+obs::Counter& program_cache_hits_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "macro.programs.cache_hits", "single-op programs served from the OpCompiler cache");
+  return c;
+}
+
+obs::Counter& compile_rejected_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "macro.verify.rejected", "programs rejected before execution (VerifyFirst or compile)");
+  return c;
+}
+
+}  // namespace
 
 Program FusionCompiler::compile_mac_forward(const MacForwardSpec& spec) const {
   BPIM_REQUIRE(!spec.steps.empty(), "fused forward needs at least one MAC");
@@ -66,10 +90,148 @@ std::uint64_t FusionCompiler::fused_static_cycles(const Program& p) {
 
 void FusionCompiler::verify_emitted(const Program& p, const char* what) const {
   const VerifyReport rep = verify_program(p, geom_, pinned_);
-  if (rep.errors == 0 && rep.warnings == 0) return;
+  if (rep.errors == 0 && rep.warnings == 0) {
+    programs_compiled_counter().add();
+    BPIM_TRACE_INSTANT("macro.program.compile", 0,
+                       obs::EventArgs{{"instructions", static_cast<double>(p.size())},
+                                      {"fused", 1.0}});
+    return;
+  }
+  compile_rejected_counter().add();
   throw std::invalid_argument(std::string(what) +
                               ": emitted program drew verifier diagnostics:\n" +
                               rep.annotate(p));
+}
+
+namespace {
+
+/// Row encoding for the cache key: the dummy bit rides above any plausible
+/// row index; absent operands get a sentinel no RowRef can produce.
+constexpr std::uint64_t kNoRow = ~0ull;
+
+std::uint64_t encode_row(RowRef r) {
+  return (r.is_dummy() ? (1ull << 63) : 0ull) | static_cast<std::uint64_t>(r.index);
+}
+
+}  // namespace
+
+std::size_t OpCompiler::KeyHash::operator()(const Key& k) const {
+  // FNV-1a over the key fields, same recipe the engine's fused-program cache
+  // uses for its layer keys.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(k.op);
+  mix(k.fn);
+  mix(k.bits);
+  mix(k.a);
+  mix(k.b);
+  mix(k.dest);
+  return static_cast<std::size_t>(h);
+}
+
+const Program& OpCompiler::single(const Instruction& inst) {
+  Key key;
+  key.op = static_cast<std::uint8_t>(inst.op);
+  key.fn = static_cast<std::uint8_t>(inst.logic_fn);
+  key.bits = inst.bits;
+  key.a = encode_row(inst.a);
+  key.b = is_dual_wl(inst.op) ? encode_row(inst.b) : kNoRow;
+  key.dest = inst.dest ? encode_row(*inst.dest) : kNoRow;
+
+  MutexLock lock(mutex_);
+  if (const auto it = cache_.find(key); it != cache_.end()) {
+    ++stats_.hits;
+    program_cache_hits_counter().add();
+    return it->second;
+  }
+  Program p;
+  p.push(inst);
+  const VerifyReport rep = verify_program(p, geom_, pinned_);
+  if (rep.errors + rep.warnings != 0) {
+    compile_rejected_counter().add();
+    throw std::invalid_argument(
+        "OpCompiler: single-op program drew verifier diagnostics:\n" + rep.annotate(p));
+  }
+  ++stats_.compiled;
+  programs_compiled_counter().add();
+  BPIM_TRACE_INSTANT("macro.program.compile", 0,
+                     obs::EventArgs{{"instructions", 1.0}, {"fused", 0.0}});
+  // unordered_map references are stable under rehash and nothing is ever
+  // erased outside set_pinned(), so the mapped Program can be handed out.
+  return cache_.emplace(key, std::move(p)).first->second;
+}
+
+const Program& OpCompiler::add(RowRef a, RowRef b, unsigned bits) {
+  Instruction i;
+  i.op = Op::Add;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  return single(i);
+}
+
+const Program& OpCompiler::sub(RowRef a, RowRef b, unsigned bits) {
+  Instruction i;
+  i.op = Op::Sub;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  return single(i);
+}
+
+const Program& OpCompiler::mult(RowRef a, RowRef b, unsigned bits) {
+  Instruction i;
+  i.op = Op::Mult;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  return single(i);
+}
+
+const Program& OpCompiler::add_shift(RowRef a, RowRef b, unsigned bits, RowRef dest) {
+  Instruction i;
+  i.op = Op::AddShift;
+  i.a = a;
+  i.b = b;
+  i.bits = bits;
+  i.dest = dest;
+  return single(i);
+}
+
+const Program& OpCompiler::unary(Op op, RowRef src, RowRef dest, unsigned bits) {
+  BPIM_REQUIRE(op == Op::Not || op == Op::Copy || op == Op::Shift,
+               "unary() takes NOT/COPY/SHIFT");
+  Instruction i;
+  i.op = op;
+  i.a = src;
+  i.dest = dest;
+  i.bits = bits;
+  return single(i);
+}
+
+const Program& OpCompiler::logic(periph::LogicFn fn, RowRef a, RowRef b) {
+  BPIM_REQUIRE(fn != periph::LogicFn::PassA && fn != periph::LogicFn::NotA,
+               "PassA/NotA are single-WL paths; use unary(COPY/NOT)");
+  Instruction i;
+  i.op = Op::And;  // representative dual-WL logic op; fn carries the function
+  i.logic_fn = fn;
+  i.a = a;
+  i.b = b;
+  return single(i);
+}
+
+void OpCompiler::set_pinned(std::vector<PinnedRows> pinned) {
+  MutexLock lock(mutex_);
+  pinned_ = std::move(pinned);
+  cache_.clear();
+}
+
+OpCompiler::CacheStats OpCompiler::cache_stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
 }
 
 }  // namespace bpim::macro

@@ -30,10 +30,12 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "array/sram_array.hpp"
+#include "common/thread_annotations.hpp"
 #include "macro/program.hpp"
 #include "macro/verifier.hpp"
 
@@ -102,6 +104,76 @@ class FusionCompiler {
 
   array::ArrayGeometry geom_;
   std::vector<PinnedRows> pinned_;
+};
+
+/// Single-op compiler: the FusionCompiler's sibling for everything that is
+/// not a fused chain. Each entry point emits the one-instruction Program for
+/// a VecOp-shaped request (ADD, SUB, MULT, ADD-Shift, unary, logic) against
+/// the array geometry + residency map, verifies it to zero diagnostics
+/// (warnings included, like the fusion path), and caches it by
+/// (op, fn, bits, rows, dest) so hot-path dispatch is one hash lookup.
+///
+/// Returned references stay valid for the compiler's lifetime (entries are
+/// never evicted); set_pinned() is the one invalidation point -- it clears
+/// the cache and must not race executions of previously returned programs,
+/// the same contract the fusion path has at recompile.
+///
+/// Thread-safe: the engine compiles on the submitting thread, but a serving
+/// deployment may share one compiler across engines. Cache traffic feeds the
+/// macro.programs.compiled / macro.programs.cache_hits counters and compile
+/// instants on the trace timeline.
+class OpCompiler {
+ public:
+  explicit OpCompiler(array::ArrayGeometry g, std::vector<PinnedRows> pinned = {})
+      : geom_(g), pinned_(std::move(pinned)) {}
+
+  const Program& add(array::RowRef a, array::RowRef b, unsigned bits) BPIM_EXCLUDES(mutex_);
+  const Program& sub(array::RowRef a, array::RowRef b, unsigned bits) BPIM_EXCLUDES(mutex_);
+  const Program& mult(array::RowRef a, array::RowRef b, unsigned bits) BPIM_EXCLUDES(mutex_);
+  const Program& add_shift(array::RowRef a, array::RowRef b, unsigned bits,
+                           array::RowRef dest) BPIM_EXCLUDES(mutex_);
+  const Program& unary(Op op, array::RowRef src, array::RowRef dest, unsigned bits)
+      BPIM_EXCLUDES(mutex_);
+  const Program& logic(periph::LogicFn fn, array::RowRef a, array::RowRef b)
+      BPIM_EXCLUDES(mutex_);
+
+  /// Generic entry: build/fetch the verified single-instruction program for
+  /// `inst`. Throws std::invalid_argument (with annotated disassembly) when
+  /// the instruction draws any verifier diagnostic.
+  const Program& single(const Instruction& inst) BPIM_EXCLUDES(mutex_);
+
+  /// Replace the residency map. Clears the cache (programs verified against
+  /// the old map are stale); must not race executions.
+  void set_pinned(std::vector<PinnedRows> pinned) BPIM_EXCLUDES(mutex_);
+
+  struct CacheStats {
+    std::uint64_t compiled = 0;  ///< cache misses: programs emitted + verified
+    std::uint64_t hits = 0;      ///< programs served from the cache
+  };
+  [[nodiscard]] CacheStats cache_stats() const BPIM_EXCLUDES(mutex_);
+
+  [[nodiscard]] const array::ArrayGeometry& geometry() const { return geom_; }
+
+ private:
+  /// Cache key: the instruction's identity, rows encoded as dummy-bit+index.
+  struct Key {
+    std::uint8_t op = 0;
+    std::uint8_t fn = 0;
+    std::uint32_t bits = 0;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t dest = 0;
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  array::ArrayGeometry geom_;
+  mutable Mutex mutex_;
+  std::vector<PinnedRows> pinned_ BPIM_GUARDED_BY(mutex_);
+  std::unordered_map<Key, Program, KeyHash> cache_ BPIM_GUARDED_BY(mutex_);
+  CacheStats stats_ BPIM_GUARDED_BY(mutex_);
 };
 
 }  // namespace bpim::macro

@@ -1,0 +1,70 @@
+#pragma once
+// Instruction-driven cost model: cycles and joules of a macro::Program,
+// priced instruction by instruction from the same timing (timing/freq_model)
+// and energy (energy/EnergyModel) models the macro's execution ledger draws
+// on -- without touching a macro.
+//
+// Each Instruction maps to the exact micro-action sequence the sequencer
+// would issue (dummy-row traffic, per-bit activities and all), in the exact
+// order ImcMacro charges it, so the statically priced totals equal the
+// executed ledger totals *bitwise* -- double accumulation order included.
+// That conservation law (program_cost == ledger) is the contract that lets
+// the instruction stream replace the ledgers as the accounting source of
+// truth; MacroController::run asserts the cycle half on every instruction
+// and the tests in test_macro_accounting/test_macro_energy assert the
+// energy half exactly.
+//
+// Chained-MAC pricing: pass the predecessor instruction to instruction_cost
+// (or set fuse_mac_chains on program_cost) and back-to-back MULTs at one
+// precision get the pipelined FF-load discount (-1 cycle); a repeated
+// multiplicand row additionally skips the D1 staging cycle and its energy
+// (-1 cycle more) -- the same discounts MacroController::run applies.
+
+#include <cstdint>
+
+#include "energy/energy_model.hpp"
+#include "macro/program.hpp"
+#include "timing/freq_model.hpp"
+
+namespace bpim::macro {
+
+/// Price of one instruction: what the macro's ledger will record for it.
+struct InstructionCost {
+  unsigned cycles = 0;
+  Joule energy{0.0};
+};
+
+class CostModel {
+ public:
+  explicit CostModel(const MacroConfig& cfg);
+
+  /// Price one instruction. `prev` (may be null) is the immediately
+  /// preceding instruction *on the chained datapath*: pass it only when the
+  /// executing controller runs with fuse_mac_chains, so the MULT discounts
+  /// here match the execution path cycle for cycle.
+  [[nodiscard]] InstructionCost instruction_cost(const Instruction& inst,
+                                                 const Instruction* prev = nullptr) const;
+
+  /// Price a whole program, accumulating in instruction order (the same
+  /// left-fold the execution ledger performs). With `fuse_mac_chains`, MULT
+  /// chains are priced on the chained datapath and the discount lands in
+  /// fused_cycles_saved, exactly as MacroController::run books it.
+  [[nodiscard]] ProgramStats program_cost(const Program& p, bool fuse_mac_chains = false) const;
+
+  /// Cycle time under the config's WL scheme and separator mode -- the same
+  /// tick ImcMacro::cycle_time() reports (shared scheme_cycle_time helper).
+  [[nodiscard]] Second cycle_time() const { return cycle_time_; }
+
+ private:
+  [[nodiscard]] Joule price(energy::Component c) const { return energy_.price(c, vdd_); }
+  [[nodiscard]] energy::Component compute_price(array::RowRef a, array::RowRef b) const;
+  [[nodiscard]] energy::Component wb_price(array::RowRef dest) const;
+
+  array::ArrayGeometry geom_;
+  Volt vdd_;
+  energy::SeparatorMode separator_;
+  energy::EnergyModel energy_;
+  Second cycle_time_;
+};
+
+}  // namespace bpim::macro

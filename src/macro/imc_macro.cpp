@@ -206,28 +206,30 @@ void ImcMacro::write_row(std::size_t r, const BitVector& data) {
   finish_op(1);
 }
 
-Second ImcMacro::cycle_time() const {
-  const bool sep = cfg_.separator == SeparatorMode::Enabled;
-  switch (cfg_.wl_scheme) {
+Second scheme_cycle_time(const MacroConfig& cfg, const timing::FreqModel& freq) {
+  const bool sep = cfg.separator == SeparatorMode::Enabled;
+  switch (cfg.wl_scheme) {
     case WlScheme::ShortPulseBoost:
-      return period_of(freq_.fmax(cfg_.vdd, sep));
+      return period_of(freq.fmax(cfg.vdd, sep));
     case WlScheme::Wlud: {
       // WL activation + sensing replaced by the WLUD BL computation phase
       // (~1.86 ns at 0.9 V from the transient model), supply-scaled.
-      const auto b = freq_.breakdown(cfg_.vdd, sep);
-      const double k = freq_.config().scaling.factor(cfg_.vdd);
+      const auto b = freq.breakdown(cfg.vdd, sep);
+      const double k = freq.config().scaling.factor(cfg.vdd);
       return b.bl_precharge + Second(1.86e-9 * k) + b.logic + b.write_back;
     }
     case WlScheme::FullSwingLong: {
       // Full-current discharge without boost (~0.42 ns at 0.9 V) -- fast but
       // destructive (see DisturbModel).
-      const auto b = freq_.breakdown(cfg_.vdd, sep);
-      const double k = freq_.config().scaling.factor(cfg_.vdd);
+      const auto b = freq.breakdown(cfg.vdd, sep);
+      const double k = freq.config().scaling.factor(cfg.vdd);
       return b.bl_precharge + Second(0.42e-9 * k) + b.logic + b.write_back;
     }
   }
-  return period_of(freq_.fmax(cfg_.vdd, sep));
+  return period_of(freq.fmax(cfg.vdd, sep));
 }
+
+Second ImcMacro::cycle_time() const { return scheme_cycle_time(cfg_, freq_); }
 
 Hertz ImcMacro::fmax() const { return frequency_of(cycle_time()); }
 

@@ -17,6 +17,13 @@
 // would (dummy-row traffic included), charges the energy ledger with the
 // same component prices the closed-form EnergyModel uses, and advances the
 // cycle counter per Table 1.
+//
+// Execution contract: the compute entry points below are the *controller's*
+// surface. Everything above the macro layer (engine/serve/app) executes
+// through verified macro::Programs via MacroController -- a CI grep gate
+// enforces that no direct row-op call appears outside src/macro/. Tests and
+// benches may still call them directly as the differential oracle against
+// the program path (alongside baseline/naive_datapath).
 
 #include <array>
 #include <cstdint>
@@ -46,6 +53,12 @@ struct MacroConfig {
   std::uint64_t seed = 0x6B1Dull;
   timing::FreqModelConfig freq{};
 };
+
+/// Cycle time of a macro built with `cfg` under its WL scheme and separator
+/// mode, composed from the given frequency model. Shared by
+/// ImcMacro::cycle_time() and macro::CostModel, so instruction-driven
+/// pricing can never drift from the executing macro's tick.
+[[nodiscard]] Second scheme_cycle_time(const MacroConfig& cfg, const timing::FreqModel& freq);
 
 /// Per-scheme probability that a vulnerable cell flips during one dual-WL
 /// compute. Values for ShortPulseBoost/Wlud are the measured iso-ADM rates

@@ -3,10 +3,31 @@
 #include <sstream>
 
 #include "common/require.hpp"
+#include "macro/cost_model.hpp"
 #include "macro/verifier.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace bpim::macro {
+
+namespace {
+
+// Program-path instruments, resolved once (stable addresses, lock-free
+// updates thereafter). Rejections and per-program cycles are the adoption
+// signals of the unified execution model.
+obs::Counter& verify_rejected_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "macro.verify.rejected", "programs rejected before execution (VerifyFirst or compile)");
+  return c;
+}
+
+obs::Histogram& program_cycles_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "macro.program.cycles", "modeled cycles per executed macro program");
+  return h;
+}
+
+}  // namespace
 
 std::string to_string(const Instruction& inst) {
   std::ostringstream os;
@@ -169,16 +190,26 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
                                   bool fuse_mac_chains) {
   if (mode_ == VerifyMode::VerifyFirst) {
     const VerifyReport report = verify_program(p, macro_);
-    if (!report.ok())
+    if (!report.ok()) {
+      verify_rejected_counter().add();
       throw std::invalid_argument("program rejected by verifier: " + report.error_summary() +
                                   "\n" + report.annotate(p));
+    }
   } else {
     validate(p);
   }
+  // The instruction stream is the accounting source: every instruction is
+  // priced by the cost model (cycles from timing/, joules from energy/) and
+  // cross-checked against the executing datapath's ledger. Cycles are
+  // asserted here on every instruction; the energy half of the conservation
+  // law (bitwise ledger equality) is asserted in test_macro_accounting /
+  // test_macro_energy.
+  const CostModel cost(macro_.config());
   ProgramStats stats;
   const Instruction* prev = nullptr;
   for (const Instruction& i : p.instructions()) {
     BitVector result;
+    const InstructionCost priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
     switch (i.op) {
       case Op::Nand:
       case Op::And:
@@ -217,15 +248,18 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
       }
     }
     const ExecStats es = macro_.last_op();
+    BPIM_REQUIRE(priced.cycles == es.cycles,
+                 "cost model cycles diverge from the executed datapath");
     ++stats.instructions;
-    stats.cycles += es.cycles;
+    stats.cycles += priced.cycles;
     const unsigned table_cycles = op_cycles(i.op, i.bits);
-    if (table_cycles > es.cycles) stats.fused_cycles_saved += table_cycles - es.cycles;
-    stats.energy += es.op_energy;
+    if (table_cycles > priced.cycles) stats.fused_cycles_saved += table_cycles - priced.cycles;
+    stats.energy += priced.energy;
     if (trace) trace->push_back(TraceEntry{i, es.cycles, es.op_energy, result});
     prev = &i;
   }
-  stats.elapsed = macro_.cycle_time() * static_cast<double>(stats.cycles);
+  stats.elapsed = cost.cycle_time() * static_cast<double>(stats.cycles);
+  program_cycles_histogram().observe(stats.cycles);
 #if BPIM_OBS_ENABLED
   // Per-program events are high volume (one per macro per batch step), so
   // they stay behind the extra macro-events gate; a bench opts in when it

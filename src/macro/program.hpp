@@ -80,6 +80,10 @@ struct TraceEntry {
   BitVector result;  ///< row-wide result driven out (empty for pure WB ops)
 };
 
+/// Per-program account, derived from the instruction stream: run() prices
+/// every instruction through macro::CostModel (cycles from timing/, joules
+/// from energy/) and cross-checks the executing macro's ledger -- the two
+/// agree exactly (cycles asserted per instruction, energy bitwise in tests).
 struct ProgramStats {
   std::uint64_t instructions = 0;
   std::uint64_t cycles = 0;

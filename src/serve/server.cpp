@@ -115,7 +115,10 @@ detail::Ticket Server::make_ticket(const VecOp& op, SubmitOptions opts) {
   // not inside the scheduler.
   const std::size_t len_a = op.ra ? static_cast<std::size_t>(op.ra.elements) : op.a.size();
   const std::size_t len_b = op.rb ? static_cast<std::size_t>(op.rb.elements) : op.b.size();
-  BPIM_REQUIRE(len_a == len_b, "operand vectors must have equal length");
+  if (op.kind == OpKind::Not)
+    BPIM_REQUIRE(len_b == 0 && !op.rb, "NOT is unary: operand side b must stay empty");
+  else
+    BPIM_REQUIRE(len_a == len_b, "operand vectors must have equal length");
   BPIM_REQUIRE(macro::is_supported_precision(op.bits), "unsupported precision");
   BPIM_REQUIRE(!op.ra || op.a.empty(), "operand side has both a span and a resident handle");
   BPIM_REQUIRE(!op.rb || op.b.empty(), "operand side has both a span and a resident handle");

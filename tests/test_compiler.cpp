@@ -220,5 +220,74 @@ TEST(FusionCompiler, FuzzedForwardExecutesBitIdenticalToReference) {
   }
 }
 
+TEST(OpCompiler, EmitsVerifiedSingleOpProgramsForEveryKind) {
+  const ArrayGeometry g{};
+  OpCompiler oc(g);
+  const RowRef d1 = RowRef::dummy(1);
+  const RowRef d2 = RowRef::dummy(2);
+  const Program* programs[] = {
+      &oc.add(RowRef::main(0), RowRef::main(1), 8),
+      &oc.sub(RowRef::main(0), RowRef::main(1), 8),
+      &oc.mult(RowRef::main(0), RowRef::main(1), 8),
+      &oc.add_shift(RowRef::main(0), RowRef::main(1), 8, d2),
+      &oc.unary(Op::Not, RowRef::main(0), d1, 8),
+      &oc.logic(periph::LogicFn::Xor, RowRef::main(0), RowRef::main(1)),
+  };
+  for (const Program* p : programs) {
+    ASSERT_EQ(p->size(), 1u);
+    const VerifyReport rep = verify_program(*p, g);
+    EXPECT_EQ(rep.errors, 0u) << rep.annotate(*p);
+    EXPECT_EQ(rep.warnings, 0u) << rep.annotate(*p);
+  }
+  EXPECT_EQ(oc.cache_stats().compiled, 6u);
+  EXPECT_EQ(oc.cache_stats().hits, 0u);
+}
+
+TEST(OpCompiler, CachesByKindBitsAndPlacement) {
+  const ArrayGeometry g{};
+  OpCompiler oc(g);
+  const Program& first = oc.add(RowRef::main(0), RowRef::main(1), 8);
+  // Same (kind, bits, rows) -> the identical cached object, counted as a hit.
+  EXPECT_EQ(&oc.add(RowRef::main(0), RowRef::main(1), 8), &first);
+  // Different bits or placement -> distinct programs, counted as misses.
+  EXPECT_NE(&oc.add(RowRef::main(0), RowRef::main(1), 4), &first);
+  EXPECT_NE(&oc.add(RowRef::main(2), RowRef::main(3), 8), &first);
+  const auto stats = oc.cache_stats();
+  EXPECT_EQ(stats.compiled, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+}
+
+TEST(OpCompiler, RejectsVerifierDiagnosticsAndPinnedClobber) {
+  const ArrayGeometry g{};
+  // Dual-WL compute needs two distinct rows; same-row draws a diagnostic.
+  OpCompiler plain(g);
+  EXPECT_THROW((void)plain.add(RowRef::main(3), RowRef::main(3), 8),
+               std::invalid_argument);
+
+  // Rows [100, 120) pinned: reading them is fine, writing them is not.
+  OpCompiler oc(g, {{100, 20}});
+  EXPECT_NO_THROW((void)oc.mult(RowRef::main(0), RowRef::main(104), 8));
+  try {
+    (void)oc.unary(Op::Copy, RowRef::main(0), RowRef::main(104), 8);
+    FAIL() << "expected the pinned-row write to be rejected";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("resident-clobber"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(OpCompiler, SetPinnedClearsCache) {
+  const ArrayGeometry g{};
+  OpCompiler oc(g);
+  (void)oc.add(RowRef::main(0), RowRef::main(1), 8);
+  oc.set_pinned({{100, 20}});
+  // The stale program is gone: the same request recompiles against the new
+  // residency map instead of hitting the old entry.
+  (void)oc.add(RowRef::main(0), RowRef::main(1), 8);
+  const auto stats = oc.cache_stats();
+  EXPECT_EQ(stats.compiled, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+}
+
 }  // namespace
 }  // namespace bpim::macro

@@ -10,6 +10,8 @@
 #include "app/vector_engine.hpp"
 #include "common/rng.hpp"
 #include "engine/execution_engine.hpp"
+#include "macro/cost_model.hpp"
+#include "macro/program.hpp"
 
 namespace bpim::engine {
 namespace {
@@ -57,6 +59,7 @@ TEST_P(EngineDeterminismP, AllOpsMatchSerialExactly) {
       {OpKind::Add, bits, periph::LogicFn::And, {}, {}},
       {OpKind::Sub, bits, periph::LogicFn::And, {}, {}},
       {OpKind::Mult, bits, periph::LogicFn::And, {}, {}},
+      {OpKind::AddShift, bits, periph::LogicFn::And, {}, {}},
       {OpKind::Logic, bits, periph::LogicFn::Xor, {}, {}},
   };
   for (const std::size_t n : sizes) {
@@ -70,6 +73,10 @@ TEST_P(EngineDeterminismP, AllOpsMatchSerialExactly) {
       expect_identical(serial, parallel,
                        (std::string(to_string(op.kind)) + " n=" + std::to_string(n)).c_str());
     }
+    // NOT is unary: side b stays empty.
+    const VecOp not_op{OpKind::Not, bits, periph::LogicFn::And, a, {}};
+    expect_identical(run_fresh(not_op, 1), run_fresh(not_op, threads),
+                     ("NOT n=" + std::to_string(n)).c_str());
   }
 }
 
@@ -89,6 +96,16 @@ TEST(ExecutionEngine, MatchesScalarReference) {
   op.kind = OpKind::Mult;
   auto mul = eng.run(op);
   for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(mul.values[i], a[i] * b[i]);
+
+  // ADD-Shift: the sum, shifted up one position in-field (bit 0 zeroed).
+  op.kind = OpKind::AddShift;
+  auto as = eng.run(op);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(as.values[i], ((a[i] + b[i]) << 1) & 0xFF);
+
+  const VecOp un{OpKind::Not, bits, periph::LogicFn::And, a, {}};
+  auto nt = eng.run(un);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(nt.values[i], ~a[i] & 0xFF);
 }
 
 TEST(ExecutionEngine, BatchMatchesIndividualRuns) {
@@ -247,6 +264,119 @@ TEST(ExecutionEngine, VectorEngineBatchAggregatesLastRun) {
   EXPECT_EQ(ve.last_run().elements, 120u);
   EXPECT_EQ(ve.last_run().elapsed_cycles, cycles);
   EXPECT_EQ(ve.last_run().energy.si(), energy.si());
+}
+
+TEST(ExecutionEngine, InstructionStreamConservesLedger) {
+  // The unified execution model's conservation law at the engine level: the
+  // instruction-stream account in RunStats (one single-op program per chunk)
+  // must reproduce what the macro ledgers charged -- chunk count as the
+  // instruction count, CostModel pricing for cycles, and the exact nested
+  // per-bank energy fold, bitwise.
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{4});
+  const unsigned bits = 8;
+  const std::size_t n = 300;
+  const auto a = random_vec(n, bits, 21);
+  const auto b = random_vec(n, bits, 22);
+  const macro::CostModel cost(mem.macro(0).config());
+  const std::size_t macros = mem.macro_count();
+  const auto d1 = array::RowRef::dummy(macro::ImcMacro::kDummyOperand);
+  const auto d2 = array::RowRef::dummy(macro::ImcMacro::kDummyAccum);
+
+  struct Case {
+    VecOp op;
+    macro::Instruction inst;
+  };
+  std::vector<Case> cases;
+  const auto make = [&](OpKind kind, macro::Op mop, periph::LogicFn fn,
+                        std::optional<array::RowRef> dest) {
+    Case c;
+    c.op = VecOp{kind, bits, fn, a,
+                 kind == OpKind::Not ? std::span<const std::uint64_t>{}
+                                     : std::span<const std::uint64_t>(b)};
+    c.inst.op = mop;
+    c.inst.logic_fn = fn;
+    c.inst.bits = bits;
+    c.inst.a = array::RowRef::main(0);
+    c.inst.b = array::RowRef::main(1);
+    c.inst.dest = dest;
+    cases.push_back(std::move(c));
+  };
+  make(OpKind::Add, macro::Op::Add, periph::LogicFn::And, std::nullopt);
+  make(OpKind::Sub, macro::Op::Sub, periph::LogicFn::And, std::nullopt);
+  make(OpKind::Mult, macro::Op::Mult, periph::LogicFn::And, std::nullopt);
+  make(OpKind::AddShift, macro::Op::AddShift, periph::LogicFn::And, d2);
+  make(OpKind::Not, macro::Op::Not, periph::LogicFn::And, d1);
+  make(OpKind::Logic, macro::Op::And, periph::LogicFn::Xor, std::nullopt);
+
+  for (const Case& c : cases) {
+    const OpResult res = eng.run(c.op);
+    const std::size_t per_chunk =
+        c.op.kind == OpKind::Mult ? eng.mult_units_per_row(bits) : eng.words_per_row(bits);
+    const std::uint64_t chunks = (n + per_chunk - 1) / per_chunk;
+    EXPECT_EQ(res.stats.instructions, chunks) << to_string(c.op.kind);
+
+    const macro::InstructionCost ic = cost.instruction_cost(c.inst);
+    const std::uint64_t layers = (chunks + macros - 1) / macros;
+    EXPECT_EQ(res.stats.elapsed_cycles, ic.cycles * layers) << to_string(c.op.kind);
+
+    // Replay the engine's merge: per-macro fold in chunk order, then banks.
+    std::vector<Joule> em(macros, Joule{0.0});
+    for (std::uint64_t ch = 0; ch < chunks; ++ch) em[ch % macros] += ic.energy;
+    Joule want{0.0};
+    const std::size_t per_bank = mem.config().macros_per_bank;
+    for (std::size_t bk = 0; bk < mem.bank_count(); ++bk) {
+      Joule bank{0.0};
+      for (std::size_t i = 0; i < mem.bank(bk).macro_count(); ++i)
+        bank += em[bk * per_bank + i];
+      want += bank;
+    }
+    EXPECT_EQ(res.stats.energy.si(), want.si()) << to_string(c.op.kind);
+  }
+}
+
+TEST(ExecutionEngine, SingleOpProgramsAreCachedAcrossRuns) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{4});
+  const auto a = random_vec(300, 8, 23);
+  const auto b = random_vec(300, 8, 24);
+  const VecOp op{OpKind::Add, 8, periph::LogicFn::And, a, b};
+  EXPECT_EQ(eng.op_program_cache_stats().compiled, 0u);
+  (void)eng.run(op);
+  // 300 words in 16-word chunks over 4 macros -> 5 row pairs -> 5 programs.
+  const auto first = eng.op_program_cache_stats();
+  EXPECT_EQ(first.compiled, 5u);
+  EXPECT_EQ(first.hits, 0u);
+  (void)eng.run(op);
+  const auto second = eng.op_program_cache_stats();
+  EXPECT_EQ(second.compiled, first.compiled);  // nothing recompiled
+  EXPECT_EQ(second.hits, 5u);
+}
+
+TEST(ExecutionEngine, ConcurrentBatchOverProgramPath) {
+  // TSan fodder: 8 workers share the OpCompiler cache and per-macro
+  // controllers across a mixed-kind batch; results must still be the serial
+  // answers, and the instruction account must be populated.
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{8});
+  const unsigned bits = 8;
+  const auto a = random_vec(200, bits, 25);
+  const auto b = random_vec(200, bits, 26);
+  const std::vector<VecOp> ops = {
+      {OpKind::Mult, bits, periph::LogicFn::And, a, b},
+      {OpKind::Add, bits, periph::LogicFn::And, a, b},
+      {OpKind::AddShift, bits, periph::LogicFn::And, a, b},
+      {OpKind::Not, bits, periph::LogicFn::And, a, {}},
+      {OpKind::Sub, bits, periph::LogicFn::And, a, b},
+      {OpKind::Logic, bits, periph::LogicFn::Xor, a, b},
+  };
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto results = eng.run_batch(ops);
+    ASSERT_EQ(results.size(), ops.size());
+    for (std::size_t k = 0; k < ops.size(); ++k)
+      expect_identical(run_fresh(ops[k], 1), results[k], to_string(ops[k].kind));
+    EXPECT_GT(eng.last_batch().instructions, 0u);
+  }
 }
 
 TEST(ExecutionEngine, CapacityOverflowRejected) {

@@ -1,9 +1,15 @@
-// Per-component energy breakdown and charged standard SRAM accesses.
+// Per-component energy breakdown and charged standard SRAM accesses, plus
+// the conservation law of the unified execution model: program execution is
+// priced instruction-by-instruction through macro::CostModel, and those
+// totals must equal the legacy cycle/energy ledger EXACTLY -- integer
+// cycles, bitwise-identical energy doubles.
 
 #include <gtest/gtest.h>
 
 #include "energy/energy_model.hpp"
+#include "macro/cost_model.hpp"
 #include "macro/imc_macro.hpp"
+#include "macro/program.hpp"
 
 namespace bpim::macro {
 namespace {
@@ -57,6 +63,58 @@ TEST(MacroAccounting, ResetClearsBreakdown) {
   m.add_rows(RowRef::main(0), RowRef::main(1), 8);
   m.reset_counters();
   EXPECT_DOUBLE_EQ(breakdown_sum(m), 0.0);
+}
+
+TEST(MacroAccounting, ProgramTotalsConserveLedgerTotalsExactly) {
+  // One instruction of every kind; the instruction-stream account returned
+  // by run() must equal the executing macro's ledger: cycles as integers,
+  // energy bitwise (the CostModel replays the exact charge fold).
+  ImcMacro m{MacroConfig{}};
+  MacroController ctl(m, VerifyMode::VerifyFirst);
+  Program p;
+  p.add(RowRef::main(0), RowRef::main(1), 8);
+  p.sub(RowRef::main(2), RowRef::main(3), 8);
+  p.mult(RowRef::main(4), RowRef::main(5), 4);
+  p.add_shift(RowRef::main(6), RowRef::main(7), 8, RowRef::dummy(ImcMacro::kDummyAccum));
+  p.unary(Op::Not, RowRef::main(8), RowRef::dummy(ImcMacro::kDummyOperand), 8);
+  p.unary(Op::Shift, RowRef::main(9), RowRef::dummy(ImcMacro::kDummyOperand), 8);
+  p.logic(periph::LogicFn::Xor, RowRef::main(10), RowRef::main(11));
+  const ProgramStats stats = ctl.run(p);
+  EXPECT_EQ(stats.instructions, 7u);
+  EXPECT_EQ(stats.cycles, m.total_cycles());
+  EXPECT_EQ(stats.energy.si(), m.total_energy().si());  // bitwise, not NEAR
+  EXPECT_EQ(stats.fused_cycles_saved, 0u);
+
+  // The static program_cost agrees with the executed account in full.
+  const CostModel cost(m.config());
+  const ProgramStats priced = cost.program_cost(p);
+  EXPECT_EQ(priced.instructions, stats.instructions);
+  EXPECT_EQ(priced.cycles, stats.cycles);
+  EXPECT_EQ(priced.energy.si(), stats.energy.si());
+  EXPECT_EQ(priced.elapsed.si(), stats.elapsed.si());
+}
+
+TEST(MacroAccounting, FusedChainTotalsConserveLedgerTotals) {
+  // The chained-MAC discounts change both cycles and energy (skipped D1
+  // staging); the per-instruction pricing must track the executed datapath
+  // through every discount combination.
+  ImcMacro m{MacroConfig{}};
+  MacroController ctl(m, VerifyMode::VerifyFirst);
+  Program p;
+  p.mult(RowRef::main(0), RowRef::main(1), 8);  // full price (N + 2)
+  p.mult(RowRef::main(0), RowRef::main(3), 8);  // pipelined + D1-staged (-2)
+  p.mult(RowRef::main(4), RowRef::main(5), 8);  // pipelined only (-1)
+  const ProgramStats stats = ctl.run(p, nullptr, /*fuse_mac_chains=*/true);
+  EXPECT_EQ(stats.cycles, m.total_cycles());
+  EXPECT_EQ(stats.energy.si(), m.total_energy().si());
+  EXPECT_EQ(stats.fused_cycles_saved, 3u);
+  EXPECT_EQ(stats.cycles, 3u * 10u - 3u);
+
+  const CostModel cost(m.config());
+  const ProgramStats priced = cost.program_cost(p, /*fuse_mac_chains=*/true);
+  EXPECT_EQ(priced.cycles, stats.cycles);
+  EXPECT_EQ(priced.fused_cycles_saved, stats.fused_cycles_saved);
+  EXPECT_EQ(priced.energy.si(), stats.energy.si());
 }
 
 TEST(MacroAccounting, StandardReadIsChargedAndCorrect) {

@@ -5,7 +5,9 @@
 
 #include "common/rng.hpp"
 #include "energy/calibration.hpp"
+#include "macro/cost_model.hpp"
 #include "macro/imc_macro.hpp"
+#include "macro/program.hpp"
 
 namespace bpim::macro {
 namespace {
@@ -82,6 +84,94 @@ TEST(MacroEnergyTable2, SimulatedMacroReproducesTable2) {
     }
     EXPECT_NEAR(fj, t.paper_fj, 0.06 * t.paper_fj)
         << op << " " << t.bits << "b sep=" << (t.sep == SeparatorMode::Enabled);
+  }
+}
+
+TEST(MacroEnergyConservation, InstructionCostMatchesLedgerBitwise) {
+  // The conservation law, per instruction: CostModel must replay the exact
+  // charge sequence of the executing datapath -- same components, same bit
+  // counts, same fold order -- so cycles match as integers and energy as
+  // bitwise-identical doubles, across precisions, separator modes and
+  // supply voltages.
+  const RowRef d1 = RowRef::dummy(ImcMacro::kDummyOperand);
+  const RowRef d2 = RowRef::dummy(ImcMacro::kDummyAccum);
+  for (const auto sep : {SeparatorMode::Enabled, SeparatorMode::Disabled}) {
+    for (const double vdd : {0.9, 0.6}) {
+      MacroConfig cfg;
+      cfg.separator = sep;
+      cfg.vdd = Volt(vdd);
+      ImcMacro m{cfg};
+      const CostModel cost(cfg);
+      const auto expect_priced = [&](const Instruction& inst, const char* what) {
+        const InstructionCost priced = cost.instruction_cost(inst);
+        EXPECT_EQ(priced.cycles, m.last_op().cycles)
+            << what << " bits=" << inst.bits << " vdd=" << vdd
+            << " sep=" << (sep == SeparatorMode::Enabled);
+        EXPECT_EQ(priced.energy.si(), m.last_op().op_energy.si())
+            << what << " bits=" << inst.bits << " vdd=" << vdd
+            << " sep=" << (sep == SeparatorMode::Enabled);
+      };
+      for (const unsigned bits : {2u, 4u, 8u, 16u}) {
+        Instruction inst;
+        inst.bits = bits;
+
+        inst.op = Op::Add;
+        inst.a = RowRef::main(0);
+        inst.b = RowRef::main(1);
+        m.add_rows(inst.a, inst.b, bits);
+        expect_priced(inst, "ADD");
+
+        inst.dest = d2;
+        m.add_rows(inst.a, inst.b, bits, d2);
+        expect_priced(inst, "ADD->D2");
+        inst.dest.reset();
+
+        inst.op = Op::Sub;
+        m.sub_rows(inst.a, inst.b, bits);
+        expect_priced(inst, "SUB");
+
+        inst.op = Op::AddShift;
+        inst.dest = d2;
+        m.add_shift_rows(inst.a, inst.b, bits, d2);
+        expect_priced(inst, "ADD-SHIFT");
+        inst.dest.reset();
+
+        inst.op = Op::Not;
+        inst.dest = d1;
+        m.unary_row(Op::Not, inst.a, d1, bits);
+        expect_priced(inst, "NOT");
+        inst.dest.reset();
+
+        inst.op = Op::And;
+        inst.logic_fn = periph::LogicFn::Xor;
+        m.logic_rows(periph::LogicFn::Xor, inst.a, inst.b);
+        expect_priced(inst, "LOGIC");
+
+        inst.op = Op::Mult;
+        m.mult_rows(inst.a, inst.b, bits);
+        expect_priced(inst, "MULT");
+
+        // Chained MULTs: pipelined, and pipelined + D1-staged.
+        Instruction prev = inst;
+        m.mult_rows_chained(RowRef::main(2), RowRef::main(3), bits,
+                            /*d1_staged=*/false, /*pipelined=*/true);
+        Instruction chained = inst;
+        chained.a = RowRef::main(2);
+        chained.b = RowRef::main(3);
+        const InstructionCost piped = cost.instruction_cost(chained, &prev);
+        EXPECT_EQ(piped.cycles, m.last_op().cycles) << "MULT piped bits=" << bits;
+        EXPECT_EQ(piped.energy.si(), m.last_op().op_energy.si()) << "MULT piped bits=" << bits;
+
+        prev = chained;
+        m.mult_rows_chained(chained.a, RowRef::main(5), bits,
+                            /*d1_staged=*/true, /*pipelined=*/true);
+        Instruction staged = chained;
+        staged.b = RowRef::main(5);
+        const InstructionCost st = cost.instruction_cost(staged, &prev);
+        EXPECT_EQ(st.cycles, m.last_op().cycles) << "MULT staged bits=" << bits;
+        EXPECT_EQ(st.energy.si(), m.last_op().op_energy.si()) << "MULT staged bits=" << bits;
+      }
+    }
   }
 }
 
