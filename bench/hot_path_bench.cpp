@@ -13,6 +13,10 @@
 //              every op: cached OpCompiler program run by a VerifyFirst
 //              MacroController. Its reference is the direct mult_rows call,
 //              so the reported ratio IS the unified-dispatch overhead.
+//   mult_adaptive_dense  mult_rows with the adaptive policy enabled on
+//              operands built so nothing can narrow or skip: the planner
+//              scans and saves zero cycles, so ns/ref-ns is the pure host
+//              cost of the operand scan (must stay within 5% at 8-bit).
 //   logic      ImcMacro::logic_rows (word-parallel before and after this PR;
 //              reported for the trajectory, no reference)
 //
@@ -113,6 +117,24 @@ std::vector<KernelResult> bench_kernels(std::size_t iters) {
     mult.ref_ns_per_op = time_ns(iters / 16 + 1,
                                  [&] { (void)baseline::naive_mult_datapath(row_a, row_b, bits); });
     out.push_back(mult);
+
+    // Adaptive planning on operands with every multiplier MSB set: the scan
+    // finds nothing to narrow or skip (modeled cycles identical to plain
+    // mult by construction), so the ratio to the plain call on the same
+    // data is the planner's host overhead.
+    const std::uint64_t top = 1ull << (bits - 1);
+    for (std::size_t u = 0; u < units; ++u) {
+      m.poke_mult_operand(0, u, bits, top | (rng.next_u64() & (top - 1)));
+      m.poke_mult_operand(1, u, bits, top | (rng.next_u64() & (top - 1)));
+    }
+    const macro::AdaptivePolicy adaptive{true, true};
+    KernelResult ma{"mult_adaptive_dense", bits, 0, 0};
+    ma.ns_per_op = time_ns(iters / 4 + 1, [&] {
+      (void)m.mult_rows(RowRef::main(0), RowRef::main(1), bits, adaptive);
+    });
+    ma.ref_ns_per_op = time_ns(
+        iters / 4 + 1, [&] { (void)m.mult_rows(RowRef::main(0), RowRef::main(1), bits); });
+    out.push_back(ma);
 
     // The unified execution model's dispatch cost: the same MULT through a
     // cached single-op program and a VerifyFirst controller (the engine's
@@ -266,11 +288,20 @@ int main(int argc, char** argv) {
   write_json(out_path, smoke, kernels, mlp);
   std::cout << "\nwrote " << out_path << "\n";
 
-  // The tentpole's acceptance bar: >=5x on the 8-bit MULT path.
-  for (const auto& k : kernels)
+  // Acceptance bars: >=5x on the 8-bit MULT path, and the adaptive
+  // planner's dense-operand host overhead within 5% at 8-bit.
+  for (const auto& k : kernels) {
     if (k.name == "mult" && k.bits == 8 && k.speedup() < 5.0) {
       std::cerr << "WARNING: 8-bit mult speedup " << k.speedup() << " is below the 5x target\n";
       return 1;
     }
+    if (k.name == "mult_adaptive_dense" && k.bits == 8 &&
+        k.ns_per_op > 1.05 * k.ref_ns_per_op) {
+      std::cerr << "WARNING: adaptive planning costs "
+                << TextTable::num(k.ns_per_op / k.ref_ns_per_op, 3)
+                << "x the plain 8-bit mult on dense operands (>1.05x budget)\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -144,6 +144,7 @@ std::vector<std::int64_t> FirFilter::apply_on(SignedVectorOps& ops,
       stats_.load_cycles += run.load_cycles;
       stats_.load_cycles_saved += run.load_cycles_saved;
       stats_.fused_cycles_saved += run.fused_cycles_saved;
+      stats_.adaptive_cycles_saved += run.adaptive_cycles_saved;
       stats_.energy += run.energy;
       const std::size_t d = delays[k];
       for (std::size_t n = d; n < x.size(); ++n) y[n] += partials[k][n - d];
@@ -168,6 +169,7 @@ std::vector<std::int64_t> FirFilter::apply_on(SignedVectorOps& ops,
     stats_.cycles += run.elapsed_cycles;
     stats_.load_cycles += run.load_cycles;
     stats_.load_cycles_saved += run.load_cycles_saved;
+    stats_.adaptive_cycles_saved += run.adaptive_cycles_saved;
     stats_.energy += run.energy;
     for (std::size_t n = 0; n < x.size(); ++n) y[n] += partials[k][n];
   }

@@ -28,6 +28,9 @@ struct FirStats {
   /// Compute cycles the fused whole-filter program saved vs op-at-a-time
   /// Table-1 issue (pinned blocks only; `cycles` is already net of this).
   std::uint64_t fused_cycles_saved = 0;
+  /// Compute cycles the adaptive policy (MULT operand narrowing / zero
+  /// skipping) saved across the taps; `cycles` is already net of this.
+  std::uint64_t adaptive_cycles_saved = 0;
   Joule energy{0.0};
 };
 

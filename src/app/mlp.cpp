@@ -58,6 +58,7 @@ void merge_layer(LayerStats& total, const LayerStats& s) {
   total.load_cycles += s.load_cycles;
   total.load_cycles_saved += s.load_cycles_saved;
   total.fused_cycles_saved += s.fused_cycles_saved;
+  total.adaptive_cycles_saved += s.adaptive_cycles_saved;
   total.energy += s.energy;
   total.elapsed += s.elapsed;
 }

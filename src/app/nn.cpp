@@ -182,6 +182,7 @@ std::vector<double> QuantizedLinear::forward_on(VectorEngine& ve,
     stats_.load_cycles += results[j].stats.load_cycles;
     stats_.load_cycles_saved += results[j].stats.load_cycles_saved;
     stats_.fused_cycles_saved += results[j].stats.fused_cycles_saved;
+    stats_.adaptive_cycles_saved += results[j].stats.adaptive_cycles_saved;
     stats_.energy += results[j].stats.energy;
     stats_.elapsed += results[j].stats.elapsed_time;
     const double real = static_cast<double>(acc) * weights_[j].scale * qx.scale;

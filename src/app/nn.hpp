@@ -41,6 +41,10 @@ struct LayerStats {
   /// Compute cycles the fused whole-forward program saved vs op-at-a-time
   /// Table-1 issue (pinned forwards only; `cycles` is already net of this).
   std::uint64_t fused_cycles_saved = 0;
+  /// Compute cycles the adaptive policy (MULT operand narrowing / zero
+  /// skipping on the pinned engine) saved; `cycles` is already net of this.
+  /// Sparse activations (ReLU outputs) are where this pays off.
+  std::uint64_t adaptive_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed{0.0};
 };

@@ -121,6 +121,7 @@ std::vector<engine::OpResult> VectorEngine::run_ops(const std::vector<engine::Ve
     last_.elapsed_time += r.stats.elapsed_time;
     last_.load_cycles += r.stats.load_cycles;
     last_.load_cycles_saved += r.stats.load_cycles_saved;
+    last_.adaptive_cycles_saved += r.stats.adaptive_cycles_saved;
   }
   return results;
 }
@@ -141,6 +142,7 @@ std::vector<engine::OpResult> VectorEngine::run_forward(
     last_.load_cycles += r.stats.load_cycles;
     last_.load_cycles_saved += r.stats.load_cycles_saved;
     last_.fused_cycles_saved += r.stats.fused_cycles_saved;
+    last_.adaptive_cycles_saved += r.stats.adaptive_cycles_saved;
   }
   return results;
 }

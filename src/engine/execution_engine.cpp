@@ -257,7 +257,9 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
   // are the op's accounting source.
   const std::span<const std::uint64_t> av = a;
   const std::span<const std::uint64_t> bv = b;
+  const macro::AdaptivePolicy pol = adaptive_policy();
   std::vector<std::uint64_t> cycles_m(macros, 0);
+  std::vector<std::uint64_t> adaptive_m(macros, 0);
   std::vector<std::uint64_t> insts_m(macros, 0);
   std::vector<Joule> energy_m(macros, Joule(0.0));
   pool_.parallel_for(std::min(chunks, macros), [&](std::size_t m) {
@@ -277,8 +279,10 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
         if (!unary && res_b == nullptr) mac.poke_words(r_b, 0, op.bits, bv.subspan(pos, len));
       }
       trace.clear();
-      const macro::ProgramStats ps = ctl.run(*progs[row_pair], &trace);
+      const macro::ProgramStats ps = ctl.run(*progs[row_pair], &trace,
+                                             /*fuse_mac_chains=*/false, pol);
       cycles_m[m] += ps.cycles;
+      adaptive_m[m] += ps.adaptive_cycles_saved;
       insts_m[m] += ps.instructions;
       energy_m[m] += ps.energy;
       const BitVector& result = trace.back().result;
@@ -299,10 +303,17 @@ OpResult ExecutionEngine::run_one(const VecOp& op, OpAccount& acct) {
   // to mem_.total_energy(). Cycle agreement with the ledger is asserted
   // here; the energy half of the conservation law is asserted in tests.
   res.stats.elements = n;
+  std::uint64_t dense_elapsed = 0;  // the policy-off makespan of this stream
   for (std::size_t m = 0; m < macros; ++m) {
     res.stats.elapsed_cycles = std::max(res.stats.elapsed_cycles, cycles_m[m]);
+    dense_elapsed = std::max(dense_elapsed, cycles_m[m] + adaptive_m[m]);
     res.stats.instructions += insts_m[m];
   }
+  // Adaptive savings at the makespan level: unfused single-op programs have
+  // cycles_m + adaptive_m == static cycles exactly (per-instruction
+  // conservation), so dense_elapsed IS what a policy-off run would take and
+  // the law dense == elapsed + adaptive_cycles_saved holds exactly.
+  res.stats.adaptive_cycles_saved = dense_elapsed - res.stats.elapsed_cycles;
   const std::size_t per_bank = mem_.config().macros_per_bank;
   for (std::size_t bk = 0; bk < mem_.bank_count(); ++bk) {
     Joule bank_energy{0.0};
@@ -360,6 +371,7 @@ std::vector<OpResult> ExecutionEngine::run_batch(std::span<const VecOp> ops) {
     batch_.load_cycles += acct.load_cycles;
     batch_.load_cycles_saved += acct.saved_cycles;
     batch_.compute_cycles += s.elapsed_cycles;
+    batch_.adaptive_cycles_saved += s.adaptive_cycles_saved;
     batch_.energy += s.energy;
     // Double-buffered schedule: op k's load hides behind op k-1's compute --
     // but only when both ops fit in the array at once (their transient
@@ -550,7 +562,9 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
   // c = l*M + m) and run each macro's fused program on the chained datapath.
   // Per-macro programs and RNG streams are independent, so the parallel walk
   // stays bit-identical to a serial one.
+  const macro::AdaptivePolicy pol = adaptive_policy();
   std::vector<std::vector<macro::TraceEntry>> traces(macros);
+  std::vector<macro::ProgramStats> ps_m(macros);
   pool_.parallel_for(active, [&](std::size_t m) {
     auto& mac = mem_.macro(m);
     for (std::size_t c = m; c < plan.chunks; c += macros) {
@@ -560,7 +574,7 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
     }
     macro::MacroController ctl(mac, macro::VerifyMode::VerifyFirst);
     traces[m].reserve(ff.programs[m].size());
-    (void)ctl.run(ff.programs[m], &traces[m], /*fuse_mac_chains=*/true);
+    ps_m[m] = ctl.run(ff.programs[m], &traces[m], /*fuse_mac_chains=*/true, pol);
   });
 
   // Extraction: macro m's trace entry l*J + j is layer l of op j, covering
@@ -597,14 +611,19 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
   for (std::size_t j = 0; j < ops; ++j) {
     RunStats& s = results[j].stats;
     s.elements = plan.elements;
-    for (std::size_t l = 0; l < layers0; ++l) s.elapsed_cycles += traces[0][l * ops + j].cycles;
+    for (std::size_t l = 0; l < layers0; ++l) {
+      s.elapsed_cycles += traces[0][l * ops + j].cycles;
+      s.adaptive_cycles_saved += traces[0][l * ops + j].adaptive_cycles_saved;
+    }
     for (std::size_t m = 0; m < active; ++m) {
       const std::size_t layers_m = traces[m].size() / ops;
       s.instructions += layers_m;  // one MULT per layer per macro
       for (std::size_t l = 0; l < layers_m; ++l) s.energy += traces[m][l * ops + j].op_energy;
     }
     s.elapsed_time = Second(static_cast<double>(s.elapsed_cycles) * tick);
-    s.fused_cycles_saved = table_mult * layers0 - s.elapsed_cycles;
+    // Per-instruction conservation splits each MULT's Table 1 cost three
+    // ways exactly: executed + fused discount + adaptive discount.
+    s.fused_cycles_saved = table_mult * layers0 - s.elapsed_cycles - s.adaptive_cycles_saved;
     fused_saved_total += s.fused_cycles_saved;
     s.load_cycles = (plan.loaded[j] ? plan.layers : 0) +
                     (j == 0 ? plan.layers + pending : 0);
@@ -626,6 +645,13 @@ std::vector<OpResult> ExecutionEngine::run_forward(std::span<const ResidentOpera
   // across, and nothing to hide the single activation load behind.
   batch_.pipelined_cycles = batch_.serial_cycles;
   batch_.fused_cycles_saved = fused_saved_total;
+  // Makespan-level adaptive account: per-macro cycles + adaptive equals the
+  // same-fusion-pattern policy-off walk, so the max-over-macros difference
+  // is exactly what the policy took off the batch's critical path.
+  std::uint64_t dense_elapsed = 0;
+  for (std::size_t m = 0; m < active; ++m)
+    dense_elapsed = std::max(dense_elapsed, ps_m[m].cycles + ps_m[m].adaptive_cycles_saved);
+  batch_.adaptive_cycles_saved = dense_elapsed - batch_.compute_cycles;
   batch_.energy = mem_.total_energy();
   batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) * tick);
   ++fusion_stats_.fused_runs;
@@ -677,7 +703,9 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
   }
   mem_.reset_counters();
 
+  const macro::AdaptivePolicy pol = adaptive_policy();
   std::vector<std::vector<macro::TraceEntry>> traces(macros);
+  std::vector<macro::ProgramStats> ps_m(macros);
   const std::size_t active = std::min(chunks, macros);
   pool_.parallel_for(active, [&](std::size_t m) {
     auto& mac = mem_.macro(m);
@@ -694,7 +722,7 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
     }
     macro::MacroController ctl(mac, macro::VerifyMode::VerifyFirst);
     traces[m].reserve(programs[m].size());
-    (void)ctl.run(programs[m], &traces[m], /*fuse_mac_chains=*/true);
+    ps_m[m] = ctl.run(programs[m], &traces[m], /*fuse_mac_chains=*/true, pol);
   });
 
   // The last link of each layer block drives the chain's value out.
@@ -729,6 +757,10 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
   res.stats.elapsed_time = Second(static_cast<double>(res.stats.elapsed_cycles) * tick);
   res.stats.load_cycles = load;
   res.stats.load_cycles_saved = saved;
+  std::uint64_t dense_elapsed = 0;  // same-fusion-pattern policy-off makespan
+  for (std::size_t m = 0; m < active; ++m)
+    dense_elapsed = std::max(dense_elapsed, ps_m[m].cycles + ps_m[m].adaptive_cycles_saved);
+  res.stats.adaptive_cycles_saved = dense_elapsed - res.stats.elapsed_cycles;
 
   batch_ = BatchStats{};
   batch_.ops = 1;
@@ -739,6 +771,7 @@ OpResult ExecutionEngine::run_chain(const ChainRequest& req) {
   batch_.compute_cycles = res.stats.elapsed_cycles;
   batch_.serial_cycles = load + batch_.compute_cycles;
   batch_.pipelined_cycles = batch_.serial_cycles;
+  batch_.adaptive_cycles_saved = res.stats.adaptive_cycles_saved;
   batch_.energy = res.stats.energy;
   batch_.elapsed_time = Second(static_cast<double>(batch_.pipelined_cycles) * tick);
   ++fusion_stats_.chain_runs;

@@ -38,6 +38,7 @@
 // that side's load cycles, and BatchStats::load_cycles_saved records the
 // win.
 
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <unordered_map>
@@ -150,6 +151,27 @@ class ExecutionEngine {
   /// of one).
   [[nodiscard]] const BatchStats& last_batch() const { return batch_; }
 
+  // ---- adaptive execution (macro::AdaptivePolicy) -------------------------
+  /// Set the sparsity/precision-adaptive policy every subsequent dispatch
+  /// (run / run_batch / run_forward / run_chain) executes under. Outputs
+  /// are bit-identical at any setting; only the modeled cycle account moves
+  /// (the win lands in RunStats/BatchStats::adaptive_cycles_saved).
+  /// Thread-safe: may race in-flight dispatches, each of which snapshots
+  /// the policy once at entry.
+  void set_adaptive_policy(macro::AdaptivePolicy policy) {
+    adaptive_policy_.store(
+        static_cast<std::uint8_t>((policy.narrow_precision ? 1u : 0u) |
+                                  (policy.skip_zero ? 2u : 0u)),
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] macro::AdaptivePolicy adaptive_policy() const {
+    const std::uint8_t v = adaptive_policy_.load(std::memory_order_relaxed);
+    macro::AdaptivePolicy p;
+    p.narrow_precision = (v & 1u) != 0;
+    p.skip_zero = (v & 2u) != 0;
+    return p;
+  }
+
   // ---- fusion (engine/fusion.hpp; compiler in macro/compiler.hpp) ---------
 
   /// Execute a whole forward -- every weight handle against one shared
@@ -243,6 +265,10 @@ class ExecutionEngine {
   obs::TrackId trace_track_ = 0;
   BatchStats batch_{};
   FusionStats fusion_stats_{};
+  /// Packed AdaptivePolicy (bit 0 narrow_precision, bit 1 skip_zero):
+  /// relaxed atomic so a serving thread can flip the policy while workers
+  /// dispatch -- each run snapshots it once.
+  std::atomic<std::uint8_t> adaptive_policy_{0};
   std::unordered_map<std::uint64_t, FusedForward> fused_;  ///< by id-list hash
   /// Load cycles of weights materialized inside compile_forward(), charged
   /// to the next run_forward() so the account never loses the writes.

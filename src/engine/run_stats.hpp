@@ -31,6 +31,11 @@ struct RunStats {
   /// Compute cycles the fused (chained-MAC) execution path saved vs issuing
   /// each op through Table 1 alone; elapsed_cycles is already net of this.
   std::uint64_t fused_cycles_saved = 0;
+  /// Lock-step cycles the adaptive policy (MULT narrowing / zero skipping)
+  /// took off this op's makespan: the elapsed_cycles a policy-off run of
+  /// the same instruction stream would have added back. Exact conservation
+  /// on unfused runs: dense elapsed == elapsed_cycles + adaptive_cycles_saved.
+  std::uint64_t adaptive_cycles_saved = 0;
 
   [[nodiscard]] double cycles_per_element() const {
     return elements == 0 ? 0.0
@@ -59,6 +64,9 @@ struct BatchStats {
   /// Compute cycles fused program execution saved vs op-at-a-time Table 1
   /// issue (0 for unfused batches; compute_cycles is net of this).
   std::uint64_t fused_cycles_saved = 0;
+  /// Makespan cycles the adaptive policy saved across the batch
+  /// (compute_cycles is net of this; 0 when the policy is off).
+  std::uint64_t adaptive_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed_time{0.0};  ///< pipelined_cycles at the macro cycle time
 
@@ -82,6 +90,7 @@ struct BatchStats {
     serial_cycles += o.serial_cycles;
     pipelined_cycles += o.pipelined_cycles;
     fused_cycles_saved += o.fused_cycles_saved;
+    adaptive_cycles_saved += o.adaptive_cycles_saved;
     energy += o.energy;
     elapsed_time += o.elapsed_time;
     return *this;

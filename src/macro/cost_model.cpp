@@ -38,7 +38,6 @@ InstructionCost CostModel::instruction_cost(const Instruction& inst,
   Joule e{0.0};
   const auto charge = [&](Component comp, double bits) { e += price(comp) * bits; };
   const double n = static_cast<double>(geom_.cols);
-  const auto& p = energy_.params();
 
   switch (inst.op) {
     case Op::Nand:
@@ -91,33 +90,49 @@ InstructionCost CostModel::instruction_cost(const Instruction& inst,
       const bool pipelined =
           prev != nullptr && prev->op == Op::Mult && prev->bits == inst.bits;
       const bool d1_staged = pipelined && prev->a == inst.a;
-      const RowRef d1 = RowRef::dummy(ImcMacro::kDummyOperand);
-      const RowRef d2 = RowRef::dummy(ImcMacro::kDummyAccum);
-      const std::size_t units = geom_.cols / (2 * static_cast<std::size_t>(inst.bits));
-      const double n_units = static_cast<double>(units);
-      // Cycle 1: D2 zero-init + multiplier FF load.
-      charge(wb_price(d2), n * p.zero_init_activity);
-      charge(Component::SingleWlRead, static_cast<double>(inst.bits) * n_units);
-      charge(Component::FlipFlop, static_cast<double>(inst.bits) * n_units);
-      // Cycle 2: multiplicand staged into D1 (skipped on a d1-staged link).
-      if (!d1_staged) {
-        charge(Component::SingleWlRead, static_cast<double>(inst.bits) * n_units);
-        charge(wb_price(d1), static_cast<double>(inst.bits) * n_units);
-      }
-      // Cycles 3..N+2: add-and-shift iterations on the separated segment.
-      for (unsigned k = 0; k < inst.bits; ++k) {
-        charge(compute_price(d1, d2), n);
-        charge(Component::FaLogic, n);
-        charge(Component::FlipFlop, n_units);
-        charge(wb_price(d2), n * p.mult_wb_activity);
-      }
-      unsigned cycles = op_cycles(Op::Mult, inst.bits);
-      if (pipelined) --cycles;
-      if (d1_staged) --cycles;
-      c.cycles = cycles;
-      break;
+      return mult_cost(inst.bits, MultPlan::full(inst.bits, d1_staged, pipelined));
     }
   }
+  c.energy = e;
+  return c;
+}
+
+InstructionCost CostModel::instruction_cost(const Instruction& inst, const MultPlan& plan) const {
+  if (inst.op != Op::Mult) return instruction_cost(inst, nullptr);
+  return mult_cost(inst.bits, plan);
+}
+
+InstructionCost CostModel::mult_cost(unsigned bits, const MultPlan& plan) const {
+  // Mirrors ImcMacro::mult_impl's charge sequence under the same plan,
+  // charge for charge and in order (the bitwise-energy conservation law).
+  InstructionCost c;
+  Joule e{0.0};
+  const auto charge = [&](Component comp, double n_bits) { e += price(comp) * n_bits; };
+  const double n = static_cast<double>(geom_.cols);
+  const auto& p = energy_.params();
+  const RowRef d1 = RowRef::dummy(ImcMacro::kDummyOperand);
+  const RowRef d2 = RowRef::dummy(ImcMacro::kDummyAccum);
+  const std::size_t units = geom_.cols / (2 * static_cast<std::size_t>(bits));
+  const double n_units = static_cast<double>(units);
+  // Cycle 1: D2 zero-init + multiplier FF load (always performed -- a
+  // skipped MULT's result is that zero-initialised accumulator row).
+  charge(wb_price(d2), n * p.zero_init_activity);
+  charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
+  charge(Component::FlipFlop, static_cast<double>(bits) * n_units);
+  // Cycle 2: multiplicand staged into D1 (skipped on a d1-staged link or a
+  // zero-skip plan).
+  if (!plan.skip && !plan.d1_staged) {
+    charge(Component::SingleWlRead, static_cast<double>(bits) * n_units);
+    charge(wb_price(d1), static_cast<double>(bits) * n_units);
+  }
+  // Add-and-shift iterations on the separated segment, to the plan's depth.
+  for (unsigned k = 0; k < plan.depth; ++k) {
+    charge(compute_price(d1, d2), n);
+    charge(Component::FaLogic, n);
+    charge(Component::FlipFlop, n_units);
+    charge(wb_price(d2), n * p.mult_wb_activity);
+  }
+  c.cycles = plan.cycles();
   c.energy = e;
   return c;
 }

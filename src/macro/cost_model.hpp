@@ -45,6 +45,15 @@ class CostModel {
   [[nodiscard]] InstructionCost instruction_cost(const Instruction& inst,
                                                  const Instruction* prev = nullptr) const;
 
+  /// Price one instruction under a resolved adaptive MULT plan (the
+  /// controller's path when an AdaptivePolicy is active: ImcMacro::plan_mult
+  /// resolves the data-dependent depth/skip once, and this overload prices
+  /// exactly the micro-actions mult_rows_planned will charge -- the cost
+  /// model itself stays data-oblivious). Non-MULT instructions ignore the
+  /// plan and price as the static overload does.
+  [[nodiscard]] InstructionCost instruction_cost(const Instruction& inst,
+                                                 const MultPlan& plan) const;
+
   /// Price a whole program, accumulating in instruction order (the same
   /// left-fold the execution ledger performs). With `fuse_mac_chains`, MULT
   /// chains are priced on the chained datapath and the discount lands in
@@ -59,6 +68,7 @@ class CostModel {
   [[nodiscard]] Joule price(energy::Component c) const { return energy_.price(c, vdd_); }
   [[nodiscard]] energy::Component compute_price(array::RowRef a, array::RowRef b) const;
   [[nodiscard]] energy::Component wb_price(array::RowRef dest) const;
+  [[nodiscard]] InstructionCost mult_cost(unsigned bits, const MultPlan& plan) const;
 
   array::ArrayGeometry geom_;
   Volt vdd_;

@@ -1,5 +1,6 @@
 #include "macro/imc_macro.hpp"
 
+#include <bit>
 #include <cmath>
 
 #include "common/require.hpp"
@@ -316,18 +317,70 @@ BitVector ImcMacro::sub_rows(RowRef a, RowRef b, unsigned bits) {
   return std::move(res.sum);
 }
 
-BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits) {
-  return mult_impl(a, b, bits, /*d1_staged=*/false, /*pipelined=*/false);
+BitVector ImcMacro::mult_rows(RowRef a, RowRef b, unsigned bits, const AdaptivePolicy& policy) {
+  return mult_impl(a, b, bits, plan_mult(a, b, bits, policy));
 }
 
 BitVector ImcMacro::mult_rows_chained(RowRef a, RowRef b, unsigned bits, bool d1_staged,
-                                      bool pipelined) {
+                                      bool pipelined, const AdaptivePolicy& policy) {
   BPIM_REQUIRE(!d1_staged || pipelined, "D1 staging implies a pipelined chain link");
-  return mult_impl(a, b, bits, d1_staged, pipelined);
+  return mult_impl(a, b, bits, plan_mult(a, b, bits, policy, d1_staged, pipelined));
 }
 
-BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, bool d1_staged,
-                              bool pipelined) {
+BitVector ImcMacro::mult_rows_planned(RowRef a, RowRef b, unsigned bits, const MultPlan& plan) {
+  BPIM_REQUIRE(plan.depth <= bits, "plan depth exceeds the operand precision");
+  BPIM_REQUIRE(!plan.skip || plan.depth == 0, "a skipped MULT runs no iterations");
+  BPIM_REQUIRE(!plan.d1_staged || plan.pipelined, "D1 staging implies a pipelined chain link");
+  return mult_impl(a, b, bits, plan);
+}
+
+MultPlan ImcMacro::plan_mult(RowRef a, RowRef b, unsigned bits, const AdaptivePolicy& policy,
+                             bool d1_staged, bool pipelined) const {
+  MultPlan plan = MultPlan::full(bits, d1_staged, pipelined);
+  if (!policy.enabled()) return plan;
+  (void)mult_units_per_row(bits);  // precision/width validation
+  const std::size_t unit_bits = 2 * static_cast<std::size_t>(bits);
+  // Effectual operand view: the low half of every 2N-bit unit (unit_bits
+  // divides 64 for every supported precision, so one mask word covers all).
+  std::uint64_t low_halves = 0;
+  for (std::size_t i = 0; i < 64; i += unit_bits) low_halves |= ((1ull << bits) - 1) << i;
+  const std::uint64_t field_fill =
+      unit_bits >= 64 ? ~0ull : ((1ull << unit_bits) - 1);  // disjoint fields: no carry
+  const std::uint64_t unit_lsbs = BitVector::periodic_mask(unit_bits);
+  const BitVector& row_a = array_.row(a);
+  const BitVector& row_b = array_.row(b);
+  // A zero multiplicand unit makes every multiplier bit of that unit
+  // ineffectual (sum == accumulator == 0 whatever the select bit says).
+  // One allocation-free pass (the planner sits on the MULT hot path): per
+  // word, OR-fold each multiplicand field onto its LSB (sub-field shifts
+  // cannot push a higher field's bits down to a lower field's LSB), expand
+  // the zero flags to full-field masks, drop those multiplier fields, and
+  // accumulate the surviving multiplier bits. Phantom fields past the row
+  // end hold zero multiplier bits, so they cannot contribute.
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < row_a.word_count(); ++w) {
+    std::uint64_t aw = row_a.word(w) & low_halves;
+    const std::uint64_t bw = row_b.word(w) & low_halves;
+    for (std::size_t s = 1; s < unit_bits; s <<= 1) aw |= aw >> s;
+    acc |= bw & ~((~aw & unit_lsbs) * field_fill);
+  }
+  unsigned eff = 0;
+  if (acc != 0) {
+    // Fold every unit onto the low one (unit-multiple shifts preserve
+    // in-field positions); the residue's bit width is the max effectual
+    // multiplier depth across the row.
+    for (std::size_t s = unit_bits; s < 64; s <<= 1) acc |= acc >> s;
+    eff = static_cast<unsigned>(std::bit_width(unit_bits >= 64 ? acc : acc & field_fill));
+  }
+  if (policy.narrow_precision) plan.depth = eff;
+  if (policy.skip_zero && eff == 0) {
+    plan.skip = true;
+    plan.depth = 0;
+  }
+  return plan;
+}
+
+BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, const MultPlan& plan) {
   BPIM_REQUIRE(is_supported_precision(bits), "unsupported precision");
   const std::size_t units = mult_units_per_row(bits);
   const unsigned unit_bits = 2 * bits;
@@ -352,8 +405,9 @@ BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, bool d1_staged,
   // d1-staged chain link skips the whole cycle -- the previous MULT of the
   // same multiplicand left exactly this masked copy in D1 (the add-shift
   // iterations only write D2), so neither the read nor the staging
-  // write-back happens.
-  if (!d1_staged) {
+  // write-back happens. A skipped MULT (all products provably zero) elides
+  // it too: the zero-initialised accumulator row already IS the result.
+  if (!plan.skip && !plan.d1_staged) {
     const BlReadout ra = array_.read_single(a);
     std::uint64_t low_halves = 0;  // low `bits` of each unit set (unit_bits divides 64)
     for (std::size_t i = 0; i < 64; i += unit_bits) low_halves |= ((1ull << bits) - 1) << i;
@@ -369,10 +423,14 @@ BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, bool d1_staged,
   // The per-unit FF bit selects between sum and accumulator through a
   // broadcast field mask; the <<1 is the word-parallel in-field shift. All
   // scratch (AddResult, select mask, next row) is reused across iterations.
+  // An adaptive plan starts at k = bits - depth: every dropped leading
+  // iteration is a per-unit no-op (multiplier bit zero keeps the still-zero
+  // accumulator, and a shift of zero is zero; zero-multiplicand units see
+  // sum == accumulator == 0 either way), so products are bit-identical.
   periph::AddResult res;
   BitVector sel(cols());
   BitVector next(cols());
-  for (unsigned k = 0; k < bits; ++k) {
+  for (unsigned k = bits - plan.depth; k < bits; ++k) {
     const bool last = (k + 1 == bits);
     const BlReadout r = sense_dual(d1, d2);
     FaLogics::add_into(r, unit_bits, false, res);
@@ -392,10 +450,10 @@ BitVector ImcMacro::mult_impl(RowRef a, RowRef b, unsigned bits, bool d1_staged,
     write_back(d2, next, static_cast<double>(cols()) * p.mult_wb_activity);
   }
 
-  unsigned cycles = op_cycles(Op::Mult, bits);
-  if (pipelined) --cycles;  // cycle 1 hides behind the predecessor's write-back
-  if (d1_staged) --cycles;  // cycle 2 skipped outright
-  finish_op(cycles);
+  // The plan owns the cycle split; op_cycles(MULT, bits) == plan.cycles()
+  // + plan.fused_cycles_saved() + plan.adaptive_cycles_saved(bits) exactly
+  // (the controller asserts it per instruction).
+  finish_op(plan.cycles());
   return array_.row(d2);
 }
 

@@ -124,10 +124,12 @@ class ImcMacro {
   BitVector add_shift_rows(array::RowRef a, array::RowRef b, unsigned bits, array::RowRef dest);
   /// Two's-complement SUB: a - b (2 cycles: NOT -> dummy, ADD with cin=1).
   BitVector sub_rows(array::RowRef a, array::RowRef b, unsigned bits);
-  /// Bit-parallel MULT on 2N-bit units (N+2 cycles). Operands in the low
-  /// halves of each unit of rows a (multiplicand) and b (multiplier);
-  /// returns the row of 2N-bit products (also left in dummy row D2).
-  BitVector mult_rows(array::RowRef a, array::RowRef b, unsigned bits);
+  /// Bit-parallel MULT on 2N-bit units (N+2 cycles static; fewer under an
+  /// enabled AdaptivePolicy -- see plan_mult). Operands in the low halves of
+  /// each unit of rows a (multiplicand) and b (multiplier); returns the row
+  /// of 2N-bit products (also left in dummy row D2).
+  BitVector mult_rows(array::RowRef a, array::RowRef b, unsigned bits,
+                      const AdaptivePolicy& policy = {});
   /// MULT as the non-head link of a fused MAC chain. `pipelined` overlaps
   /// cycle 1 (D2 zero-init + FF load) with the predecessor MULT's final
   /// write-back (-1 cycle, same energy); `d1_staged` additionally skips the
@@ -136,7 +138,25 @@ class ImcMacro {
   /// holds the masked copy (-1 cycle and its staging energy). Products are
   /// bit-identical to mult_rows().
   BitVector mult_rows_chained(array::RowRef a, array::RowRef b, unsigned bits,
-                              bool d1_staged, bool pipelined);
+                              bool d1_staged, bool pipelined,
+                              const AdaptivePolicy& policy = {});
+  /// Resolve the adaptive execution plan of one MULT from the operand data:
+  /// SWAR-scan the unit fields (zero_field_mask on the multiplicand,
+  /// field_max_set_bit on the effectual multiplier bits) for the max
+  /// effectual depth E, then narrow the iteration count to E
+  /// (narrow_precision) and/or skip the op body when E == 0 (skip_zero).
+  /// The scan itself is uncharged: it models the peripheral's zero/msb
+  /// detectors reading the operands as they stream through the FF load and
+  /// staging cycles the op performs anyway.
+  [[nodiscard]] MultPlan plan_mult(array::RowRef a, array::RowRef b, unsigned bits,
+                                   const AdaptivePolicy& policy, bool d1_staged = false,
+                                   bool pipelined = false) const;
+  /// Execute a MULT under an already-resolved plan (the controller's path:
+  /// plan once, price it, execute it). The plan must come from plan_mult on
+  /// the current operand data -- a stale or hand-built plan that skips
+  /// effectual iterations yields wrong products.
+  BitVector mult_rows_planned(array::RowRef a, array::RowRef b, unsigned bits,
+                              const MultPlan& plan);
 
   // ---- accounting ---------------------------------------------------------
   [[nodiscard]] ExecStats last_op() const { return last_; }
@@ -160,8 +180,7 @@ class ImcMacro {
   static constexpr std::size_t kDummyAccum = 2;    ///< MULT accumulator / results
 
  private:
-  BitVector mult_impl(array::RowRef a, array::RowRef b, unsigned bits, bool d1_staged,
-                      bool pipelined);
+  BitVector mult_impl(array::RowRef a, array::RowRef b, unsigned bits, const MultPlan& plan);
   [[nodiscard]] energy::Component compute_price(array::RowRef a, array::RowRef b) const;
   [[nodiscard]] energy::Component wb_price() const;
   void charge(energy::Component c, double bits);

@@ -46,4 +46,65 @@ enum class WlScheme {
 /// same method extends to 16/32).
 [[nodiscard]] bool is_supported_precision(unsigned bits);
 
+/// Sparsity/precision-adaptive execution policy (DynamicStripes-style
+/// narrowing + zero-operand skipping). Data-dependent and bit-exact: the
+/// MULT add-shift loop only ever drops *leading* iterations, where every
+/// unit's select bit is provably ineffectual (multiplier bit zero, or
+/// multiplicand zero so sum == accumulator == 0), so products are identical
+/// to the full-depth sequence.
+struct AdaptivePolicy {
+  /// Run the add-shift loop only to the operands' max effectual bit depth.
+  bool narrow_precision = false;
+  /// When every unit's product is provably zero, skip staging and all
+  /// iterations outright (the zero-initialised accumulator IS the result).
+  bool skip_zero = false;
+  [[nodiscard]] constexpr bool enabled() const { return narrow_precision || skip_zero; }
+};
+
+/// Resolved execution plan of one MULT: how many add-shift iterations run
+/// and which setup cycles are elided. Produced by ImcMacro::plan_mult from
+/// the operand data + policy; consumed identically by the executing
+/// datapath (mult_impl), the cost model, and the controller's accounting,
+/// so priced == executed cycles holds by construction and the split
+///   op_cycles(MULT, bits) == cycles() + fused_cycles_saved()
+///                                     + adaptive_cycles_saved(bits)
+/// is exact in every case (asserted per instruction by the controller).
+struct MultPlan {
+  unsigned depth = 0;      ///< executed add-shift iterations (== bits when static)
+  bool skip = false;       ///< all products provably zero: no staging, no iterations
+  bool d1_staged = false;  ///< D1 already holds the masked multiplicand (fusion)
+  bool pipelined = false;  ///< cycle 1 may hide behind the predecessor's write-back
+
+  /// The static full-precision plan (policy off).
+  [[nodiscard]] static constexpr MultPlan full(unsigned bits, bool d1_staged = false,
+                                               bool pipelined = false) {
+    return MultPlan{bits, false, d1_staged, pipelined};
+  }
+
+  /// 1 when the D1 staging cycle executes.
+  [[nodiscard]] constexpr unsigned staging_cycles() const {
+    return (!skip && !d1_staged) ? 1u : 0u;
+  }
+  /// 1 when cycle 1 (zero-init + FF load) occupies its own cycle. A
+  /// pipelined link hides it behind the predecessor's final write-back --
+  /// unless nothing else remains, in which case the op still takes its
+  /// one mandatory cycle.
+  [[nodiscard]] constexpr unsigned lead_cycles() const {
+    return (pipelined && staging_cycles() + depth > 0) ? 0u : 1u;
+  }
+  /// Modeled cycles this MULT occupies the array.
+  [[nodiscard]] constexpr unsigned cycles() const {
+    return lead_cycles() + staging_cycles() + depth;
+  }
+  /// Cycles the *fusion* discounts account for (pipelining + D1 reuse).
+  [[nodiscard]] constexpr unsigned fused_cycles_saved() const {
+    return ((pipelined && lead_cycles() == 0) ? 1u : 0u) + (d1_staged ? 1u : 0u);
+  }
+  /// Cycles the *adaptive* policy accounts for: dropped leading iterations
+  /// plus the staging cycle a skip elides (when fusion hadn't already).
+  [[nodiscard]] constexpr unsigned adaptive_cycles_saved(unsigned bits) const {
+    return (bits - depth) + ((skip && !d1_staged) ? 1u : 0u);
+  }
+};
+
 }  // namespace bpim::macro

@@ -27,6 +27,32 @@ obs::Histogram& program_cycles_histogram() {
   return h;
 }
 
+// Adaptive-execution instruments: how often the policy fires, what it saves,
+// and the narrowed-depth distribution (full-depth MULTs observe bits).
+obs::Counter& adaptive_mults_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "engine.adaptive.mults", "MULTs executed under an enabled adaptive policy");
+  return c;
+}
+
+obs::Counter& adaptive_skipped_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "engine.adaptive.skipped", "MULTs skipped outright (all products provably zero)");
+  return c;
+}
+
+obs::Counter& adaptive_saved_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "engine.adaptive.cycles_saved", "modeled cycles saved by adaptive narrowing/skipping");
+  return c;
+}
+
+obs::Histogram& adaptive_depth_histogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "engine.adaptive.narrowed_depth", "executed add-shift depth per adaptive MULT");
+  return h;
+}
+
 }  // namespace
 
 std::string to_string(const Instruction& inst) {
@@ -187,7 +213,7 @@ void MacroController::validate(const Program& p) const {
 }
 
 ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* trace,
-                                  bool fuse_mac_chains) {
+                                  bool fuse_mac_chains, const AdaptivePolicy& policy) {
   if (mode_ == VerifyMode::VerifyFirst) {
     const VerifyReport report = verify_program(p, macro_);
     if (!report.ok()) {
@@ -207,9 +233,24 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
   const CostModel cost(macro_.config());
   ProgramStats stats;
   const Instruction* prev = nullptr;
+  // What the masked-copy dummy row D1 currently holds. A MULT whose staging
+  // cycle executes records its multiplicand here; a skipped or d1-staged
+  // MULT leaves it alone (the add-shift iterations only write D2); SUB and
+  // any explicit write to D1 clobber it. Fusion's D1-reuse discount keys off
+  // this rather than just the previous instruction, because under zero-skip
+  // the MULT that *would* have staged may not have -- reusing D1 then would
+  // multiply by stale data.
+  struct {
+    array::RowRef row{};
+    unsigned bits = 0;
+    bool valid = false;
+  } staged;
+  const array::RowRef d1_row = array::RowRef::dummy(ImcMacro::kDummyOperand);
   for (const Instruction& i : p.instructions()) {
     BitVector result;
-    const InstructionCost priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
+    InstructionCost priced;
+    MultPlan plan;
+    unsigned adaptive = 0;
     switch (i.op) {
       case Op::Nand:
       case Op::And:
@@ -217,33 +258,42 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
       case Op::Or:
       case Op::Xnor:
       case Op::Xor:
+        priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
         result = macro_.logic_rows(i.logic_fn, i.a, i.b);
         break;
       case Op::Not:
       case Op::Copy:
       case Op::Shift:
+        priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
         result = macro_.unary_row(i.op, i.a, *i.dest, i.bits);
         break;
       case Op::Add:
+        priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
         result = macro_.add_rows(i.a, i.b, i.bits, i.dest);
         break;
       case Op::AddShift:
+        priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
         result = macro_.add_shift_rows(i.a, i.b, i.bits, *i.dest);
         break;
       case Op::Sub:
+        priced = cost.instruction_cost(i, fuse_mac_chains ? prev : nullptr);
         result = macro_.sub_rows(i.a, i.b, i.bits);
         break;
       case Op::Mult: {
         // Chain discount: a MULT directly after a MULT at the same precision
         // loads its FF while the predecessor's final D2 write-back drains;
-        // if the multiplier row repeats, D1 still holds the masked copy and
-        // the staging cycle drops out as well.
+        // if D1 still holds this multiplicand's masked copy, the staging
+        // cycle drops out as well. The adaptive policy then narrows/skips
+        // against the operand data; the one resolved plan drives pricing,
+        // execution, and the savings split alike.
         const bool pipelined =
             fuse_mac_chains && prev != nullptr && prev->op == Op::Mult && prev->bits == i.bits;
-        const bool d1_staged = pipelined && prev->a == i.a;
-        result = pipelined ? macro_.mult_rows_chained(i.a, i.b, i.bits, d1_staged,
-                                                      /*pipelined=*/true)
-                           : macro_.mult_rows(i.a, i.b, i.bits);
+        const bool d1_staged =
+            pipelined && staged.valid && staged.row == i.a && staged.bits == i.bits;
+        plan = macro_.plan_mult(i.a, i.b, i.bits, policy, d1_staged, pipelined);
+        priced = cost.instruction_cost(i, plan);
+        result = macro_.mult_rows_planned(i.a, i.b, i.bits, plan);
+        adaptive = plan.adaptive_cycles_saved(i.bits);
         break;
       }
     }
@@ -253,9 +303,31 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
     ++stats.instructions;
     stats.cycles += priced.cycles;
     const unsigned table_cycles = op_cycles(i.op, i.bits);
-    if (table_cycles > priced.cycles) stats.fused_cycles_saved += table_cycles - priced.cycles;
+    if (i.op == Op::Mult) {
+      const unsigned fused = plan.fused_cycles_saved();
+      BPIM_REQUIRE(priced.cycles + fused + adaptive == table_cycles,
+                   "MULT cycle conservation violated (static != cycles + fused + adaptive)");
+      stats.fused_cycles_saved += fused;
+      stats.adaptive_cycles_saved += adaptive;
+      if (policy.enabled()) {
+        adaptive_mults_counter().add();
+        if (plan.skip) adaptive_skipped_counter().add();
+        if (adaptive > 0) adaptive_saved_counter().add(adaptive);
+        adaptive_depth_histogram().observe(plan.depth);
+      }
+      // Track what D1 holds after this MULT for the next link's reuse test.
+      if (plan.staging_cycles() > 0) {
+        staged.row = i.a;
+        staged.bits = i.bits;
+        staged.valid = true;
+      }
+    } else if (i.op == Op::Sub || (i.dest && *i.dest == d1_row)) {
+      staged.valid = false;  // D1 clobbered (SUB stages ~b there; dest hit it)
+    } else {
+      if (table_cycles > priced.cycles) stats.fused_cycles_saved += table_cycles - priced.cycles;
+    }
     stats.energy += priced.energy;
-    if (trace) trace->push_back(TraceEntry{i, es.cycles, es.op_energy, result});
+    if (trace) trace->push_back(TraceEntry{i, es.cycles, es.op_energy, result, adaptive});
     prev = &i;
   }
   stats.elapsed = cost.cycle_time() * static_cast<double>(stats.cycles);
@@ -269,7 +341,9 @@ ProgramStats MacroController::run(const Program& p, std::vector<TraceEntry>* tra
                     obs::EventArgs{{"instructions", static_cast<double>(stats.instructions)},
                                    {"cycles", static_cast<double>(stats.cycles)},
                                    {"fused_cycles_saved",
-                                    static_cast<double>(stats.fused_cycles_saved)}});
+                                    static_cast<double>(stats.fused_cycles_saved)},
+                                   {"adaptive_cycles_saved",
+                                    static_cast<double>(stats.adaptive_cycles_saved)}});
   }
 #endif
   return stats;

@@ -78,6 +78,9 @@ struct TraceEntry {
   unsigned cycles = 0;
   Joule op_energy{0.0};
   BitVector result;  ///< row-wide result driven out (empty for pure WB ops)
+  /// Cycles the adaptive policy saved on this instruction (MULT narrowing/
+  /// skipping; 0 for other ops or when the policy is off).
+  unsigned adaptive_cycles_saved = 0;
 };
 
 /// Per-program account, derived from the instruction stream: run() prices
@@ -90,6 +93,11 @@ struct ProgramStats {
   /// Cycles the chained-MAC execution path saved vs Table 1's per-op cost
   /// (0 unless run() was asked to fuse). `cycles` is already net of this.
   std::uint64_t fused_cycles_saved = 0;
+  /// Cycles the adaptive policy saved (MULT iteration narrowing + zero
+  /// skipping; 0 unless run() was given an enabled AdaptivePolicy).
+  /// `cycles` is already net of this, and the three-way split is exact:
+  /// static_cycles == cycles + fused_cycles_saved + adaptive_cycles_saved.
+  std::uint64_t adaptive_cycles_saved = 0;
   Joule energy{0.0};
   Second elapsed{0.0};
 };
@@ -126,8 +134,15 @@ class MacroController {
   /// D1 staging cycle is skipped too (-1 more). Results are bit-identical;
   /// only the cycle/energy account changes (fused_cycles_saved reports the
   /// discount).
+  ///
+  /// With an enabled `policy`, every MULT is first resolved against its
+  /// operand data (ImcMacro::plan_mult): the add-shift loop runs only to the
+  /// max effectual bit depth (narrow_precision) and provably-zero products
+  /// skip staging and iterations outright (skip_zero). Outputs stay
+  /// bit-identical; the saved cycles land in adaptive_cycles_saved with
+  /// static == cycles + fused + adaptive asserted per instruction.
   ProgramStats run(const Program& p, std::vector<TraceEntry>* trace = nullptr,
-                   bool fuse_mac_chains = false);
+                   bool fuse_mac_chains = false, const AdaptivePolicy& policy = {});
 
   [[nodiscard]] VerifyMode mode() const { return mode_; }
 

@@ -130,6 +130,7 @@ ServeStats ServeLedger::snapshot(std::size_t queue_depth,
   s.modeled_load_cycles = aggregate_.load_cycles;
   s.modeled_load_cycles_saved = aggregate_.load_cycles_saved;
   s.modeled_fused_cycles_saved = aggregate_.fused_cycles_saved;
+  s.modeled_adaptive_cycles_saved = aggregate_.adaptive_cycles_saved;
   s.energy = aggregate_.energy;
   s.modeled_makespan_cycles = 0;
   for (const MemoryLaneStats& lane : s.per_memory)

@@ -84,6 +84,10 @@ struct ServeStats {
   /// chained-MAC datapath) saved vs op-at-a-time Table 1 issue; the
   /// pipelined/serial totals are already net of this.
   std::uint64_t modeled_fused_cycles_saved = 0;
+  /// Compute cycles the adaptive policy (MULT operand narrowing / zero
+  /// skipping, Server::set_adaptive_policy) saved across every batch; the
+  /// pipelined/serial totals are already net of this.
+  std::uint64_t modeled_adaptive_cycles_saved = 0;
   /// Busiest memory's pipelined total: the modeled finish line when the
   /// pool's memories run in parallel. Equals modeled_pipelined_cycles on a
   /// single-memory server.

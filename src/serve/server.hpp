@@ -134,6 +134,16 @@ class Server {
   void pause();
   void resume();
 
+  /// Set the adaptive execution policy (macro-level MULT operand narrowing
+  /// and zero skipping) on every pool memory's engine. Takes effect from the
+  /// next dispatched batch; safe to call concurrently with in-flight
+  /// requests (engines snapshot the policy per run, and results are
+  /// bit-identical either way -- only the cycle account moves).
+  void set_adaptive_policy(macro::AdaptivePolicy policy) {
+    for (std::size_t i = 0; i < pool_->size(); ++i)
+      pool_->engine(i).set_adaptive_policy(policy);
+  }
+
   [[nodiscard]] ServeStats stats() const;
   /// The first pool memory's engine (the only one on a single-memory
   /// server) -- kept for capacity/geometry queries; all pool memories are

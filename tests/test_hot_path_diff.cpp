@@ -306,5 +306,177 @@ TEST(HotPathDiff, BulkPokeMatchesPerWordPokes) {
                std::invalid_argument);
 }
 
+std::uint64_t sparse_operand(Rng& rng, unsigned bits, int zero_pct) {
+  if (static_cast<int>(rng.next_u64() % 100) < zero_pct) return 0;
+  return rng.next_u64() & ((1ull << bits) - 1);
+}
+
+TEST(HotPathDiff, AdaptiveExecutionIsBitIdenticalAcrossOpsAndSparsity) {
+  // The adaptive policy may only move cycles, never bits: every op kind x
+  // precision x operand sparsity, run policy-on against a policy-off twin
+  // and the per-bit oracles, with the three-way cycle split checked exactly
+  // (full == adaptive + adaptive_cycles_saved, both == Table 1 static).
+  Rng rng(0xADA7);
+  const macro::MacroConfig cfg;
+  const std::size_t cols = cfg.geometry.cols;
+  const RowRef d1 = RowRef::dummy(macro::ImcMacro::kDummyOperand);
+  const RowRef d2 = RowRef::dummy(macro::ImcMacro::kDummyAccum);
+  const macro::AdaptivePolicy policies[] = {{true, false}, {false, true}, {true, true}};
+  enum class K { Add, Sub, Mult, AddShift, Not, Logic };
+  for (const unsigned bits : {2u, 4u, 8u, 16u}) {
+    for (const int zero_pct : {0, 50, 95}) {
+      for (const macro::AdaptivePolicy policy : policies) {
+        macro::ImcMacro full{cfg};
+        macro::ImcMacro adapt{cfg};
+        macro::OpCompiler compiler(cfg.geometry);
+        macro::MacroController full_ctl(full, macro::VerifyMode::VerifyFirst);
+        macro::MacroController adapt_ctl(adapt, macro::VerifyMode::VerifyFirst);
+        for (const K kind : {K::Add, K::Sub, K::Mult, K::AddShift, K::Not, K::Logic}) {
+          for (int rep = 0; rep < 4; ++rep) {
+            const RowRef a = RowRef::main(0);
+            const RowRef b = RowRef::main(1);
+            if (kind == K::Mult) {
+              for (std::size_t u = 0; u < full.mult_units_per_row(bits); ++u) {
+                const std::uint64_t va = sparse_operand(rng, bits, zero_pct);
+                const std::uint64_t vb = sparse_operand(rng, bits, zero_pct);
+                for (macro::ImcMacro* m : {&full, &adapt}) {
+                  m->poke_mult_operand(0, u, bits, va);
+                  m->poke_mult_operand(1, u, bits, vb);
+                }
+              }
+            } else {
+              BitVector va(cols), vb(cols);
+              va.randomize(rng);
+              vb.randomize(rng);
+              for (macro::ImcMacro* m : {&full, &adapt}) {
+                m->poke_row(0, va);
+                m->poke_row(1, vb);
+              }
+            }
+            const BitVector row_a = full.peek_row(0);
+            const BitVector row_b = full.peek_row(1);
+            const macro::Program* prog = nullptr;
+            switch (kind) {
+              case K::Add: prog = &compiler.add(a, b, bits); break;
+              case K::Sub: prog = &compiler.sub(a, b, bits); break;
+              case K::Mult: prog = &compiler.mult(a, b, bits); break;
+              case K::AddShift: prog = &compiler.add_shift(a, b, bits, d2); break;
+              case K::Not: prog = &compiler.unary(macro::Op::Not, a, d1, bits); break;
+              case K::Logic: prog = &compiler.logic(periph::LogicFn::Nor, a, b); break;
+            }
+            std::vector<macro::TraceEntry> ft, at;
+            const macro::ProgramStats fs = full_ctl.run(*prog, &ft);
+            const macro::ProgramStats as = adapt_ctl.run(*prog, &at, false, policy);
+            ASSERT_EQ(ft.size(), 1u);
+            ASSERT_EQ(at.size(), 1u);
+            const std::string what = "kind=" +
+                                     std::string(1, "ASMXNL"[static_cast<int>(kind)]) +
+                                     " bits=" + std::to_string(bits) +
+                                     " zero%=" + std::to_string(zero_pct) +
+                                     " narrow=" + std::to_string(policy.narrow_precision) +
+                                     " skip=" + std::to_string(policy.skip_zero);
+            EXPECT_EQ(at.back().result, ft.back().result) << what;
+            // Exact cycle conservation: the policy-off twin pays Table 1 in
+            // full, and the adaptive run splits the same total.
+            EXPECT_EQ(fs.adaptive_cycles_saved, 0u) << what;
+            EXPECT_EQ(fs.cycles, prog->static_cycles()) << what;
+            EXPECT_EQ(as.cycles + as.adaptive_cycles_saved, fs.cycles) << what;
+            EXPECT_EQ(at.back().adaptive_cycles_saved, as.adaptive_cycles_saved) << what;
+            EXPECT_LE(as.energy.si(), fs.energy.si()) << what;
+            if (kind != K::Mult) {
+              EXPECT_EQ(as.adaptive_cycles_saved, 0u) << what;
+            } else {
+              EXPECT_EQ(at.back().result, naive_mult_datapath(row_a, row_b, bits)) << what;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(HotPathDiff, AdaptiveNarrowingAndSkipSaveExactCycles) {
+  const macro::MacroConfig cfg;
+  const unsigned bits = 8;
+  const macro::AdaptivePolicy policy{true, true};
+  macro::ImcMacro m{cfg};
+  macro::MacroController ctl(m, macro::VerifyMode::VerifyFirst);
+  const std::size_t units = m.mult_units_per_row(bits);
+  macro::Program prog;
+  prog.mult(RowRef::main(0), RowRef::main(1), bits);
+
+  // All-zero multiplicand: every product is provably zero, so the MULT
+  // collapses to its single zero-init cycle and skips staging outright.
+  for (std::size_t u = 0; u < units; ++u) {
+    m.poke_mult_operand(0, u, bits, 0);
+    m.poke_mult_operand(1, u, bits, 0xFF);
+  }
+  std::vector<macro::TraceEntry> t;
+  macro::ProgramStats s = ctl.run(prog, &t, false, policy);
+  EXPECT_EQ(s.cycles, 1u);
+  EXPECT_EQ(s.adaptive_cycles_saved, bits + 1u);
+  EXPECT_EQ(t.back().result.popcount(), 0u);
+
+  // Narrow multiplier: every effectual product has b <= 3, so only the two
+  // low add-shift iterations run (staging still pays its cycle).
+  for (std::size_t u = 0; u < units; ++u) {
+    m.poke_mult_operand(0, u, bits, 5);
+    m.poke_mult_operand(1, u, bits, 3);
+  }
+  t.clear();
+  s = ctl.run(prog, &t, false, policy);
+  EXPECT_EQ(s.cycles, 4u);  // zero-init + staging + 2 iterations
+  EXPECT_EQ(s.adaptive_cycles_saved, bits - 2u);
+  for (std::size_t u = 0; u < units; ++u)
+    EXPECT_EQ(m.peek_mult_product(t.back().result, u, bits), 15u);
+}
+
+TEST(HotPathDiff, AdaptiveFusedChainStaysBitIdenticalAndConserving) {
+  // Fusion and adaptivity compose: a chained-MAC program whose middle MULT
+  // skips entirely must keep the staged-D1 discount of the later links
+  // honest (the stale-multiplicand hazard the controller's staging validity
+  // tracking exists for) and still split Table 1's total exactly.
+  Rng rng(0xFADE);
+  const macro::MacroConfig cfg;
+  const unsigned bits = 8;
+  macro::ImcMacro full{cfg};
+  macro::ImcMacro adapt{cfg};
+  macro::MacroController full_ctl(full, macro::VerifyMode::VerifyFirst);
+  macro::MacroController adapt_ctl(adapt, macro::VerifyMode::VerifyFirst);
+  const std::size_t units = full.mult_units_per_row(bits);
+  for (std::size_t u = 0; u < units; ++u) {
+    const std::uint64_t a = 1 + (rng.next_u64() & 0xFE);
+    const std::uint64_t b1 = rng.next_u64() & 0xFF;
+    const std::uint64_t b3 = rng.next_u64() & 0x3;
+    for (macro::ImcMacro* m : {&full, &adapt}) {
+      m->poke_mult_operand(0, u, bits, a);
+      m->poke_mult_operand(1, u, bits, b1);
+      m->poke_mult_operand(2, u, bits, 0);  // the skipping middle link
+      m->poke_mult_operand(3, u, bits, b3);
+    }
+  }
+  macro::Program prog;
+  for (std::size_t r = 1; r <= 3; ++r)
+    prog.mult(RowRef::main(0), RowRef::main(r), bits);
+
+  std::vector<macro::TraceEntry> ft, at;
+  const macro::ProgramStats fs = full_ctl.run(prog, &ft);
+  const macro::ProgramStats as =
+      adapt_ctl.run(prog, &at, /*fuse_mac_chains=*/true, macro::AdaptivePolicy{true, true});
+  ASSERT_EQ(ft.size(), 3u);
+  ASSERT_EQ(at.size(), 3u);
+  for (std::size_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(at[k].result, ft[k].result) << "link " << k;
+    EXPECT_EQ(at[k].result,
+              naive_mult_datapath(full.peek_row(0), full.peek_row(k + 1), bits))
+        << "link " << k;
+  }
+  EXPECT_EQ(fs.cycles, prog.static_cycles());
+  EXPECT_EQ(as.cycles + as.fused_cycles_saved + as.adaptive_cycles_saved,
+            prog.static_cycles());
+  EXPECT_GT(as.fused_cycles_saved, 0u);
+  EXPECT_GT(as.adaptive_cycles_saved, 0u);
+}
+
 }  // namespace
 }  // namespace bpim

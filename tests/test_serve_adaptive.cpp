@@ -1,0 +1,165 @@
+// Adaptive execution behind the serving frontend: toggling the policy on a
+// live server must never change a client's values -- only the cycle account
+// moves -- including while adaptive and plain clients race on one pool and
+// the policy flips mid-flight. This is the stress the TSan CI job runs
+// against the atomic policy snapshot in ExecutionEngine.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/execution_engine.hpp"
+#include "serve/memory_pool.hpp"
+#include "serve/server.hpp"
+
+namespace bpim::serve {
+namespace {
+
+using engine::EngineConfig;
+using engine::ExecutionEngine;
+using engine::OpKind;
+using engine::OpResult;
+using engine::VecOp;
+
+macro::MemoryConfig tiny_memory() {
+  macro::MemoryConfig cfg;
+  cfg.banks = 2;
+  cfg.macros_per_bank = 2;
+  return cfg;
+}
+
+/// ~75% zero operands: the regime the zero-skip leg of the policy targets.
+std::vector<std::uint64_t> sparse_vec(std::size_t n, unsigned bits, std::uint64_t seed) {
+  bpim::Rng rng(seed);
+  const std::uint64_t mask = (1ull << bits) - 1;
+  std::vector<std::uint64_t> v(n);
+  for (auto& x : v) x = (rng.next_u64() % 4 == 0) ? (rng.next_u64() & mask) : 0;
+  return v;
+}
+
+/// The op alone on a fresh memory, policy off: the dense reference every
+/// served result must match bit-for-bit whatever the policy does.
+OpResult run_dense_reference(const VecOp& op) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{1});
+  return eng.run(op);
+}
+
+TEST(ServeAdaptive, PolicyRoundTripsThroughServerToEveryPoolEngine) {
+  MemoryPoolConfig pc;
+  pc.memories = 2;
+  pc.memory = tiny_memory();
+  pc.threads_per_memory = 1;
+  MemoryPool pool(pc);
+  Server server(pool);
+  server.set_adaptive_policy(macro::AdaptivePolicy{true, true});
+  for (std::size_t m = 0; m < pool.size(); ++m) {
+    const macro::AdaptivePolicy p = pool.engine(m).adaptive_policy();
+    EXPECT_TRUE(p.narrow_precision) << m;
+    EXPECT_TRUE(p.skip_zero) << m;
+  }
+  server.set_adaptive_policy({});
+  for (std::size_t m = 0; m < pool.size(); ++m)
+    EXPECT_FALSE(pool.engine(m).adaptive_policy().enabled()) << m;
+}
+
+TEST(ServeAdaptive, SparseMultConservesCyclesExactlyPerOp) {
+  macro::ImcMemory mem(tiny_memory());
+  ExecutionEngine eng(mem, EngineConfig{2});
+  Server server(eng);
+  server.set_adaptive_policy(macro::AdaptivePolicy{true, true});
+
+  const auto a = sparse_vec(200, 8, 11);
+  const auto b = sparse_vec(200, 8, 12);
+  const VecOp op{OpKind::Mult, 8, periph::LogicFn::And, a, b};
+  const OpResult want = run_dense_reference(op);
+  const OpResult got = server.submit(op).get();
+
+  EXPECT_EQ(got.values, want.values);
+  // Unfused single op: the makespan split against the dense run is exact.
+  EXPECT_GT(got.stats.adaptive_cycles_saved, 0u);
+  EXPECT_EQ(got.stats.elapsed_cycles + got.stats.adaptive_cycles_saved,
+            want.stats.elapsed_cycles);
+  EXPECT_GT(server.stats().modeled_adaptive_cycles_saved, 0u);
+}
+
+TEST(ServeAdaptive, StressPolicyTogglesUnderRacingClients) {
+  MemoryPoolConfig pc;
+  pc.memories = 2;
+  pc.memory = tiny_memory();
+  pc.threads_per_memory = 1;
+  MemoryPool pool(pc);
+  Server server(pool, ServerConfig{/*queue_capacity=*/32, /*max_batch_ops=*/8,
+                                   /*coalesce_window=*/std::chrono::microseconds(50)});
+
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kOpsPerClient = 10;
+
+  struct ClientLog {
+    std::vector<VecOp> ops;
+    std::vector<std::vector<std::uint64_t>> a, b;
+    std::vector<OpResult> results;
+  };
+  std::vector<ClientLog> logs(kClients);
+  std::atomic<bool> done{false};
+
+  // The antagonist: flip the policy the whole time the clients run. Client
+  // values must not care which snapshot any given batch caught.
+  std::thread toggler([&] {
+    bool on = false;
+    while (!done.load(std::memory_order_acquire)) {
+      server.set_adaptive_policy(on ? macro::AdaptivePolicy{true, true}
+                                    : macro::AdaptivePolicy{});
+      on = !on;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      bpim::Rng rng(0xADA + c);
+      ClientLog& log = logs[c];
+      for (std::size_t i = 0; i < kOpsPerClient; ++i) {
+        const unsigned bits = std::array<unsigned, 2>{4, 8}[rng.next_u64() % 2];
+        const OpKind kind = std::array<OpKind, 3>{OpKind::Add, OpKind::Mult,
+                                                  OpKind::Mult}[rng.next_u64() % 3];
+        const std::size_t n = 1 + rng.next_u64() % 200;
+        log.a.push_back(sparse_vec(n, bits, rng.next_u64()));
+        log.b.push_back(sparse_vec(n, bits, rng.next_u64()));
+        VecOp op{kind, bits, periph::LogicFn::And, log.a.back(), log.b.back()};
+        log.ops.push_back(op);
+        log.results.push_back(server.submit(op).get());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true, std::memory_order_release);
+  toggler.join();
+  server.stop();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < logs[c].ops.size(); ++i) {
+      const OpResult want = run_dense_reference(logs[c].ops[i]);
+      EXPECT_EQ(logs[c].results[i].values, want.values) << "client " << c << " op " << i;
+      // Whatever snapshot the batch caught, the per-op split stays exact.
+      EXPECT_EQ(logs[c].results[i].stats.elapsed_cycles +
+                    logs[c].results[i].stats.adaptive_cycles_saved,
+                want.stats.elapsed_cycles)
+          << "client " << c << " op " << i;
+    }
+  }
+  const ServeStats s = server.stats();
+  EXPECT_EQ(s.completed, kClients * kOpsPerClient);
+  EXPECT_EQ(s.expired, 0u);
+}
+
+}  // namespace
+}  // namespace bpim::serve
